@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks use scaled-down dataset sizes so the whole suite completes in a
+few minutes; the full Table-1/Fig-6 protocols are available through the
+``repro-bench`` CLI (see EXPERIMENTS.md for full-scale results).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.loaders import load_dataset
+
+
+@pytest.fixture(scope="session")
+def jpvow_small():
+    """JPVOW at reduced size: the fastest realistic benchmark dataset."""
+    return load_dataset("JPVOW", seed=0, n_train=90, n_test=90)
+
+
+@pytest.fixture(scope="session")
+def lib_small():
+    """LIB at reduced size (short series, 15 classes)."""
+    return load_dataset("LIB", seed=0, n_train=75, n_test=75)
+
+
+@pytest.fixture(scope="session")
+def char_small():
+    """CHAR at reduced size for the Fig. 6 landscape bench."""
+    return load_dataset("CHAR", seed=0, n_train=80, n_test=80)
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(0)

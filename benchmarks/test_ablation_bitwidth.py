@@ -1,0 +1,45 @@
+"""Benchmark: fixed-point bit-width ablation (embedded-hardware context).
+
+Times the quantized datapath and checks the precision/accuracy trend: a
+generously wide datapath must match float accuracy, a starved one must
+lose accuracy relative to it.
+"""
+
+import numpy as np
+
+from repro.core.pipeline import DFRClassifier
+from repro.core.trainer import TrainerConfig
+from repro.hardware.fixed_point import QFormat, QuantizedModularDFR
+from repro.readout.ridge import select_beta
+from repro.representation.dprr import DPRR
+
+N_NODES = 12
+EPOCHS = 8
+
+
+def test_bitwidth_sweep(benchmark, jpvow_small):
+    data = jpvow_small
+    clf = DFRClassifier(n_nodes=N_NODES, seed=0,
+                        config=TrainerConfig(epochs=EPOCHS))
+    clf.fit(data.u_train, data.y_train)
+    float_acc = clf.score(data.u_test, data.y_test)
+    std = clf.extractor.standardizer
+    dprr = clf.extractor.dprr
+
+    def accuracy_at(frac_bits):
+        qdfr = QuantizedModularDFR(clf.extractor.reservoir.mask,
+                                   QFormat(3, frac_bits))
+        f_train = dprr.features(qdfr.run(std.transform(data.u_train),
+                                         clf.A_, clf.B_))
+        f_test = dprr.features(qdfr.run(std.transform(data.u_test),
+                                        clf.A_, clf.B_))
+        sel = select_beta(f_train, data.y_train, n_classes=data.n_classes,
+                          seed=0)
+        return sel.best_model.accuracy(f_test, data.y_test)
+
+    def sweep():
+        return {fb: accuracy_at(fb) for fb in (1, 6, 14)}
+
+    accs = benchmark.pedantic(sweep, rounds=1, iterations=1, warmup_rounds=0)
+    assert accs[14] >= float_acc - 0.1   # wide datapath ~ float
+    assert accs[1] <= accs[14] + 1e-9    # starved datapath cannot beat it

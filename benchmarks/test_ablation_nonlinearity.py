@@ -1,0 +1,41 @@
+"""Benchmark: nonlinearity ablation — the modular DFR's swappable f block.
+
+The paper's evaluation fixes f(x) = Ax; this bench times training under
+each shape at reduced scale.  All shapes must train *mechanically* (finite
+losses, moved parameters — the modular-DFR differentiability claim of
+Sec. 2.3); an accuracy bar is asserted only for the shapes that perform at
+this reduced scale (identity and tanh) — the full-scale sweep lives in
+``repro-bench ablation-nonlinearity``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import DFRClassifier
+from repro.core.trainer import TrainerConfig
+
+N_NODES = 16
+EPOCHS = 8
+
+#: shapes whose reduced-scale accuracy is reliably above chance
+STRONG_SHAPES = {"identity", "tanh"}
+
+
+@pytest.mark.parametrize("shape", ["identity", "mackey-glass", "tanh", "sine"])
+def test_training_under_shape(benchmark, jpvow_small, shape):
+    data = jpvow_small
+
+    def fit():
+        clf = DFRClassifier(
+            n_nodes=N_NODES, nonlinearity=shape, seed=0,
+            config=TrainerConfig(epochs=EPOCHS),
+        )
+        clf.fit(data.u_train, data.y_train)
+        return clf
+
+    clf = benchmark.pedantic(fit, rounds=1, iterations=1, warmup_rounds=0)
+    assert np.isfinite(clf.training_.final_loss)
+    assert (clf.A_, clf.B_) != (0.01, 0.01), f"{shape}: parameters never moved"
+    if shape in STRONG_SHAPES:
+        acc = clf.score(data.u_test, data.y_test)
+        assert acc > 0.3, f"{shape} failed to train (acc {acc:.3f})"

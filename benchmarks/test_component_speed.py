@@ -1,0 +1,104 @@
+"""Micro-benchmarks of the computational kernels.
+
+These locate where the time goes in the Table-1 cost model: the reservoir
+forward sweep, the DPRR contraction, the (truncated vs full) backward pass,
+and the ridge solve that dominates each grid point.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.backprop import BackpropEngine
+from repro.readout.ridge import PAPER_BETAS, fit_ridge_sweep
+from repro.readout.softmax import SoftmaxReadout, one_hot
+from repro.representation.dprr import DPRR
+from repro.reservoir.masking import InputMask
+from repro.reservoir.modular import ModularDFR
+
+N_NODES = 30
+T_LEN = 150
+N_BATCH = 100
+
+
+@pytest.fixture(scope="module")
+def batch(rng):
+    return rng.normal(size=(N_BATCH, T_LEN, 4))
+
+
+@pytest.fixture(scope="module")
+def dfr():
+    return ModularDFR(InputMask.binary(N_NODES, 4, seed=0))
+
+
+@pytest.fixture(scope="module")
+def trace(dfr, batch):
+    return dfr.run(batch, 0.2, 0.3)
+
+
+def test_forward_identity_fast_path(benchmark, dfr, batch):
+    trace = benchmark(dfr.run, batch, 0.2, 0.3)
+    assert trace.states.shape == (N_BATCH, T_LEN + 1, N_NODES)
+
+
+def test_forward_nonlinear_path(benchmark, batch):
+    dfr_mg = ModularDFR(InputMask.binary(N_NODES, 4, seed=0),
+                        nonlinearity="mackey-glass")
+    trace = benchmark(dfr_mg.run, batch, 0.2, 0.3)
+    assert not trace.diverged.any()
+
+
+def test_dprr_contraction(benchmark, trace):
+    feats = benchmark(DPRR().features, trace)
+    assert feats.shape == (N_BATCH, N_NODES * (N_NODES + 1))
+
+
+def test_truncated_backward(benchmark, dfr, trace, rng):
+    dprr = DPRR()
+    feats = dprr.features(trace)
+    readout = SoftmaxReadout(feats.shape[1], 3)
+    readout.weights = rng.normal(scale=0.01, size=readout.weights.shape)
+    targets = one_hot(rng.integers(0, 3, size=N_BATCH), 3)
+    engine = BackpropEngine(window=1, dprr=dprr)
+    win = trace.final_window(1)
+
+    def backward_all():
+        total = 0.0
+        for i in range(N_BATCH):
+            g = engine.sample_gradients(
+                win.window_states[i], win.window_pre_activations[i],
+                feats[i], readout, targets[i], 0.2, 0.3, n_steps=T_LEN,
+            )
+            total += g.d_A
+        return total
+
+    benchmark.pedantic(backward_all, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def test_full_bptt_backward(benchmark, dfr, trace, rng):
+    dprr = DPRR()
+    feats = dprr.features(trace)
+    readout = SoftmaxReadout(feats.shape[1], 3)
+    readout.weights = rng.normal(scale=0.01, size=readout.weights.shape)
+    targets = one_hot(rng.integers(0, 3, size=N_BATCH), 3)
+    engine = BackpropEngine(window=None, dprr=dprr)
+    win = trace.final_window(T_LEN)
+
+    def backward_some():
+        total = 0.0
+        for i in range(10):  # full BPTT is ~T times dearer; keep 10 samples
+            g = engine.sample_gradients(
+                win.window_states[i], win.window_pre_activations[i],
+                feats[i], readout, targets[i], 0.2, 0.3, n_steps=T_LEN,
+            )
+            total += g.d_A
+        return total
+
+    benchmark.pedantic(backward_some, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def test_ridge_sweep_cost(benchmark, trace, rng):
+    """The per-grid-point ridge cost (4 betas over 930 features)."""
+    feats = DPRR().features(trace)
+    labels = rng.integers(0, 3, size=N_BATCH)
+    models = benchmark(fit_ridge_sweep, feats, labels, PAPER_BETAS)
+    assert len(models) == 4

@@ -1,0 +1,50 @@
+"""Benchmark: Fig. 6 — recursive grid-search landscape on CHAR.
+
+Runs the two-level recursive zoom plus the exhaustive reference grid at
+reduced scale and checks the landscape artifacts have the figure's shape.
+The full-scale run is ``repro-bench fig6``.
+"""
+
+import numpy as np
+
+from repro.core.grid_search import GridSearch, RecursiveGridSearch
+from repro.core.pipeline import DFRFeatureExtractor
+
+N_NODES = 20
+DIVISIONS = 4
+
+
+def test_fig6_recursive_levels(benchmark, char_small):
+    data = char_small
+    ext = DFRFeatureExtractor(n_nodes=N_NODES, seed=0).fit(data.u_train)
+
+    def run():
+        rgs = RecursiveGridSearch(ext, divisions=DIVISIONS, seed=0)
+        return rgs.run(data.u_train, data.y_train, data.u_test, data.y_test,
+                       n_levels=2, n_classes=data.n_classes)
+
+    levels = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    assert len(levels) == 2
+    lvl1, lvl2 = levels
+    assert lvl1.accuracy_matrix.shape == (DIVISIONS, DIVISIONS)
+    # the zoomed box is strictly inside the level-1 box
+    assert lvl2.a_box[0] >= lvl1.a_box[0] and lvl2.a_box[1] <= lvl1.a_box[1]
+    assert lvl2.b_box[0] >= lvl1.b_box[0] and lvl2.b_box[1] <= lvl1.b_box[1]
+    # the landscape is non-trivial: accuracies vary across the level-1 grid
+    finite = lvl1.accuracy_matrix[np.isfinite(lvl1.accuracy_matrix)]
+    assert finite.max() - finite.min() > 0.05
+
+
+def test_fig6_reference_grid(benchmark, char_small):
+    """The exhaustive grid the zoom is compared against."""
+    data = char_small
+    ext = DFRFeatureExtractor(n_nodes=N_NODES, seed=0).fit(data.u_train)
+    gs = GridSearch(ext, seed=1)
+
+    def run():
+        return gs.run_level(data.u_train, data.y_train,
+                            data.u_test, data.y_test, 5,
+                            n_classes=data.n_classes)
+
+    level = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    assert level.n_points == 25

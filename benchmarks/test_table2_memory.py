@@ -1,0 +1,35 @@
+"""Benchmark: Table 2 — storage accounting (exact paper reproduction).
+
+The storage model is closed-form, so this bench both times the table
+generation and *asserts bit-exact agreement* with the paper's 12 rows.
+"""
+
+from repro.bench.table2 import format_table2, run_table2
+from repro.data.metadata import PAPER_TABLE2
+
+
+def test_table2_exact_reproduction(benchmark):
+    rows = benchmark(run_table2)
+    assert len(rows) == 12
+    for row in rows:
+        assert row.matches_paper, f"{row.dataset} deviates from the paper"
+        paper = PAPER_TABLE2[row.dataset]
+        assert (row.naive, row.simplified, row.reduction_percent) == paper
+
+
+def test_table2_formatting(benchmark):
+    rows = run_table2()
+    text = benchmark(format_table2, rows)
+    assert "12/12 rows match the paper exactly" in text
+
+
+def test_table2_wider_windows_monotone(benchmark):
+    """Sanity: widening the window can only increase the simplified count."""
+
+    def sweep():
+        return [run_table2(window=w) for w in (1, 2, 8, 64)]
+
+    tables = benchmark.pedantic(sweep, rounds=1, iterations=1, warmup_rounds=0)
+    for key_idx in range(12):
+        totals = [t[key_idx].simplified for t in tables]
+        assert totals == sorted(totals)

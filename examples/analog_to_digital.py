@@ -1,0 +1,72 @@
+"""From the analog Mackey-Glass DFR to the trainable modular model.
+
+Walks the modeling chain the paper builds on (Sec. 2):
+
+1. the *analog* DFR — a Mackey-Glass delay differential equation integrated
+   at sub-node resolution;
+2. the *digital* DFR (Eq. 8) — the exact zero-order-hold solution of the
+   same dynamics, tuned by (eta, gamma, p);
+3. the *modular* DFR (Eq. 13) — the same system re-parameterized to just
+   (A, B) with a swappable nonlinearity, which is what makes
+   backpropagation practical.
+
+The script verifies the equivalences numerically and then shows the
+modular model's flexibility: swapping the Mackey-Glass block for other
+shape functions under the same training protocol.
+
+Run:  python examples/analog_to_digital.py
+"""
+
+import numpy as np
+
+from repro import (
+    AnalogMGDFR,
+    DFRClassifier,
+    DigitalMGDFR,
+    InputMask,
+    MackeyGlass,
+    ModularDFR,
+    load_dataset,
+)
+from repro.core.trainer import TrainerConfig
+from repro.reservoir.digital import modular_params_from_mg
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    mask = InputMask.binary(n_nodes=20, n_channels=2, seed=0)
+    u = rng.normal(size=(4, 40, 2))
+    mg_params = dict(eta=0.7, gamma=0.08, theta=0.25, p=2.0)
+
+    # ---- 1 -> 2: analog DDE integrates to the digital DFR ----------------
+    analog = AnalogMGDFR(mask, substeps=8, integrator="exact", hold="node",
+                         **mg_params)
+    digital = DigitalMGDFR(mask, **mg_params)
+    gap = np.max(np.abs(analog.run(u) - digital.run(u).states))
+    print(f"analog (8 substeps, exact) vs digital Eq. 8:   max gap {gap:.2e}")
+
+    # ---- 2 -> 3: digital DFR == modular DFR with mapped (A, B) -----------
+    a_eq, b_eq = modular_params_from_mg(mg_params["eta"], mg_params["theta"])
+    modular = ModularDFR(InputMask(mg_params["gamma"] * mask.matrix),
+                         nonlinearity=MackeyGlass(p=mg_params["p"]))
+    gap = np.max(np.abs(digital.run(u).states - modular.run(u, a_eq, b_eq).states))
+    print(f"digital Eq. 8 vs modular Eq. 13 (A={a_eq:.4f}, B={b_eq:.4f}): "
+          f"max gap {gap:.2e}")
+    print("-> three parameters (eta, gamma, theta) collapse to two (A, B)\n")
+
+    # ---- the payoff: any differentiable f trains the same way ------------
+    data = load_dataset("JPVOW", seed=0)
+    print(f"training the modular DFR on {data.key} with different f blocks:")
+    for shape in ("identity", "mackey-glass", "tanh", "sine"):
+        clf = DFRClassifier(
+            n_nodes=20, nonlinearity=shape, seed=0,
+            config=TrainerConfig(epochs=15),
+        )
+        clf.fit(data.u_train, data.y_train)
+        print(f"  f = {shape:13s}: test acc "
+              f"{clf.score(data.u_test, data.y_test):.3f} "
+              f"(A={clf.A_:.4f}, B={clf.B_:.4f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Embedded deployment study: fixed-point precision, circuit cost, memory.
+
+The paper targets embedded DFR hardware (Sec. 1): this example takes a
+backprop-trained reservoir and answers the three deployment questions —
+
+1. how many bits does the datapath need? (fixed-point simulation)
+2. what does the circuit cost? (multiplier/adder/MAC/memory model)
+3. how much training memory does truncated backprop save on-chip?
+   (the paper's Table 2 accounting)
+
+Run:  python examples/hardware_deployment.py
+"""
+
+from repro import DFRClassifier, load_dataset
+from repro.hardware import (
+    QFormat,
+    QuantizedModularDFR,
+    dfr_inference_cost,
+    dfr_training_memory_bits,
+)
+from repro.memory import naive_storage, truncated_storage
+from repro.readout import select_beta
+
+
+def main() -> None:
+    data = load_dataset("JPVOW", seed=0)
+    print(f"dataset: {data.summary()}\n")
+
+    clf = DFRClassifier(n_nodes=30, seed=0)
+    clf.fit(data.u_train, data.y_train)
+    float_acc = clf.score(data.u_test, data.y_test)
+    print(f"float64 reference accuracy: {float_acc:.3f} "
+          f"(A={clf.A_:.4f}, B={clf.B_:.4f})\n")
+
+    # ---- 1. bit-width exploration --------------------------------------
+    print("fixed-point datapath exploration (Q3.f, saturating):")
+    std = clf.extractor.standardizer
+    dprr = clf.extractor.dprr
+    for frac_bits in (2, 4, 6, 8, 12):
+        qfmt = QFormat(3, frac_bits)
+        qdfr = QuantizedModularDFR(clf.extractor.reservoir.mask, qfmt)
+        f_train = dprr.features(qdfr.run(std.transform(data.u_train),
+                                         clf.A_, clf.B_))
+        f_test = dprr.features(qdfr.run(std.transform(data.u_test),
+                                        clf.A_, clf.B_))
+        sel = select_beta(f_train, data.y_train, n_classes=data.n_classes,
+                          seed=0)
+        acc = sel.best_model.accuracy(f_test, data.y_test)
+        print(f"  {qfmt} ({qfmt.total_bits:2d}-bit words): acc {acc:.3f}")
+
+    # ---- 2. circuit cost ------------------------------------------------
+    cost = dfr_inference_cost(30, data.n_classes, data.length,
+                              n_channels=data.n_channels)
+    print("\ncircuit cost (modular DFR + DPRR + readout):")
+    print(f"  multipliers: {cost.multipliers} (the modular DFR's A and B)")
+    print(f"  adders:      {cost.adders}")
+    print(f"  MACs per inference: {cost.macs_per_inference:,}")
+    print(f"  inference memory:   {cost.memory_words:,} words "
+          f"({cost.memory_bits(16) / 8192:.1f} KiB at 16 bit)")
+
+    # ---- 3. on-chip training memory (paper Table 2) ---------------------
+    naive = naive_storage(data.length, 30, data.n_classes)
+    reduced = truncated_storage(30, data.n_classes, window=1)
+    saving = 100 * (naive.total - reduced.total) / naive.total
+    print("\non-chip training storage (paper Table 2 accounting):")
+    print(f"  full backpropagation:      {naive.total:,} values")
+    print(f"  truncated backpropagation: {reduced.total:,} values "
+          f"({saving:.0f}% saved)")
+    print(f"  at 16-bit words: "
+          f"{dfr_training_memory_bits(30, data.n_classes, data.length, word_bits=16) / 8192:.1f} KiB -> "
+          f"{dfr_training_memory_bits(30, data.n_classes, data.length, word_bits=16, window=1) / 8192:.1f} KiB")
+
+
+if __name__ == "__main__":
+    main()

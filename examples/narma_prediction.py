@@ -1,0 +1,65 @@
+"""NARMA-10 time-series regression with a delayed-feedback reservoir.
+
+The classic pre-classification benchmark of the DFR literature (Appeltant
+et al. 2011): drive the reservoir with a random input stream, read the
+NARMA-10 target off the reservoir states with ridge regression, and score
+NRMSE.  Also demonstrates *why* reservoir parameters matter — the same
+readout is fitted at several (A, B) operating points, including the
+backprop-free classic Mackey-Glass parameterization.
+
+Run:  python examples/narma_prediction.py
+"""
+
+import numpy as np
+
+from repro import InputMask, ModularDFR
+from repro.data import narma10
+from repro.readout import fit_ridge_regressor, nrmse
+
+
+def reservoir_features(dfr: ModularDFR, u: np.ndarray, A: float, B: float):
+    """Per-step regression features: states, squared states, raw input.
+
+    The quadratic augmentation is the standard RC readout for NARMA-type
+    targets (the system multiplies inputs, which a linear readout of a
+    near-linear reservoir cannot express).
+    """
+    trace = dfr.run(u[np.newaxis, :, np.newaxis], A, B)
+    states = trace.states[0, 1:, :]
+    return np.concatenate([states, states**2, u[:, np.newaxis]], axis=1)
+
+
+def main() -> None:
+    train_u, train_y = narma10(2000, seed=0)
+    test_u, test_y = narma10(1000, seed=1)
+
+    dfr = ModularDFR(InputMask.binary(n_nodes=50, n_channels=1, seed=0))
+    print("NARMA-10 one-step regression, 50 virtual nodes, ridge readout\n")
+    print(f"{'A':>8} {'B':>8} {'train NRMSE':>12} {'test NRMSE':>12}")
+    best = (None, np.inf)
+    for a_val, b_val in [
+        (0.01, 0.01),   # the paper's backprop starting point
+        (0.05, 0.30),
+        (0.20, 0.55),   # a strong operating point
+        (0.45, 0.45),
+        (0.56, 0.10),
+    ]:
+        f_train = reservoir_features(dfr, train_u, a_val, b_val)
+        f_test = reservoir_features(dfr, test_u, a_val, b_val)
+        model = fit_ridge_regressor(f_train, train_y, beta=1e-8)
+        err_train = nrmse(train_y, model.predict(f_train))
+        err_test = nrmse(test_y, model.predict(f_test))
+        print(f"{a_val:8.2f} {b_val:8.2f} {err_train:12.4f} {err_test:12.4f}")
+        if err_test < best[1]:
+            best = ((a_val, b_val), err_test)
+
+    (a_best, b_best), err = best
+    print(
+        f"\nbest operating point: A={a_best}, B={b_best} "
+        f"(test NRMSE {err:.4f}) — the spread above is exactly why DFR "
+        "parameter optimization matters."
+    )
+
+
+if __name__ == "__main__":
+    main()

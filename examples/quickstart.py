@@ -1,0 +1,39 @@
+"""Quickstart: train a DFR classifier with backpropagation (the paper's method).
+
+Loads the JPVOW benchmark task (Japanese-vowel-like synthetic speech), runs
+the paper's full two-phase optimization — 25 epochs of truncated
+backpropagation for the reservoir parameters (A, B), then ridge regression
+with automatic regularizer selection for the readout — and reports accuracy.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DFRClassifier, load_dataset
+
+def main() -> None:
+    data = load_dataset("JPVOW", seed=0)
+    print(f"dataset: {data.summary()}")
+
+    clf = DFRClassifier(n_nodes=30, seed=0)
+    clf.fit(data.u_train, data.y_train)
+
+    print("\ntraining trajectory (every 5th epoch):")
+    for stats in clf.training_.history[::5]:
+        print(
+            f"  epoch {stats.epoch:2d}: loss {stats.mean_loss:8.4f} "
+            f"train-acc {stats.accuracy:.3f}  A={stats.A:.4f} B={stats.B:.4f} "
+            f"(lr_res={stats.lr_reservoir:g}, lr_out={stats.lr_output:g})"
+        )
+
+    print(
+        f"\noptimized parameters: A = {clf.A_:.4f}, B = {clf.B_:.4f}, "
+        f"ridge beta = {clf.beta_:g}"
+    )
+    print(f"train accuracy: {clf.score(data.u_train, data.y_train):.3f}")
+    print(f"test accuracy:  {clf.score(data.u_test, data.y_test):.3f}")
+    print(f"optimization took {clf.training_.elapsed_seconds:.1f}s "
+          "(25 epochs of truncated backpropagation)")
+
+
+if __name__ == "__main__":
+    main()

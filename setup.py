@@ -1,0 +1,10 @@
+"""Setup shim; all metadata lives in setup.cfg (declarative setuptools).
+
+The setup.cfg + setup.py layout (rather than pyproject.toml) is deliberate:
+it keeps ``pip install -e .`` working in fully offline environments, where
+PEP 517 build isolation cannot fetch its build requirements.
+"""
+
+from setuptools import setup
+
+setup()

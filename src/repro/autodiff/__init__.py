@@ -1,0 +1,6 @@
+"""Scalar reverse-mode autodiff used as an independent gradient oracle in tests."""
+
+from repro.autodiff.dfr_graph import GraphGradients, dfr_loss_gradients
+from repro.autodiff.scalar import Value
+
+__all__ = ["Value", "GraphGradients", "dfr_loss_gradients"]

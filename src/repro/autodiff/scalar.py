@@ -1,0 +1,166 @@
+"""Minimal scalar reverse-mode autodiff (an independent gradient oracle).
+
+The analytic backward pass in :mod:`repro.core.backprop` transcribes the
+paper's hand-derived equations.  To check that derivation (rather than just
+our transcription of it), the tests rebuild the whole DFR computation from
+scalar primitives on this tape and compare gradients.  The tape is
+deliberately tiny and slow — it exists only for verification on small
+instances, never on the training path.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["Value"]
+
+
+class Value:
+    """A scalar node in a dynamically built computation graph.
+
+    Supports the arithmetic needed by the DFR stack: ``+ - * / **const``,
+    ``abs``, ``tanh``, ``sin``, ``exp``, ``log``.  Call :meth:`backward` on
+    the final scalar to populate ``grad`` on every upstream node.
+    """
+
+    __slots__ = ("data", "grad", "_backward", "_prev")
+
+    def __init__(self, data: float, _prev: tuple = ()):
+        self.data = float(data)
+        self.grad = 0.0
+        self._backward = None
+        self._prev = _prev
+
+    # -------------------------------------------------------------- #
+    # primitives
+    # -------------------------------------------------------------- #
+
+    def __add__(self, other: "Value") -> "Value":
+        other = other if isinstance(other, Value) else Value(other)
+        out = Value(self.data + other.data, (self, other))
+
+        def _backward():
+            self.grad += out.grad
+            other.grad += out.grad
+
+        out._backward = _backward
+        return out
+
+    def __mul__(self, other: "Value") -> "Value":
+        other = other if isinstance(other, Value) else Value(other)
+        out = Value(self.data * other.data, (self, other))
+
+        def _backward():
+            self.grad += other.data * out.grad
+            other.grad += self.data * out.grad
+
+        out._backward = _backward
+        return out
+
+    def __pow__(self, exponent: float) -> "Value":
+        if isinstance(exponent, Value):
+            raise TypeError("only constant exponents are supported")
+        out = Value(self.data**exponent, (self,))
+
+        def _backward():
+            self.grad += exponent * self.data ** (exponent - 1) * out.grad
+
+        out._backward = _backward
+        return out
+
+    def __neg__(self) -> "Value":
+        return self * -1.0
+
+    def __sub__(self, other) -> "Value":
+        return self + (-other if isinstance(other, Value) else Value(-other))
+
+    def __truediv__(self, other) -> "Value":
+        other = other if isinstance(other, Value) else Value(other)
+        return self * other**-1.0
+
+    def __radd__(self, other) -> "Value":
+        return self + other
+
+    def __rmul__(self, other) -> "Value":
+        return self * other
+
+    def __rsub__(self, other) -> "Value":
+        return Value(other) - self
+
+    def abs(self) -> "Value":
+        """|x| with the subgradient sign(x) (0 at the origin)."""
+        sign = 1.0 if self.data > 0 else (-1.0 if self.data < 0 else 0.0)
+        out = Value(abs(self.data), (self,))
+
+        def _backward():
+            self.grad += sign * out.grad
+
+        out._backward = _backward
+        return out
+
+    def tanh(self) -> "Value":
+        t = math.tanh(self.data)
+        out = Value(t, (self,))
+
+        def _backward():
+            self.grad += (1.0 - t * t) * out.grad
+
+        out._backward = _backward
+        return out
+
+    def sin(self) -> "Value":
+        out = Value(math.sin(self.data), (self,))
+
+        def _backward():
+            self.grad += math.cos(self.data) * out.grad
+
+        out._backward = _backward
+        return out
+
+    def exp(self) -> "Value":
+        e = math.exp(self.data)
+        out = Value(e, (self,))
+
+        def _backward():
+            self.grad += e * out.grad
+
+        out._backward = _backward
+        return out
+
+    def log(self) -> "Value":
+        out = Value(math.log(self.data), (self,))
+
+        def _backward():
+            self.grad += out.grad / self.data
+
+        out._backward = _backward
+        return out
+
+    # -------------------------------------------------------------- #
+    # reverse pass
+    # -------------------------------------------------------------- #
+
+    def backward(self) -> None:
+        """Populate ``grad`` on every node reachable from this one."""
+        order = []
+        visited = set()
+        stack = [(self, False)]
+        while stack:  # iterative DFS: graphs can exceed the recursion limit
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._prev:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        self.grad = 1.0
+        for node in reversed(order):
+            if node._backward is not None:
+                node._backward()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Value(data={self.data:.6g}, grad={self.grad:.6g})"

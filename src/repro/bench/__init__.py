@@ -1,0 +1,28 @@
+"""Benchmark harnesses regenerating every table and figure of the paper."""
+
+from repro.bench.ablations import (
+    run_bitwidth_ablation,
+    run_nonlinearity_ablation,
+    run_optimizer_ablation,
+    run_truncation_ablation,
+)
+from repro.bench.fig6 import Fig6Result, format_fig6, run_fig6
+from repro.bench.table1 import Table1Row, format_table1, run_dataset, run_table1
+from repro.bench.table2 import Table2Row, format_table2, run_table2
+
+__all__ = [
+    "run_bitwidth_ablation",
+    "run_nonlinearity_ablation",
+    "run_optimizer_ablation",
+    "run_truncation_ablation",
+    "Fig6Result",
+    "format_fig6",
+    "run_fig6",
+    "Table1Row",
+    "format_table1",
+    "run_dataset",
+    "run_table1",
+    "Table2Row",
+    "format_table2",
+    "run_table2",
+]

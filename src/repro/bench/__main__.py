@@ -1,0 +1,180 @@
+"""Command-line entry point for the benchmark harnesses.
+
+Usage (installed as ``repro-bench``, or ``python -m repro.bench``):
+
+.. code-block:: console
+
+    repro-bench table1 [--datasets JPVOW LIB ...] [--size-profile bench]
+    repro-bench table2
+    repro-bench fig6 [--dataset CHAR] [--divisions 5]
+    repro-bench ablation-truncation [--dataset LIB]
+    repro-bench ablation-nonlinearity [--datasets JPVOW LIB]
+    repro-bench ablation-bitwidth [--dataset JPVOW]
+    repro-bench ablation-optimizer [--dataset JPVOW]
+    repro-bench all            # everything, in EXPERIMENTS.md order
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.ablations import (
+    format_bitwidth_ablation,
+    format_nonlinearity_ablation,
+    format_optimizer_ablation,
+    format_truncation_ablation,
+    run_bitwidth_ablation,
+    run_nonlinearity_ablation,
+    run_optimizer_ablation,
+    run_truncation_ablation,
+)
+from repro.bench.fig6 import format_fig6, run_fig6
+from repro.bench.table1 import format_table1, run_table1
+from repro.bench.table2 import format_table2, run_table2
+from repro.data.metadata import dataset_keys
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--size-profile", choices=("bench", "paper"), default="bench"
+    )
+    parser.add_argument("--n-nodes", type=int, default=30)
+    parser.add_argument("--epochs", type=int, default=25)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="bp vs grid search (Table 1)")
+    p.add_argument("--datasets", nargs="+", default=None,
+                   choices=list(dataset_keys()))
+    p.add_argument("--max-divisions", type=int, default=20)
+    _add_common(p)
+
+    p = sub.add_parser("table2", help="storage reduction (Table 2, exact)")
+    p.add_argument("--window", type=int, default=1)
+
+    p = sub.add_parser("fig6", help="recursive grid failure (Fig. 6)")
+    p.add_argument("--dataset", default="CHAR", choices=list(dataset_keys()))
+    p.add_argument("--divisions", type=int, default=5)
+    p.add_argument("--reference-divisions", type=int, default=10)
+    _add_common(p)
+
+    p = sub.add_parser("ablation-truncation", help="backward-window sweep")
+    p.add_argument("--dataset", default="LIB", choices=list(dataset_keys()))
+    _add_common(p)
+
+    p = sub.add_parser("ablation-nonlinearity", help="shape-function sweep")
+    p.add_argument("--datasets", nargs="+", default=["JPVOW", "LIB"],
+                   choices=list(dataset_keys()))
+    _add_common(p)
+
+    p = sub.add_parser("ablation-bitwidth", help="fixed-point precision sweep")
+    p.add_argument("--dataset", default="JPVOW", choices=list(dataset_keys()))
+    _add_common(p)
+
+    p = sub.add_parser("ablation-optimizer", help="SGD vs momentum vs Adam")
+    p.add_argument("--dataset", default="JPVOW", choices=list(dataset_keys()))
+    _add_common(p)
+
+    p = sub.add_parser("all", help="run every harness")
+    _add_common(p)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "table1":
+        rows = run_table1(
+            args.datasets,
+            n_nodes=args.n_nodes,
+            size_profile=args.size_profile,
+            seed=args.seed,
+            max_divisions=args.max_divisions,
+            epochs=args.epochs,
+        )
+        print()
+        print(format_table1(rows))
+    elif args.command == "table2":
+        print(format_table2(run_table2(window=args.window)))
+    elif args.command == "fig6":
+        result = run_fig6(
+            args.dataset,
+            n_nodes=args.n_nodes,
+            divisions=args.divisions,
+            reference_divisions=args.reference_divisions,
+            size_profile=args.size_profile,
+            seed=args.seed,
+        )
+        print()
+        print(format_fig6(result))
+    elif args.command == "ablation-truncation":
+        points = run_truncation_ablation(
+            args.dataset, n_nodes=args.n_nodes, epochs=args.epochs,
+            seed=args.seed, size_profile=args.size_profile,
+        )
+        print()
+        print(format_truncation_ablation(args.dataset, points))
+    elif args.command == "ablation-nonlinearity":
+        points = run_nonlinearity_ablation(
+            args.datasets, n_nodes=args.n_nodes, epochs=args.epochs,
+            seed=args.seed, size_profile=args.size_profile,
+        )
+        print()
+        print(format_nonlinearity_ablation(points))
+    elif args.command == "ablation-bitwidth":
+        points = run_bitwidth_ablation(
+            args.dataset, n_nodes=args.n_nodes, epochs=args.epochs,
+            seed=args.seed, size_profile=args.size_profile,
+        )
+        print()
+        print(format_bitwidth_ablation(args.dataset, points))
+    elif args.command == "ablation-optimizer":
+        points = run_optimizer_ablation(
+            args.dataset, n_nodes=args.n_nodes, epochs=args.epochs,
+            seed=args.seed, size_profile=args.size_profile,
+        )
+        print()
+        print(format_optimizer_ablation(args.dataset, points))
+    elif args.command == "all":
+        print(format_table2(run_table2()))
+        print()
+        rows = run_table1(
+            None, n_nodes=args.n_nodes, size_profile=args.size_profile,
+            seed=args.seed, epochs=args.epochs,
+        )
+        print()
+        print(format_table1(rows))
+        print()
+        result = run_fig6(seed=args.seed, n_nodes=args.n_nodes,
+                          size_profile=args.size_profile)
+        print(format_fig6(result))
+        print()
+        points = run_truncation_ablation(seed=args.seed, n_nodes=args.n_nodes,
+                                         epochs=args.epochs)
+        print(format_truncation_ablation("LIB", points))
+        print()
+        nl_points = run_nonlinearity_ablation(seed=args.seed,
+                                              n_nodes=args.n_nodes,
+                                              epochs=args.epochs)
+        print(format_nonlinearity_ablation(nl_points))
+        print()
+        bw_points = run_bitwidth_ablation(seed=args.seed, n_nodes=args.n_nodes,
+                                          epochs=args.epochs)
+        print(format_bitwidth_ablation("JPVOW", bw_points))
+        print()
+        opt_points = run_optimizer_ablation(seed=args.seed, n_nodes=args.n_nodes,
+                                            epochs=args.epochs)
+        print(format_optimizer_ablation("JPVOW", opt_points))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,107 @@
+"""Plain-text reporting helpers for the benchmark harnesses."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "ascii_heatmap", "format_paper_comparison"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Render a fixed-width text table.
+
+    Floats are shown with 3 decimals, everything else via ``str``.
+    """
+    def fmt(cell):
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in str_rows)) if str_rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_heatmap(
+    matrix: np.ndarray,
+    *,
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    title: Optional[str] = None,
+    mark: Optional[tuple] = None,
+) -> str:
+    """Render a small matrix as a numeric heat map with shading.
+
+    Each cell shows the value (3 decimals) plus a density glyph; ``mark``
+    highlights one ``(row, col)`` cell with ``*`` (e.g. the selected grid
+    point).  NaNs (diverged points) render as ``----``.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(f"matrix must be 2-D, got shape {matrix.shape}")
+    finite = matrix[np.isfinite(matrix)]
+    lo = finite.min() if finite.size else 0.0
+    hi = finite.max() if finite.size else 1.0
+    span = hi - lo if hi > lo else 1.0
+    glyphs = " .:-=+*#%@"
+
+    def cell(i, j):
+        v = matrix[i, j]
+        if not np.isfinite(v):
+            return "  ----  "
+        g = glyphs[min(int((v - lo) / span * (len(glyphs) - 1)), len(glyphs) - 1)]
+        star = "*" if mark == (i, j) else g
+        return f"{v:.3f}{star}  "
+
+    label_w = max(len(str(r)) for r in row_labels)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " " * (label_w + 2) + " ".join(f"{c:>8}" for c in col_labels)
+    lines.append(header)
+    for i, rl in enumerate(row_labels):
+        lines.append(
+            f"{str(rl):>{label_w}} | " + " ".join(cell(i, j) for j in range(matrix.shape[1]))
+        )
+    return "\n".join(lines)
+
+
+def format_paper_comparison(
+    headers: Sequence[str],
+    measured_rows: Sequence[Sequence],
+    paper_rows: Sequence[Sequence],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Interleave measured and paper reference values column-wise.
+
+    ``measured_rows[i]`` and ``paper_rows[i]`` must describe the same
+    experiment; each data column is rendered as ``measured (paper)``.
+    """
+    merged = []
+    for measured, paper in zip(measured_rows, paper_rows):
+        row = [measured[0]]
+        for m, p in zip(measured[1:], paper[1:]):
+            m_s = f"{m:.3f}" if isinstance(m, float) else str(m)
+            p_s = f"{p:.3f}" if isinstance(p, float) else str(p)
+            row.append(f"{m_s} ({p_s})")
+        merged.append(row)
+    return format_table(headers, merged, title=title)

@@ -1,0 +1,88 @@
+"""Table 2 harness: storage reduction by truncated backpropagation.
+
+This table reproduces **exactly**: the counts are closed-form functions of
+``(T, N_x, N_y)`` (see :mod:`repro.memory.accounting`), and the dataset
+metadata was derived by inverting the paper's own numbers, so the harness
+doubles as a self-check — any mismatch is reported loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.bench.reporting import format_table
+from repro.data.metadata import DATASETS, N_X_PAPER, PAPER_TABLE2, dataset_keys
+from repro.memory.accounting import dataset_storage_row
+
+__all__ = ["Table2Row", "run_table2", "format_table2"]
+
+
+@dataclass
+class Table2Row:
+    """One row of Table 2: measured counts vs the paper's."""
+
+    dataset: str
+    naive: int
+    simplified: int
+    reduction_percent: int
+    paper_naive: int
+    paper_simplified: int
+    paper_reduction_percent: int
+
+    @property
+    def matches_paper(self) -> bool:
+        return (
+            self.naive == self.paper_naive
+            and self.simplified == self.paper_simplified
+            and self.reduction_percent == self.paper_reduction_percent
+        )
+
+
+def run_table2(
+    keys: Optional[Sequence[str]] = None, *, n_nodes: int = N_X_PAPER,
+    window: int = 1,
+) -> List[Table2Row]:
+    """Compute the storage table for all (or selected) datasets."""
+    keys = list(keys) if keys is not None else list(dataset_keys())
+    rows = []
+    for key in keys:
+        spec = DATASETS[key]
+        measured = dataset_storage_row(spec, n_nodes=n_nodes, window=window)
+        paper = PAPER_TABLE2[key]
+        rows.append(
+            Table2Row(
+                dataset=key,
+                naive=measured["naive"],
+                simplified=measured["simplified"],
+                reduction_percent=measured["reduction_percent"],
+                paper_naive=paper[0],
+                paper_simplified=paper[1],
+                paper_reduction_percent=paper[2],
+            )
+        )
+    return rows
+
+
+def format_table2(rows: Sequence[Table2Row]) -> str:
+    """Render the measured table with per-row paper agreement."""
+    table_rows = [
+        [
+            r.dataset,
+            r.naive,
+            r.simplified,
+            f"{r.reduction_percent} %",
+            f"{r.paper_naive}/{r.paper_simplified}/{r.paper_reduction_percent} %",
+            "OK" if r.matches_paper else "MISMATCH",
+        ]
+        for r in rows
+    ]
+    n_match = sum(r.matches_paper for r in rows)
+    return format_table(
+        ["dataset", "naive (a)", "simplified (b)", "(a-b)/a", "paper", "match"],
+        table_rows,
+        title=(
+            f"Table 2 — storage reduction by truncated backpropagation "
+            f"({n_match}/{len(rows)} rows match the paper exactly)"
+        ),
+    )

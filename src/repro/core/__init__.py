@@ -1,0 +1,71 @@
+"""The paper's contribution: backprop-based DFR parameter optimization."""
+
+from repro.core.backprop import BackpropEngine, DFRGradients, reservoir_backward
+from repro.core.grid_search import (
+    PAPER_A_RANGE,
+    PAPER_B_RANGE,
+    GridLevelResult,
+    GridSearch,
+    GridSearchOutcome,
+    RecursiveGridSearch,
+    RecursiveLevel,
+    grid_values,
+)
+from repro.core.hyperopt import RandomSearch, SearchOutcome, SimulatedAnnealing
+from repro.core.optimizer import (
+    Adam,
+    ConstantSchedule,
+    MomentumSGD,
+    SGD,
+    StepSchedule,
+    clip_gradients,
+    get_optimizer,
+    paper_output_schedule,
+    paper_reservoir_schedule,
+)
+from repro.core.pipeline import (
+    DFRClassifier,
+    DFRFeatureExtractor,
+    FixedParamsEvaluation,
+    evaluate_fixed_params,
+)
+from repro.core.trainer import (
+    BackpropTrainer,
+    EpochStats,
+    TrainerConfig,
+    TrainingResult,
+)
+
+__all__ = [
+    "BackpropEngine",
+    "DFRGradients",
+    "reservoir_backward",
+    "PAPER_A_RANGE",
+    "PAPER_B_RANGE",
+    "GridLevelResult",
+    "GridSearch",
+    "GridSearchOutcome",
+    "RecursiveGridSearch",
+    "RecursiveLevel",
+    "grid_values",
+    "RandomSearch",
+    "SearchOutcome",
+    "SimulatedAnnealing",
+    "Adam",
+    "ConstantSchedule",
+    "MomentumSGD",
+    "SGD",
+    "StepSchedule",
+    "clip_gradients",
+    "get_optimizer",
+    "paper_output_schedule",
+    "paper_reservoir_schedule",
+    "DFRClassifier",
+    "DFRFeatureExtractor",
+    "FixedParamsEvaluation",
+    "evaluate_fixed_params",
+    "BackpropTrainer",
+    "EpochStats",
+    "TrainerConfig",
+    "TrainingResult",
+]

@@ -1,0 +1,357 @@
+"""Grid-search baseline for DFR parameter optimization (paper Sec. 4.1).
+
+The comparison protocol reproduced from the paper:
+
+* the search box is ``A in [10^-3.75, 10^-0.25]`` and
+  ``B in [10^-2.75, 10^-0.25]`` in log space; ``beta`` ranges over the same
+  four candidates as the proposed method;
+* a grid of ``d`` *divisions* splits each range into ``d`` equal log-space
+  sections and evaluates the section midpoints ("the grid divisions are
+  performed equally"), i.e. ``d^2`` reservoir sweeps, each paying a full
+  ridge fit per ``beta``;
+* the division count is increased ``d = 1, 2, 3, ...`` until the selected
+  configuration's test accuracy reaches the backpropagation result —
+  cumulative over all levels, since one cannot know in advance which ``d``
+  suffices ("early stopping of grid search is practically challenging");
+* within a grid, the winning ``(A, B, beta)`` is the one with the highest
+  validation accuracy (cross-entropy as tiebreak) — the same criterion the
+  proposed method uses for ``beta`` — and the test set plays no role in
+  selection.
+
+:class:`RecursiveGridSearch` implements the alternative the paper discusses
+around Fig. 6: recursively zooming into the best coarse-grid cell.  It is
+linear-time but can lock onto a local optimum when the coarse level is
+misleading — the failure mode Fig. 6 illustrates.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.pipeline import (
+    DFRFeatureExtractor,
+    FixedParamsEvaluation,
+    evaluate_fixed_params,
+)
+from repro.readout.ridge import PAPER_BETAS
+from repro.utils.rng import SeedLike, ensure_rng
+
+__all__ = [
+    "PAPER_A_RANGE",
+    "PAPER_B_RANGE",
+    "grid_values",
+    "GridLevelResult",
+    "GridSearchOutcome",
+    "GridSearch",
+    "RecursiveLevel",
+    "RecursiveGridSearch",
+]
+
+#: the paper's log10 search ranges for A and B
+PAPER_A_RANGE = (-3.75, -0.25)
+PAPER_B_RANGE = (-2.75, -0.25)
+
+
+def grid_values(lo_exp: float, hi_exp: float, divisions: int) -> np.ndarray:
+    """Midpoints of ``divisions`` equal log-space sections of ``[10^lo, 10^hi]``.
+
+    With one division the single value is the geometric midpoint of the
+    range; with two, the midpoints of the two halves; and so on.
+    """
+    if divisions < 1:
+        raise ValueError(f"divisions must be >= 1, got {divisions}")
+    if hi_exp <= lo_exp:
+        raise ValueError(f"need lo < hi, got [{lo_exp}, {hi_exp}]")
+    edges = np.linspace(lo_exp, hi_exp, divisions + 1)
+    mids = 0.5 * (edges[:-1] + edges[1:])
+    return 10.0**mids
+
+
+@dataclass
+class GridLevelResult:
+    """Outcome of one full grid at a fixed division count."""
+
+    divisions: int
+    evaluations: List[FixedParamsEvaluation]
+    best: FixedParamsEvaluation
+    elapsed_seconds: float
+
+    @property
+    def n_points(self) -> int:
+        return len(self.evaluations)
+
+    def accuracy_matrix(self) -> np.ndarray:
+        """Test accuracies as a ``(divisions, divisions)`` matrix (A x B)."""
+        mat = np.full((self.divisions, self.divisions), np.nan)
+        for i, ev in enumerate(self.evaluations):
+            mat[i // self.divisions, i % self.divisions] = ev.test_accuracy
+        return mat
+
+
+@dataclass
+class GridSearchOutcome:
+    """Outcome of the cumulative until-target protocol (paper Table 1)."""
+
+    target_accuracy: float
+    reached: bool
+    divisions: int                      # the paper's "gs divs" column
+    achieved_accuracy: float
+    best: FixedParamsEvaluation
+    total_seconds: float                # the paper's "gs time" column
+    total_points: int
+    levels: List[GridLevelResult] = field(default_factory=list)
+
+
+class GridSearch:
+    """Exhaustive ``(A, B, beta)`` grid search over the paper's box.
+
+    Parameters
+    ----------
+    extractor:
+        A fitted :class:`~repro.core.pipeline.DFRFeatureExtractor` (shared
+        with the backpropagation pipeline for a fair comparison).
+    a_range, b_range:
+        Log10 ranges; default to the paper's.
+    betas:
+        Ridge candidates per grid point.
+    val_fraction, seed:
+        Holdout protocol for the selection criterion.
+    """
+
+    def __init__(
+        self,
+        extractor: DFRFeatureExtractor,
+        *,
+        a_range: Tuple[float, float] = PAPER_A_RANGE,
+        b_range: Tuple[float, float] = PAPER_B_RANGE,
+        betas: Sequence[float] = PAPER_BETAS,
+        val_fraction: float = 0.2,
+        seed: SeedLike = None,
+    ):
+        self.extractor = extractor
+        self.a_range = tuple(a_range)
+        self.b_range = tuple(b_range)
+        self.betas = tuple(betas)
+        self.val_fraction = float(val_fraction)
+        self._rng = ensure_rng(seed)
+
+    def _evaluate_point(self, data, a_val, b_val, n_classes, split_seed):
+        u_train, y_train, u_test, y_test = data
+        return evaluate_fixed_params(
+            self.extractor,
+            u_train,
+            y_train,
+            u_test,
+            y_test,
+            a_val,
+            b_val,
+            betas=self.betas,
+            val_fraction=self.val_fraction,
+            n_classes=n_classes,
+            seed=split_seed,
+        )
+
+    def run_level(
+        self,
+        u_train,
+        y_train,
+        u_test,
+        y_test,
+        divisions: int,
+        *,
+        n_classes: Optional[int] = None,
+    ) -> GridLevelResult:
+        """Evaluate one complete ``divisions x divisions`` grid."""
+        start = time.perf_counter()
+        a_vals = grid_values(*self.a_range, divisions)
+        b_vals = grid_values(*self.b_range, divisions)
+        # one fixed split per level keeps the criterion comparable across
+        # points (same rule as the proposed method's beta selection)
+        split_seed = int(self._rng.integers(2**31 - 1))
+        data = (u_train, y_train, u_test, y_test)
+        evaluations = []
+        for a_val in a_vals:
+            for b_val in b_vals:
+                evaluations.append(
+                    self._evaluate_point(data, a_val, b_val, n_classes, split_seed)
+                )
+        best = min(
+            evaluations,
+            key=lambda ev: (-ev.val_accuracy, ev.val_loss, ev.A, ev.B),
+        )
+        return GridLevelResult(
+            divisions=divisions,
+            evaluations=evaluations,
+            best=best,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    def search_until(
+        self,
+        u_train,
+        y_train,
+        u_test,
+        y_test,
+        target_accuracy: float,
+        *,
+        max_divisions: int = 20,
+        n_classes: Optional[int] = None,
+    ) -> GridSearchOutcome:
+        """The paper's Table 1 protocol: grow the grid until parity.
+
+        Division counts 1, 2, ... are run in turn; total time and point
+        counts accumulate across levels.  The search stops at the first
+        level whose *selected* configuration reaches ``target_accuracy`` on
+        the test set, or at ``max_divisions``.
+        """
+        if max_divisions < 1:
+            raise ValueError(f"max_divisions must be >= 1, got {max_divisions}")
+        levels: List[GridLevelResult] = []
+        total_seconds = 0.0
+        total_points = 0
+        best_overall: Optional[FixedParamsEvaluation] = None
+        for divisions in range(1, max_divisions + 1):
+            level = self.run_level(
+                u_train, y_train, u_test, y_test, divisions, n_classes=n_classes
+            )
+            levels.append(level)
+            total_seconds += level.elapsed_seconds
+            total_points += level.n_points
+            if best_overall is None or (
+                level.best.val_accuracy,
+                -level.best.val_loss,
+            ) > (best_overall.val_accuracy, -best_overall.val_loss):
+                best_overall = level.best
+            if level.best.test_accuracy >= target_accuracy:
+                return GridSearchOutcome(
+                    target_accuracy=target_accuracy,
+                    reached=True,
+                    divisions=divisions,
+                    achieved_accuracy=level.best.test_accuracy,
+                    best=level.best,
+                    total_seconds=total_seconds,
+                    total_points=total_points,
+                    levels=levels,
+                )
+        return GridSearchOutcome(
+            target_accuracy=target_accuracy,
+            reached=False,
+            divisions=max_divisions,
+            achieved_accuracy=levels[-1].best.test_accuracy,
+            best=best_overall,
+            total_seconds=total_seconds,
+            total_points=total_points,
+            levels=levels,
+        )
+
+
+@dataclass
+class RecursiveLevel:
+    """One zoom level of the recursive grid search."""
+
+    a_box: Tuple[float, float]          # log10 bounds searched at this level
+    b_box: Tuple[float, float]
+    a_values: np.ndarray
+    b_values: np.ndarray
+    val_loss_matrix: np.ndarray         # (d, d), selection tiebreak
+    val_accuracy_matrix: np.ndarray     # (d, d), selection criterion
+    accuracy_matrix: np.ndarray         # (d, d), test accuracy (reporting)
+    best_index: Tuple[int, int]
+    best: FixedParamsEvaluation
+
+
+class RecursiveGridSearch:
+    """Coarse-to-fine "zoom" grid search (the Fig. 6 alternative).
+
+    Each level lays a ``divisions x divisions`` grid over the current box,
+    then shrinks the box to the section of the best (lowest validation
+    loss) grid point and recurses.  Linear in the number of levels, but the
+    zoom commits to the coarse level's winner — when the accuracy landscape
+    is rugged (Fig. 6), the refined grid can miss the global optimum
+    entirely.
+    """
+
+    def __init__(
+        self,
+        extractor: DFRFeatureExtractor,
+        *,
+        divisions: int = 5,
+        a_range: Tuple[float, float] = PAPER_A_RANGE,
+        b_range: Tuple[float, float] = PAPER_B_RANGE,
+        betas: Sequence[float] = PAPER_BETAS,
+        val_fraction: float = 0.2,
+        seed: SeedLike = None,
+    ):
+        if divisions < 2:
+            raise ValueError(f"divisions must be >= 2 to zoom, got {divisions}")
+        self.divisions = int(divisions)
+        self.a_range = tuple(a_range)
+        self.b_range = tuple(b_range)
+        self._grid = GridSearch(
+            extractor,
+            a_range=a_range,
+            b_range=b_range,
+            betas=betas,
+            val_fraction=val_fraction,
+            seed=seed,
+        )
+
+    def run(
+        self,
+        u_train,
+        y_train,
+        u_test,
+        y_test,
+        *,
+        n_levels: int = 2,
+        n_classes: Optional[int] = None,
+    ) -> List[RecursiveLevel]:
+        """Run ``n_levels`` of zooming; returns one record per level."""
+        if n_levels < 1:
+            raise ValueError(f"n_levels must be >= 1, got {n_levels}")
+        a_box = self.a_range
+        b_box = self.b_range
+        levels = []
+        d = self.divisions
+        for _ in range(n_levels):
+            self._grid.a_range = a_box
+            self._grid.b_range = b_box
+            level_result = self._grid.run_level(
+                u_train, y_train, u_test, y_test, d, n_classes=n_classes
+            )
+            val_mat = np.array(
+                [ev.val_loss for ev in level_result.evaluations]
+            ).reshape(d, d)
+            val_acc = np.array(
+                [ev.val_accuracy for ev in level_result.evaluations]
+            ).reshape(d, d)
+            acc_mat = level_result.accuracy_matrix()
+            # selection: highest validation accuracy, CE loss as tiebreak
+            order = np.lexsort((val_mat.ravel(), -val_acc.ravel()))
+            flat_best = int(order[0])
+            bi, bj = flat_best // d, flat_best % d
+            a_vals = grid_values(*a_box, d)
+            b_vals = grid_values(*b_box, d)
+            levels.append(
+                RecursiveLevel(
+                    a_box=a_box,
+                    b_box=b_box,
+                    a_values=a_vals,
+                    b_values=b_vals,
+                    val_loss_matrix=val_mat,
+                    val_accuracy_matrix=val_acc,
+                    accuracy_matrix=acc_mat,
+                    best_index=(bi, bj),
+                    best=level_result.evaluations[flat_best],
+                )
+            )
+            # zoom into the winning section of each axis
+            a_edges = np.linspace(a_box[0], a_box[1], d + 1)
+            b_edges = np.linspace(b_box[0], b_box[1], d + 1)
+            a_box = (float(a_edges[bi]), float(a_edges[bi + 1]))
+            b_box = (float(b_edges[bj]), float(b_edges[bj + 1]))
+        return levels

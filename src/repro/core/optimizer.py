@@ -1,0 +1,208 @@
+"""Gradient-descent optimizers and learning-rate schedules.
+
+The paper trains with plain stochastic gradient descent and a step schedule:
+the learning rate starts at 1 and is multiplied by 0.1 at fixed epochs —
+{5, 10, 15, 20} for the reservoir parameters and {10, 15, 20} for the output
+layer (Sec. 4).  :class:`StepSchedule` encodes exactly that; Momentum and
+Adam are provided as extensions for the ablation benches.
+
+Optimizers operate on *parameter dictionaries* mapping names to numpy arrays
+(scalars are 0-d arrays), so one optimizer instance can drive the whole
+parameter set while per-group learning rates stay with the caller.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ConstantSchedule",
+    "StepSchedule",
+    "paper_reservoir_schedule",
+    "paper_output_schedule",
+    "SGD",
+    "MomentumSGD",
+    "Adam",
+    "get_optimizer",
+    "clip_gradients",
+]
+
+
+class ConstantSchedule:
+    """A learning rate that never changes."""
+
+    def __init__(self, lr: float):
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        self.lr = float(lr)
+
+    def lr_at(self, epoch: int) -> float:
+        """Learning rate during 1-indexed ``epoch``."""
+        return self.lr
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"ConstantSchedule(lr={self.lr})"
+
+
+class StepSchedule:
+    """Multiply the learning rate by ``gamma`` at each milestone epoch.
+
+    The milestone applies from the *start* of the listed (1-indexed) epoch:
+    with ``initial_lr=1``, ``milestones=(5, 10)`` and ``gamma=0.1``, epochs
+    1–4 run at 1.0, epochs 5–9 at 0.1, and epoch 10 onwards at 0.01.
+    """
+
+    def __init__(self, initial_lr: float, milestones: Sequence[int], gamma: float = 0.1):
+        if initial_lr <= 0:
+            raise ValueError(f"initial_lr must be positive, got {initial_lr}")
+        if gamma <= 0:
+            raise ValueError(f"gamma must be positive, got {gamma}")
+        milestones = tuple(int(m) for m in milestones)
+        if any(m < 1 for m in milestones):
+            raise ValueError("milestones are 1-indexed epochs and must be >= 1")
+        if list(milestones) != sorted(set(milestones)):
+            raise ValueError("milestones must be strictly increasing")
+        self.initial_lr = float(initial_lr)
+        self.milestones = milestones
+        self.gamma = float(gamma)
+
+    def lr_at(self, epoch: int) -> float:
+        """Learning rate during 1-indexed ``epoch``."""
+        if epoch < 1:
+            raise ValueError(f"epoch is 1-indexed, got {epoch}")
+        n_decays = sum(1 for m in self.milestones if epoch >= m)
+        return self.initial_lr * self.gamma**n_decays
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"StepSchedule(initial_lr={self.initial_lr}, "
+            f"milestones={self.milestones}, gamma={self.gamma})"
+        )
+
+
+def paper_reservoir_schedule(initial_lr: float = 1.0) -> StepSchedule:
+    """The paper's reservoir-parameter schedule: x0.1 at epochs 5, 10, 15, 20."""
+    return StepSchedule(initial_lr, milestones=(5, 10, 15, 20), gamma=0.1)
+
+
+def paper_output_schedule(initial_lr: float = 1.0) -> StepSchedule:
+    """The paper's output-layer schedule: x0.1 at epochs 10, 15, 20."""
+    return StepSchedule(initial_lr, milestones=(10, 15, 20), gamma=0.1)
+
+
+def clip_gradients(grads: Dict[str, np.ndarray], max_norm: float) -> float:
+    """Scale all gradients in place so their global L2 norm is <= max_norm.
+
+    Returns the pre-clipping norm.  A ``max_norm`` of ``None`` or ``inf``
+    disables clipping.  The paper does not describe its numerical guards;
+    clipping is this implementation's (documented) stabilizer for the
+    learning-rate-1 regime.
+    """
+    total = float(np.sqrt(sum(float(np.sum(g**2)) for g in grads.values())))
+    if max_norm is None or not np.isfinite(max_norm):
+        return total
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for g in grads.values():
+            g *= scale
+    return total
+
+
+class SGD:
+    """Plain stochastic gradient descent (the paper's optimizer)."""
+
+    def step(self, params: Dict[str, np.ndarray], grads: Dict[str, np.ndarray],
+             lrs: Dict[str, float]) -> None:
+        """In-place update ``p -= lr * g`` for every parameter."""
+        for name, p in params.items():
+            p -= lrs[name] * grads[name]
+
+    def reset(self) -> None:
+        """No internal state."""
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "SGD()"
+
+
+class MomentumSGD:
+    """SGD with classical momentum (extension; not used by the paper)."""
+
+    def __init__(self, momentum: float = 0.9):
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must lie in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self._velocity: Dict[str, np.ndarray] = {}
+
+    def step(self, params, grads, lrs) -> None:
+        for name, p in params.items():
+            v = self._velocity.get(name)
+            if v is None:
+                v = np.zeros_like(p)
+            v = self.momentum * v - lrs[name] * grads[name]
+            self._velocity[name] = v
+            p += v
+
+    def reset(self) -> None:
+        self._velocity.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"MomentumSGD(momentum={self.momentum})"
+
+
+class Adam:
+    """Adam optimizer (extension; not used by the paper)."""
+
+    def __init__(self, beta1: float = 0.9, beta2: float = 0.999, eps: float = 1e-8):
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("beta1 and beta2 must lie in [0, 1)")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self._m: Dict[str, np.ndarray] = {}
+        self._v: Dict[str, np.ndarray] = {}
+        self._t = 0
+
+    def step(self, params, grads, lrs) -> None:
+        self._t += 1
+        for name, p in params.items():
+            g = grads[name]
+            m = self._m.get(name)
+            v = self._v.get(name)
+            if m is None:
+                m = np.zeros_like(p)
+                v = np.zeros_like(p)
+            m = self.beta1 * m + (1 - self.beta1) * g
+            v = self.beta2 * v + (1 - self.beta2) * g**2
+            self._m[name] = m
+            self._v[name] = v
+            m_hat = m / (1 - self.beta1**self._t)
+            v_hat = v / (1 - self.beta2**self._t)
+            p -= lrs[name] * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def reset(self) -> None:
+        self._m.clear()
+        self._v.clear()
+        self._t = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Adam(beta1={self.beta1}, beta2={self.beta2}, eps={self.eps})"
+
+
+_OPTIMIZERS = {"sgd": SGD, "momentum": MomentumSGD, "adam": Adam}
+
+
+def get_optimizer(spec):
+    """Resolve an optimizer name or pass an instance through."""
+    if isinstance(spec, (SGD, MomentumSGD, Adam)):
+        return spec
+    if isinstance(spec, str):
+        try:
+            return _OPTIMIZERS[spec]()
+        except KeyError:
+            known = ", ".join(sorted(_OPTIMIZERS))
+            raise ValueError(f"unknown optimizer {spec!r}; known: {known}") from None
+    raise TypeError(f"optimizer must be a name or instance, got {type(spec).__name__}")

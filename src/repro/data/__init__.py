@@ -1,0 +1,39 @@
+"""Datasets: paper benchmark metadata, synthetic generators, preprocessing."""
+
+from repro.data.loaders import LoadedDataset, load_dataset, make_toy_dataset
+from repro.data.metadata import (
+    DATASETS,
+    N_X_PAPER,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    DatasetSpec,
+    dataset_keys,
+    get_spec,
+)
+from repro.data.npz_io import load_npz_dataset, save_npz_dataset
+from repro.data.regression import mackey_glass_series, narma10
+from repro.data.preprocessing import (
+    ChannelStandardizer,
+    pad_or_truncate,
+    stratified_split,
+)
+
+__all__ = [
+    "LoadedDataset",
+    "load_dataset",
+    "make_toy_dataset",
+    "DATASETS",
+    "N_X_PAPER",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "DatasetSpec",
+    "dataset_keys",
+    "get_spec",
+    "load_npz_dataset",
+    "save_npz_dataset",
+    "mackey_glass_series",
+    "narma10",
+    "ChannelStandardizer",
+    "pad_or_truncate",
+    "stratified_split",
+]

@@ -1,0 +1,106 @@
+"""Preprocessing utilities: channel standardization and stratified splits."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import as_batch, ensure_1d_labels
+
+__all__ = ["ChannelStandardizer", "stratified_split", "pad_or_truncate"]
+
+
+class ChannelStandardizer:
+    """Per-channel z-scoring fitted on the training batch.
+
+    Statistics are computed over all samples and time steps of each channel;
+    channels with (near-)zero variance are left centered but unscaled.
+    """
+
+    def __init__(self, epsilon: float = 1e-12):
+        self.epsilon = float(epsilon)
+        self.mean_: Optional[np.ndarray] = None
+        self.std_: Optional[np.ndarray] = None
+
+    def fit(self, u: np.ndarray) -> "ChannelStandardizer":
+        """Fit per-channel statistics on a batch ``(N, T, C)``."""
+        u = as_batch(u)
+        self.mean_ = u.mean(axis=(0, 1))
+        std = u.std(axis=(0, 1))
+        std[std < self.epsilon] = 1.0
+        self.std_ = std
+        return self
+
+    def transform(self, u: np.ndarray) -> np.ndarray:
+        """Standardize a batch using the fitted statistics."""
+        if self.mean_ is None:
+            raise RuntimeError("ChannelStandardizer must be fitted before transform")
+        u = as_batch(u)
+        if u.shape[2] != self.mean_.shape[0]:
+            raise ValueError(
+                f"batch has {u.shape[2]} channels, standardizer fitted on "
+                f"{self.mean_.shape[0]}"
+            )
+        return (u - self.mean_) / self.std_
+
+    def fit_transform(self, u: np.ndarray) -> np.ndarray:
+        """Fit on ``u`` and return the standardized batch."""
+        return self.fit(u).transform(u)
+
+
+def stratified_split(
+    y: np.ndarray, val_fraction: float, *, seed: SeedLike = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Split sample indices into (fit, validation) stratified by class.
+
+    Every class keeps at least one sample on the fit side; classes with at
+    least two samples contribute at least one sample to the validation side
+    when ``val_fraction > 0``.  Classes with a single sample stay entirely on
+    the fit side.
+
+    Returns
+    -------
+    (fit_idx, val_idx):
+        Integer index arrays, disjoint, covering all samples.
+    """
+    y = ensure_1d_labels(y)
+    if not 0.0 <= val_fraction < 1.0:
+        raise ValueError(f"val_fraction must lie in [0, 1), got {val_fraction}")
+    rng = ensure_rng(seed)
+    fit_parts = []
+    val_parts = []
+    for cls in np.unique(y):
+        idx = np.flatnonzero(y == cls)
+        idx = rng.permutation(idx)
+        if val_fraction == 0.0 or idx.size < 2:
+            fit_parts.append(idx)
+            continue
+        n_val = int(round(idx.size * val_fraction))
+        n_val = max(1, min(n_val, idx.size - 1))
+        val_parts.append(idx[:n_val])
+        fit_parts.append(idx[n_val:])
+    fit_idx = np.sort(np.concatenate(fit_parts)) if fit_parts else np.empty(0, int)
+    val_idx = np.sort(np.concatenate(val_parts)) if val_parts else np.empty(0, int)
+    return fit_idx, val_idx
+
+
+def pad_or_truncate(u: np.ndarray, length: int) -> np.ndarray:
+    """Force a batch ``(N, T, C)`` to exactly ``length`` time steps.
+
+    Longer series are truncated at the end; shorter series are zero-padded
+    at the end (the convention of the npz benchmark distribution the paper
+    uses, where variable-length series are padded to the maximum length).
+    """
+    u = as_batch(u)
+    n, t_len, c = u.shape
+    if length < 1:
+        raise ValueError(f"length must be >= 1, got {length}")
+    if t_len == length:
+        return u
+    if t_len > length:
+        return u[:, :length, :]
+    out = np.zeros((n, length, c))
+    out[:, :t_len, :] = u
+    return out

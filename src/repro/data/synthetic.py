@@ -1,0 +1,339 @@
+"""Synthetic multivariate time-series generators.
+
+Stand-ins for the npz benchmark datasets of Bianchi et al. (unavailable
+offline; see DESIGN.md Sec. 4 for the substitution rationale).  Each
+*family* produces class-conditional temporal structure of a different
+character, matched to the domain of the dataset it replaces:
+
+``harmonic``
+    Sums of sinusoids with class-specific frequency content and random
+    per-sample phases (speech-like: ARAB, JPVOW; periodic gait: WALK).
+    Random phases force the classifier to use temporal structure rather
+    than pointwise values.
+``motion``
+    Smooth random prototype trajectories per class, observed through random
+    monotone time warps and amplitude jitter (pen strokes, MoCap, gestures:
+    CHAR, CMU, KICK, LIB, UWAV, AUS).
+``beat``
+    Quasi-periodic pulse trains whose period, width and pulse morphology
+    differ per class (ECG).
+``regime``
+    Piecewise-constant process levels with transition transients; classes
+    differ in the level program (Wafer).
+``burst``
+    Smoothed count-like channels with class-specific burst windows
+    (NetFlow).
+
+All generators share two difficulty knobs: ``separation`` scales the
+between-class structural differences and ``noise`` the additive observation
+noise.  Class prototypes are drawn from a dedicated RNG stream so that the
+class structure is identical across train/test and across sample counts.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng, spawn_rng
+
+__all__ = ["generate_family", "FAMILIES", "class_counts"]
+
+
+def class_counts(n_samples: int, n_classes: int) -> np.ndarray:
+    """Distribute ``n_samples`` over ``n_classes`` as evenly as possible."""
+    if n_samples < n_classes:
+        raise ValueError(
+            f"need at least one sample per class: {n_samples} < {n_classes}"
+        )
+    counts = np.full(n_classes, n_samples // n_classes)
+    counts[: n_samples % n_classes] += 1
+    return counts
+
+
+def _smooth(x: np.ndarray, window: int) -> np.ndarray:
+    """Moving-average smoothing along the first axis."""
+    if window <= 1:
+        return x
+    kernel = np.ones(window) / window
+    return np.apply_along_axis(
+        lambda col: np.convolve(col, kernel, mode="same"), 0, x
+    )
+
+
+# --------------------------------------------------------------------- #
+# harmonic family
+# --------------------------------------------------------------------- #
+
+def _harmonic_prototypes(class_rng, n_classes, n_channels, separation):
+    """Class-specific frequencies/amplitudes for a bank of sinusoids."""
+    n_harmonics = 3
+    base = class_rng.uniform(2.0, 12.0, size=(n_classes, n_harmonics, n_channels))
+    # separation spreads the per-class frequency offsets
+    offsets = class_rng.normal(scale=2.0 * separation,
+                               size=(n_classes, n_harmonics, n_channels))
+    freqs = np.abs(base + offsets) + 0.5
+    amps = class_rng.uniform(0.5, 1.5, size=(n_classes, n_harmonics, n_channels))
+    return freqs, amps
+
+
+def _gen_harmonic(spec, class_rng, sample_rng, label, n_samples):
+    freqs, amps = _harmonic_prototypes(
+        class_rng, spec.n_classes, spec.n_channels, spec.separation
+    )
+    t_grid = np.arange(spec.length)[:, np.newaxis] / spec.length  # (T, 1)
+    out = np.empty((n_samples, spec.length, spec.n_channels))
+    for i in range(n_samples):
+        phases = sample_rng.uniform(0, 2 * np.pi,
+                                    size=(freqs.shape[1], spec.n_channels))
+        amp_jitter = 1.0 + 0.15 * sample_rng.normal(
+            size=(freqs.shape[1], spec.n_channels)
+        )
+        signal = np.zeros((spec.length, spec.n_channels))
+        for h in range(freqs.shape[1]):
+            signal += (amps[label, h] * amp_jitter[h]) * np.sin(
+                2 * np.pi * freqs[label, h] * t_grid + phases[h]
+            )
+        out[i] = signal + spec.noise * sample_rng.normal(
+            size=(spec.length, spec.n_channels)
+        )
+    return out
+
+
+# --------------------------------------------------------------------- #
+# motion family
+# --------------------------------------------------------------------- #
+
+def _motion_prototypes(class_rng, n_classes, length, n_channels, separation):
+    """Smooth random trajectories, one per class, unit-ish scale.
+
+    Each prototype combines a smooth random path with a class-specific
+    oscillatory component (gestures and gaits have class-dependent rhythm),
+    so classes differ both in mean shape and in second-moment structure —
+    the latter is what lag-product representations like the DPRR measure.
+    """
+    protos = np.empty((n_classes, length, n_channels))
+    shared = _smooth(class_rng.normal(size=(length, n_channels)),
+                     max(3, length // 10))
+    t_grid = np.arange(length)[:, np.newaxis] / length
+    freqs = class_rng.uniform(2.0, 8.0, size=n_classes)
+    phases = class_rng.uniform(0, 2 * np.pi, size=(n_classes, n_channels))
+    for cls in range(n_classes):
+        own = _smooth(class_rng.normal(size=(length, n_channels)),
+                      max(3, length // 10))
+        rhythm = np.sin(2 * np.pi * freqs[cls] * t_grid + phases[cls])
+        raw = shared + separation * (2.0 * own + 0.8 * rhythm)
+        raw = raw - raw.mean(axis=0)
+        scale = raw.std(axis=0)
+        scale[scale < 1e-9] = 1.0
+        protos[cls] = raw / scale
+    return protos
+
+
+def _random_warp(sample_rng, length, strength=0.15):
+    """A random monotone time warp as fractional source indices."""
+    n_knots = 4
+    knots = np.linspace(0, 1, n_knots)
+    perturbed = knots + sample_rng.normal(scale=strength / n_knots, size=n_knots)
+    perturbed[0], perturbed[-1] = 0.0, 1.0
+    perturbed = np.maximum.accumulate(perturbed)
+    perturbed /= max(perturbed[-1], 1e-9)
+    grid = np.linspace(0, 1, length)
+    return np.interp(grid, knots, perturbed) * (length - 1)
+
+
+def _gen_motion(spec, class_rng, sample_rng, label, n_samples):
+    protos = _motion_prototypes(
+        class_rng, spec.n_classes, spec.length, spec.n_channels, spec.separation
+    )
+    proto = protos[label]
+    src = np.arange(spec.length, dtype=np.float64)
+    out = np.empty((n_samples, spec.length, spec.n_channels))
+    # observation noise of physical motion sensors is band-limited, not
+    # white: a low-pass window keeps short-lag statistics informative (white
+    # noise would swamp the lag-1 products the DPRR is built from)
+    noise_window = max(2, spec.length // 50)
+    for i in range(n_samples):
+        warp = _random_warp(sample_rng, spec.length)
+        warped = np.empty_like(proto)
+        for ch in range(spec.n_channels):
+            warped[:, ch] = np.interp(warp, src, proto[:, ch])
+        gain = 1.0 + 0.1 * sample_rng.normal()
+        drift = _smooth(sample_rng.normal(size=(spec.length, spec.n_channels)),
+                        max(3, spec.length // 6)) * 0.3
+        noise = _smooth(
+            sample_rng.normal(size=(spec.length, spec.n_channels)), noise_window
+        ) * np.sqrt(noise_window)  # keep the variance at spec.noise**2
+        out[i] = gain * warped + drift + spec.noise * noise
+    return out
+
+
+# --------------------------------------------------------------------- #
+# beat family (ECG-like)
+# --------------------------------------------------------------------- #
+
+def _gen_beat(spec, class_rng, sample_rng, label, n_samples):
+    # class prototype: beat period, pulse width, and R/T amplitude ratio
+    periods = class_rng.uniform(18, 30, size=spec.n_classes)
+    widths = class_rng.uniform(1.5, 3.0, size=spec.n_classes)
+    ratios = class_rng.uniform(0.2, 0.6, size=spec.n_classes)
+    sep = spec.separation
+    period = periods[label] * (1 + 0.5 * sep * (label - spec.n_classes / 2)
+                               / max(spec.n_classes, 1))
+    width = widths[label]
+    ratio = ratios[label]
+    t_grid = np.arange(spec.length, dtype=np.float64)
+    out = np.empty((n_samples, spec.length, spec.n_channels))
+    for i in range(n_samples):
+        jitter = 1.0 + 0.05 * sample_rng.normal()
+        phase = sample_rng.uniform(0, period)
+        signal = np.zeros(spec.length)
+        center = phase
+        while center < spec.length + 3 * width:
+            # R wave (sharp positive) followed by a broader T wave
+            signal += np.exp(-0.5 * ((t_grid - center) / width) ** 2)
+            signal -= ratio * np.exp(
+                -0.5 * ((t_grid - center - 2.5 * width) / (2 * width)) ** 2
+            )
+            center += period * jitter
+        wander = _smooth(sample_rng.normal(size=(spec.length, 1)),
+                         max(3, spec.length // 5))[:, 0] * 0.3
+        base = signal + wander
+        for ch in range(spec.n_channels):
+            lag = ch * 2
+            shifted = np.roll(base, lag)
+            out[i, :, ch] = (0.8**ch) * shifted + spec.noise * sample_rng.normal(
+                size=spec.length
+            )
+    return out
+
+
+# --------------------------------------------------------------------- #
+# regime family (Wafer-like)
+# --------------------------------------------------------------------- #
+
+def _gen_regime(spec, class_rng, sample_rng, label, n_samples):
+    n_segments = 6
+    levels = class_rng.uniform(-1.5, 1.5,
+                               size=(spec.n_classes, n_segments, spec.n_channels))
+    levels *= spec.separation * 1.5
+    bounds = np.linspace(0, spec.length, n_segments + 1).astype(int)
+    out = np.empty((n_samples, spec.length, spec.n_channels))
+    for i in range(n_samples):
+        signal = np.zeros((spec.length, spec.n_channels))
+        for seg in range(n_segments):
+            lo, hi = bounds[seg], bounds[seg + 1]
+            wobble = 0.1 * sample_rng.normal(size=spec.n_channels)
+            signal[lo:hi] = levels[label, seg] + wobble
+            if lo > 0:  # transition transient (exponentially decaying spike)
+                span = min(8, spec.length - lo)
+                decay = np.exp(-np.arange(span) / 2.0)[:, np.newaxis]
+                signal[lo: lo + span] += (
+                    (levels[label, seg] - levels[label, seg - 1]) * 0.8 * decay
+                )
+        smooth = _smooth(signal, 3)
+        out[i] = smooth + spec.noise * sample_rng.normal(
+            size=(spec.length, spec.n_channels)
+        )
+    return out
+
+
+# --------------------------------------------------------------------- #
+# burst family (NetFlow-like)
+# --------------------------------------------------------------------- #
+
+def _gen_burst(spec, class_rng, sample_rng, label, n_samples):
+    n_windows = 4
+    # class-specific burst windows (position, width, intensity per channel)
+    pos = class_rng.uniform(0.05, 0.95, size=(spec.n_classes, n_windows))
+    width = class_rng.uniform(0.03, 0.12, size=(spec.n_classes, n_windows))
+    intensity = class_rng.uniform(
+        1.0, 4.0, size=(spec.n_classes, n_windows, spec.n_channels)
+    ) * spec.separation
+    t_grid = np.linspace(0, 1, spec.length)[:, np.newaxis]
+    out = np.empty((n_samples, spec.length, spec.n_channels))
+    base_rate = 1.0
+    for i in range(n_samples):
+        rate = np.full((spec.length, spec.n_channels), base_rate)
+        for w in range(n_windows):
+            jitter = 1 + 0.1 * sample_rng.normal()
+            bump = np.exp(
+                -0.5 * ((t_grid - pos[label, w]) / (width[label, w] * jitter)) ** 2
+            )
+            rate += bump * intensity[label, w]
+        counts = sample_rng.poisson(rate).astype(np.float64)
+        # exponential smoothing mimics flow aggregation
+        smoothed = np.empty_like(counts)
+        acc = counts[0]
+        for k in range(spec.length):
+            acc = 0.7 * acc + 0.3 * counts[k]
+            smoothed[k] = acc
+        out[i] = np.log1p(smoothed) + spec.noise * sample_rng.normal(
+            size=(spec.length, spec.n_channels)
+        )
+    return out
+
+
+FAMILIES: Dict[str, Callable] = {
+    "harmonic": _gen_harmonic,
+    "motion": _gen_motion,
+    "beat": _gen_beat,
+    "regime": _gen_regime,
+    "burst": _gen_burst,
+}
+
+
+def generate_family(spec, n_train: int, n_test: int, seed=None):
+    """Generate a balanced train/test split for a dataset spec.
+
+    Parameters
+    ----------
+    spec:
+        A :class:`~repro.data.metadata.DatasetSpec` (or anything exposing
+        ``key, family, length, n_channels, n_classes, noise, separation``).
+    n_train, n_test:
+        Sample counts; distributed over the classes as evenly as possible.
+    seed:
+        Base seed.  The class prototypes are drawn from a stream derived
+        from ``(seed, spec.key)`` only, so the class structure is stable
+        across sample counts; samples come from an independent stream.
+
+    Returns
+    -------
+    (u_train, y_train, u_test, y_test)
+    """
+    try:
+        gen = FAMILIES[spec.family]
+    except KeyError:
+        known = ", ".join(sorted(FAMILIES))
+        raise ValueError(f"unknown family {spec.family!r}; known: {known}") from None
+    key_hash = zlib.crc32(spec.key.encode())
+    if seed is None:
+        master = ensure_rng(None)
+    else:
+        # fold the dataset key into the seed so each dataset gets its own
+        # deterministic stream for a given base seed
+        master = np.random.default_rng([int(seed), key_hash])
+    seed_rng, sample_rng = spawn_rng(master, 2)
+    # prototypes depend only on (seed, key), never on sample counts: every
+    # generator call rebuilds the identical prototype stream from this seed
+    class_seed = int(seed_rng.integers(2**63 - 1))
+
+    def build(n_samples):
+        counts = class_counts(n_samples, spec.n_classes)
+        chunks = []
+        labels = []
+        for label, count in enumerate(counts):
+            class_rng = np.random.default_rng(class_seed)
+            chunks.append(gen(spec, class_rng, sample_rng, label, int(count)))
+            labels.append(np.full(int(count), label, dtype=np.int64))
+        u = np.concatenate(chunks, axis=0)
+        y = np.concatenate(labels)
+        order = sample_rng.permutation(u.shape[0])
+        return u[order], y[order]
+
+    u_train, y_train = build(n_train)
+    u_test, y_test = build(n_test)
+    return u_train, y_train, u_test, y_test

@@ -1,0 +1,19 @@
+"""Hardware-oriented utilities: fixed-point simulation and circuit costs."""
+
+from repro.hardware.cost_model import (
+    CircuitCost,
+    dfr_inference_cost,
+    dfr_training_memory_bits,
+)
+from repro.hardware.fixed_point import QFormat, QuantizedModularDFR
+from repro.hardware.verilog_gen import VerilogDFR, generate as generate_verilog
+
+__all__ = [
+    "CircuitCost",
+    "dfr_inference_cost",
+    "dfr_training_memory_bits",
+    "QFormat",
+    "QuantizedModularDFR",
+    "VerilogDFR",
+    "generate_verilog",
+]

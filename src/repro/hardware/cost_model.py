@@ -1,0 +1,112 @@
+"""First-order circuit cost model for a digital DFR classifier.
+
+Estimates the arithmetic resources and on-chip storage of a modular-DFR
+classification pipeline, in the style of the circuit-size comparisons of
+the DPRR paper (Ikeda et al., TCAD 2022).  The model counts:
+
+* **multipliers/adders** instantiated by the reservoir datapath (the
+  modular DFR needs exactly two multipliers — by ``A`` and by ``B`` — plus
+  the nonlinearity block, which is a LUT for non-identity shapes);
+* **MAC operations per inference** for reservoir, DPRR accumulation, and
+  readout;
+* **memory words**, which for the training configuration tie directly to
+  :mod:`repro.memory.accounting` (the paper's Table 2).
+
+The numbers are first-order (no pipelining/bit-width weighting beyond the
+word size) but give the right relative picture for the ablation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.accounting import naive_storage, truncated_storage
+
+__all__ = ["CircuitCost", "dfr_inference_cost", "dfr_training_memory_bits"]
+
+
+@dataclass(frozen=True)
+class CircuitCost:
+    """Resource estimate for one configuration."""
+
+    multipliers: int
+    adders: int
+    lut_blocks: int
+    memory_words: int
+    macs_per_step: int
+    macs_per_inference: int
+
+    def memory_bits(self, word_bits: int) -> int:
+        """Total storage in bits for a given word width."""
+        if word_bits < 1:
+            raise ValueError(f"word_bits must be >= 1, got {word_bits}")
+        return self.memory_words * word_bits
+
+
+def dfr_inference_cost(
+    n_nodes: int,
+    n_classes: int,
+    n_steps: int,
+    *,
+    n_channels: int = 1,
+    identity_shape: bool = True,
+) -> CircuitCost:
+    """Cost of one classification inference (reservoir + DPRR + readout).
+
+    Parameters
+    ----------
+    n_nodes, n_classes, n_steps:
+        Reservoir size ``N_x``, class count ``N_y``, series length ``T``.
+    n_channels:
+        Input channels (masking is a ``N_x x C`` multiply per step; for
+        binary masks it reduces to add/subtract but we count it as MACs).
+    identity_shape:
+        With the identity shape the ``f`` block is just the ``A``
+        multiplier; other shapes add one LUT block.
+    """
+    if min(n_nodes, n_classes, n_steps, n_channels) < 1:
+        raise ValueError("all dimensions must be >= 1")
+    n_r = n_nodes * (n_nodes + 1)
+    # datapath: one A-multiplier, one B-multiplier, one adder for the sum
+    # j + x, one adder for the node update; DPRR bank shares one MAC lane
+    multipliers = 2
+    adders = 2
+    lut_blocks = 0 if identity_shape else 1
+    # per virtual-node step: mask MAC (C), f() + A mult, B mult + add;
+    # DPRR: each step k updates N_x(N_x+1) accumulators (one MAC each)
+    macs_per_node = n_channels + 2
+    macs_per_step = n_nodes * macs_per_node + n_r
+    readout_macs = n_classes * (n_r + 1)
+    macs_per_inference = n_steps * macs_per_step + readout_macs
+    # inference storage: delay line (N_x), DPRR accumulators, readout
+    memory_words = n_nodes + n_r + n_classes * (n_r + 1)
+    return CircuitCost(
+        multipliers=multipliers,
+        adders=adders,
+        lut_blocks=lut_blocks,
+        memory_words=memory_words,
+        macs_per_step=macs_per_step,
+        macs_per_inference=macs_per_inference,
+    )
+
+
+def dfr_training_memory_bits(
+    n_nodes: int,
+    n_classes: int,
+    n_steps: int,
+    *,
+    word_bits: int = 16,
+    window: int = None,
+) -> int:
+    """On-chip training storage in bits (Table 2 counts x word width).
+
+    ``window=None`` means full backpropagation (the "naive" column);
+    an integer window gives the truncated variant.
+    """
+    if window is None:
+        words = naive_storage(n_steps, n_nodes, n_classes).total
+    else:
+        words = truncated_storage(n_nodes, n_classes, window=window).total
+    if word_bits < 1:
+        raise ValueError(f"word_bits must be >= 1, got {word_bits}")
+    return words * word_bits

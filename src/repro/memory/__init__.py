@@ -1,0 +1,17 @@
+"""Storage accounting for truncated backpropagation (paper Table 2)."""
+
+from repro.memory.accounting import (
+    StorageBreakdown,
+    dataset_storage_row,
+    naive_storage,
+    reduction_percent,
+    truncated_storage,
+)
+
+__all__ = [
+    "StorageBreakdown",
+    "dataset_storage_row",
+    "naive_storage",
+    "reduction_percent",
+    "truncated_storage",
+]

@@ -1,0 +1,106 @@
+"""Storage accounting for truncated backpropagation (paper Sec. 3.4, Table 2).
+
+The paper counts the number of stored values a DFR trainer must retain:
+
+* **reservoir states** — full backpropagation needs every state the DPRR
+  touched, ``(T + 1) * N_x`` values (the ``+1`` is the lag-1 partner of the
+  first step); truncation to a window of ``W`` final steps needs only
+  ``(W + 1) * N_x`` (the paper's "two reservoir states" for ``W = 1``);
+* **the reservoir representation** — ``N_x (N_x + 1)`` DPRR accumulators;
+* **the readout** — ``N_y`` rows of ``N_x (N_x + 1)`` weights plus a bias,
+  i.e. ``N_y (N_x (N_x + 1) + 1)`` values.
+
+These formulas reproduce the paper's Table 2 **exactly** for all 12
+datasets (pinned in ``tests/test_memory.py``); they are also how the
+``(T, N_y)`` metadata in :mod:`repro.data.metadata` was derived from the
+paper in the first place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.metadata import N_X_PAPER, DatasetSpec
+
+__all__ = [
+    "StorageBreakdown",
+    "naive_storage",
+    "truncated_storage",
+    "reduction_percent",
+    "dataset_storage_row",
+]
+
+
+@dataclass(frozen=True)
+class StorageBreakdown:
+    """Stored-value counts for one training configuration."""
+
+    reservoir_states: int
+    representation: int
+    readout: int
+
+    @property
+    def total(self) -> int:
+        """Total stored values (the paper's Table 2 columns)."""
+        return self.reservoir_states + self.representation + self.readout
+
+
+def _common_terms(n_nodes: int, n_classes: int) -> tuple:
+    if n_nodes < 1:
+        raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+    if n_classes < 1:
+        raise ValueError(f"n_classes must be >= 1, got {n_classes}")
+    representation = n_nodes * (n_nodes + 1)
+    readout = n_classes * (representation + 1)
+    return representation, readout
+
+
+def naive_storage(n_steps: int, n_nodes: int, n_classes: int) -> StorageBreakdown:
+    """Storage with full backpropagation: all ``(T+1)`` states retained."""
+    if n_steps < 1:
+        raise ValueError(f"n_steps must be >= 1, got {n_steps}")
+    representation, readout = _common_terms(n_nodes, n_classes)
+    return StorageBreakdown(
+        reservoir_states=(n_steps + 1) * n_nodes,
+        representation=representation,
+        readout=readout,
+    )
+
+
+def truncated_storage(
+    n_nodes: int, n_classes: int, *, window: int = 1
+) -> StorageBreakdown:
+    """Storage with backpropagation truncated to ``window`` final steps.
+
+    ``window = 1`` is the paper's "simplified" column: only ``x(T-1)`` and
+    ``x(T)`` are retained.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    representation, readout = _common_terms(n_nodes, n_classes)
+    return StorageBreakdown(
+        reservoir_states=(window + 1) * n_nodes,
+        representation=representation,
+        readout=readout,
+    )
+
+
+def reduction_percent(naive_total: int, reduced_total: int) -> int:
+    """Relative saving ``(a - b) / a`` as a rounded percentage (Table 2)."""
+    if naive_total <= 0:
+        raise ValueError("naive_total must be positive")
+    return int(round(100.0 * (naive_total - reduced_total) / naive_total))
+
+
+def dataset_storage_row(
+    spec: DatasetSpec, *, n_nodes: int = N_X_PAPER, window: int = 1
+) -> dict:
+    """One Table 2 row for a dataset spec: naive, simplified, reduction %."""
+    naive = naive_storage(spec.length, n_nodes, spec.n_classes)
+    reduced = truncated_storage(n_nodes, spec.n_classes, window=window)
+    return {
+        "dataset": spec.key,
+        "naive": naive.total,
+        "simplified": reduced.total,
+        "reduction_percent": reduction_percent(naive.total, reduced.total),
+    }

@@ -1,0 +1,47 @@
+"""Output layers (softmax for training, ridge for the final readout) and metrics."""
+
+from repro.readout.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    macro_f1,
+    mse,
+    nrmse,
+)
+from repro.readout.ridge import (
+    PAPER_BETAS,
+    RidgeModel,
+    RidgeRegressor,
+    RidgeSelection,
+    fit_ridge,
+    fit_ridge_regressor,
+    fit_ridge_sweep,
+    select_beta,
+)
+from repro.readout.softmax import (
+    OutputGradients,
+    SoftmaxReadout,
+    cross_entropy,
+    one_hot,
+    softmax,
+)
+
+__all__ = [
+    "accuracy_score",
+    "confusion_matrix",
+    "macro_f1",
+    "mse",
+    "nrmse",
+    "PAPER_BETAS",
+    "RidgeModel",
+    "RidgeRegressor",
+    "RidgeSelection",
+    "fit_ridge",
+    "fit_ridge_regressor",
+    "fit_ridge_sweep",
+    "select_beta",
+    "OutputGradients",
+    "SoftmaxReadout",
+    "cross_entropy",
+    "one_hot",
+    "softmax",
+]

@@ -1,0 +1,70 @@
+"""Evaluation metrics for classification and time-series regression."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import ensure_1d_labels
+
+__all__ = [
+    "accuracy_score",
+    "confusion_matrix",
+    "macro_f1",
+    "mse",
+    "nrmse",
+]
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exact label matches."""
+    y_true = ensure_1d_labels(y_true)
+    y_pred = ensure_1d_labels(y_pred, n_samples=y_true.shape[0])
+    if y_true.size == 0:
+        raise ValueError("cannot score an empty label set")
+    return float((y_true == y_pred).mean())
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, n_classes: int = None
+) -> np.ndarray:
+    """Confusion matrix ``M[i, j]`` = count of true ``i`` predicted ``j``."""
+    y_true = ensure_1d_labels(y_true)
+    y_pred = ensure_1d_labels(y_pred, n_samples=y_true.shape[0])
+    if n_classes is None:
+        n_classes = int(max(y_true.max(initial=0), y_pred.max(initial=0))) + 1
+    mat = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(mat, (y_true, y_pred), 1)
+    return mat
+
+
+def macro_f1(y_true: np.ndarray, y_pred: np.ndarray, n_classes: int = None) -> float:
+    """Macro-averaged F1 score (classes with no support contribute 0)."""
+    mat = confusion_matrix(y_true, y_pred, n_classes)
+    tp = np.diag(mat).astype(np.float64)
+    fp = mat.sum(axis=0) - tp
+    fn = mat.sum(axis=1) - tp
+    denom = 2 * tp + fp + fn
+    f1 = np.divide(2 * tp, denom, out=np.zeros_like(tp), where=denom > 0)
+    return float(f1.mean())
+
+
+def mse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean squared error over all elements."""
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def nrmse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Root mean squared error normalized by the target standard deviation.
+
+    The standard reservoir-computing figure of merit for tasks like NARMA-10;
+    0 is perfect, 1 matches predicting the mean.
+    """
+    y_true = np.asarray(y_true, dtype=np.float64)
+    std = y_true.std()
+    if std == 0.0:
+        raise ValueError("target has zero variance; NRMSE is undefined")
+    return float(np.sqrt(mse(y_true, y_pred)) / std)

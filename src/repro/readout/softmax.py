@@ -1,0 +1,158 @@
+"""Softmax/cross-entropy output layer (paper Sec. 3.1).
+
+The trained output layer computes ``z = W r + b`` (paper Eq. 12) and the
+loss is the cross-entropy of the softmax of ``z`` against a one-hot target
+(paper Eqs. 14–15).  The paper's Eq. 16, ``dL/dy = y - d``, is exactly the
+gradient of that composite with respect to the pre-softmax activations, so
+the layer here makes the softmax explicit.
+
+All gradients of Eq. 17 are implemented in closed form:
+
+.. math::
+
+    \\frac{\\partial L}{\\partial b} = \\delta,\\qquad
+    \\frac{\\partial L}{\\partial W} = \\delta r^T,\\qquad
+    \\frac{\\partial L}{\\partial r} = W^T \\delta,
+    \\qquad \\delta = y - d.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["softmax", "cross_entropy", "one_hot", "SoftmaxReadout", "OutputGradients"]
+
+#: clamp for log() arguments so that a confidently wrong prediction yields a
+#: large-but-finite loss
+_EPS = 1e-300
+
+
+def softmax(z: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    z = np.asarray(z, dtype=np.float64)
+    shifted = z - z.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def cross_entropy(probs: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Cross-entropy per sample (paper Eq. 15).
+
+    Parameters
+    ----------
+    probs:
+        ``(N, N_y)`` predicted class probabilities.
+    targets:
+        ``(N, N_y)`` one-hot targets.
+    """
+    probs = np.asarray(probs, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    return -(targets * np.log(np.maximum(probs, _EPS))).sum(axis=-1)
+
+
+def one_hot(labels: np.ndarray, n_classes: int) -> np.ndarray:
+    """Encode integer labels ``(N,)`` as a one-hot matrix ``(N, n_classes)``."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= n_classes):
+        raise ValueError(
+            f"labels must lie in [0, {n_classes - 1}], got range "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    out = np.zeros((labels.shape[0], n_classes))
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+@dataclass
+class OutputGradients:
+    """Closed-form gradients of the output layer for one sample."""
+
+    loss: float
+    probs: np.ndarray     # (N_y,)
+    d_weights: np.ndarray  # (N_y, N_r)
+    d_bias: np.ndarray     # (N_y,)
+    d_features: np.ndarray  # (N_r,)
+
+
+class SoftmaxReadout:
+    """Trainable softmax output layer ``y = softmax(W r + b)``.
+
+    Parameters
+    ----------
+    n_features:
+        Representation width ``N_r``.
+    n_classes:
+        Class count ``N_y``.
+
+    The paper initializes both ``W`` and ``b`` to zero (Sec. 4).
+    """
+
+    def __init__(self, n_features: int, n_classes: int):
+        if n_features < 1 or n_classes < 2:
+            raise ValueError(
+                f"need n_features >= 1 and n_classes >= 2, got {n_features}, {n_classes}"
+            )
+        self.weights = np.zeros((n_classes, n_features))
+        self.bias = np.zeros(n_classes)
+
+    @property
+    def n_features(self) -> int:
+        return self.weights.shape[1]
+
+    @property
+    def n_classes(self) -> int:
+        return self.weights.shape[0]
+
+    def logits(self, features: np.ndarray) -> np.ndarray:
+        """Pre-softmax activations ``z = W r + b`` for a batch ``(N, N_r)``."""
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        return features @ self.weights.T + self.bias
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Class probabilities for a batch of representations."""
+        return softmax(self.logits(features))
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Hard class predictions for a batch of representations."""
+        return self.predict_proba(features).argmax(axis=-1)
+
+    def loss_and_grads(
+        self, features: np.ndarray, target_onehot: np.ndarray
+    ) -> OutputGradients:
+        """Loss and all Eq.-17 gradients for ONE sample.
+
+        Parameters
+        ----------
+        features:
+            ``(N_r,)`` representation vector ``r``.
+        target_onehot:
+            ``(N_y,)`` one-hot target ``d``.
+        """
+        r = np.asarray(features, dtype=np.float64).reshape(-1)
+        d = np.asarray(target_onehot, dtype=np.float64).reshape(-1)
+        if r.shape[0] != self.n_features:
+            raise ValueError(
+                f"feature size {r.shape[0]} != readout width {self.n_features}"
+            )
+        if d.shape[0] != self.n_classes:
+            raise ValueError(
+                f"target size {d.shape[0]} != class count {self.n_classes}"
+            )
+        z = self.weights @ r + self.bias
+        probs = softmax(z)
+        loss = float(cross_entropy(probs[np.newaxis], d[np.newaxis])[0])
+        delta = probs - d                      # Eq. 16 (w.r.t. pre-softmax z)
+        return OutputGradients(
+            loss=loss,
+            probs=probs,
+            d_weights=np.outer(delta, r),      # Eq. 17
+            d_bias=delta,                      # Eq. 17
+            d_features=self.weights.T @ delta,  # Eq. 17
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"SoftmaxReadout(n_features={self.n_features}, n_classes={self.n_classes})"

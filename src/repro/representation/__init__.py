@@ -1,0 +1,7 @@
+"""Fixed-length reservoir representations (DPRR and baselines)."""
+
+from repro.representation.baselines import LastState, MeanState, SubsampledStates
+from repro.representation.dprr import DPRR
+from repro.representation.model_space import ModelSpace
+
+__all__ = ["DPRR", "ModelSpace", "LastState", "MeanState", "SubsampledStates"]

@@ -1,0 +1,97 @@
+"""Baseline reservoir representations (paper Sec. 2.2 context).
+
+The paper motivates the DPRR by comparing against simpler fixed-length
+representations from the literature [3-6, 13].  These baselines let users
+(and the benches) quantify how much of the accuracy comes from the DPRR
+itself rather than from the reservoir:
+
+* :class:`LastState` — the final reservoir state ``x(T)`` (the classic
+  delay-reservoir readout for sequence classification);
+* :class:`MeanState` — the time average of the states (the "reservoir state
+  itself" term of the DPRR, alone);
+* :class:`SubsampledStates` — ``n_points`` states sampled evenly over time,
+  concatenated (output-space representation).
+
+All share the :meth:`features` interface of
+:class:`~repro.representation.dprr.DPRR` so they can be swapped into the
+pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.reservoir.modular import ReservoirTrace
+
+__all__ = ["LastState", "MeanState", "SubsampledStates"]
+
+
+def _states_of(source) -> np.ndarray:
+    states = source.states if isinstance(source, ReservoirTrace) else np.asarray(source)
+    if states.ndim != 3:
+        raise ValueError(
+            f"states must be (N, T+1, N_x) including the initial row, got {states.shape}"
+        )
+    if states.shape[1] < 2:
+        raise ValueError("need at least one time step")
+    return states
+
+
+class LastState:
+    """The final reservoir state ``x(T)`` as the representation."""
+
+    @staticmethod
+    def n_features(n_nodes: int) -> int:
+        return n_nodes
+
+    def features(self, source) -> np.ndarray:
+        states = _states_of(source)
+        return states[:, -1, :].copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "LastState()"
+
+
+class MeanState:
+    """The time-averaged reservoir state as the representation."""
+
+    @staticmethod
+    def n_features(n_nodes: int) -> int:
+        return n_nodes
+
+    def features(self, source) -> np.ndarray:
+        states = _states_of(source)
+        return states[:, 1:, :].mean(axis=1)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "MeanState()"
+
+
+class SubsampledStates:
+    """``n_points`` reservoir states sampled evenly over time, concatenated."""
+
+    def __init__(self, n_points: int = 4):
+        if n_points < 1:
+            raise ValueError(f"n_points must be >= 1, got {n_points}")
+        self.n_points = int(n_points)
+
+    def n_features(self, n_nodes: int) -> int:
+        return self.n_points * n_nodes
+
+    def features(self, source) -> np.ndarray:
+        states = _states_of(source)
+        n, t_plus_1, nx = states.shape
+        t_len = t_plus_1 - 1
+        # evenly spaced indices in 1..T, always including the final state
+        idx = np.linspace(1, t_len, num=min(self.n_points, t_len)).round().astype(int)
+        picked = states[:, idx, :]
+        feats = picked.reshape(n, -1)
+        if idx.size < self.n_points:
+            # pad short series by repeating the final state so the feature
+            # width is independent of T
+            pad = np.tile(states[:, -1, :], (1, self.n_points - idx.size))
+            feats = np.concatenate([feats, pad], axis=1)
+        return feats
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"SubsampledStates(n_points={self.n_points})"

@@ -1,0 +1,50 @@
+"""Reservoir substrates: masking, nonlinearities, and DFR variants."""
+
+from repro.reservoir.analog import AnalogMGDFR
+from repro.reservoir.digital import DigitalMGDFR, modular_params_from_mg
+from repro.reservoir.esn import EchoStateNetwork
+from repro.reservoir.masking import InputMask, binary_mask, uniform_mask
+from repro.reservoir.modular import ModularDFR, ReservoirTrace, StreamingResult
+from repro.reservoir.stability import (
+    is_stable,
+    memory_capacity,
+    one_step_matrix,
+    spectral_radius,
+    stability_margin,
+)
+from repro.reservoir.nonlinearity import (
+    NONLINEARITIES,
+    Identity,
+    MackeyGlass,
+    Nonlinearity,
+    SaturatingLinear,
+    Sine,
+    Tanh,
+    get_nonlinearity,
+)
+
+__all__ = [
+    "AnalogMGDFR",
+    "DigitalMGDFR",
+    "EchoStateNetwork",
+    "is_stable",
+    "memory_capacity",
+    "one_step_matrix",
+    "spectral_radius",
+    "stability_margin",
+    "modular_params_from_mg",
+    "InputMask",
+    "binary_mask",
+    "uniform_mask",
+    "ModularDFR",
+    "ReservoirTrace",
+    "StreamingResult",
+    "NONLINEARITIES",
+    "Identity",
+    "MackeyGlass",
+    "Nonlinearity",
+    "SaturatingLinear",
+    "Sine",
+    "Tanh",
+    "get_nonlinearity",
+]

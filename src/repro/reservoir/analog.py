@@ -1,0 +1,166 @@
+"""Analog Mackey–Glass DFR: delay-differential-equation substrate.
+
+The analog implementation the paper describes in Sec. 2.1 evolves a single
+physical node according to the Mackey–Glass delay differential equation
+(paper Eqs. 2–3)
+
+.. math::
+
+    \\dot{x}(t) = -x(t) + \\eta\\, f\\bigl(x(t-\\tau) + \\gamma j(t)\\bigr),
+    \\qquad f(z) = \\frac{z}{1 + |z|^p},
+
+where :math:`j(t)` is the masked input held constant over each virtual-node
+slot of width ``theta`` and :math:`\\tau = N_x \\theta` is the loop delay.
+The reservoir state consists of samples of ``x`` at the virtual-node instants
+(paper Eq. 4).
+
+Integration modes
+-----------------
+``hold="node"``
+    ``f`` is frozen over each ``theta`` slot, evaluated with the delayed
+    state sampled at the end of the corresponding slot one loop earlier —
+    the zero-order-hold assumption under which the exact exponential update
+    (paper Eq. 5) composes to the digital DFR of Eq. 8.  With
+    ``integrator="exact"`` this reproduces :class:`DigitalMGDFR`
+    *bit-exactly, independent of the sub-step count* (pinned by tests).
+``hold="substep"``
+    ``f`` is re-evaluated at every integrator sub-step using a delay line at
+    sub-step resolution — the closest discretized rendering of the true DDE.
+    Increasing ``substeps`` converges to the continuous dynamics.
+
+``integrator`` selects the exponential ("exact", exact for frozen ``f``) or
+forward-Euler update per sub-step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.reservoir.masking import InputMask
+from repro.utils.validation import as_batch, check_positive
+
+__all__ = ["AnalogMGDFR"]
+
+
+class AnalogMGDFR:
+    """Continuous-time Mackey–Glass DFR integrated at sub-node resolution.
+
+    Parameters
+    ----------
+    mask:
+        Fixed input mask; row count = number of virtual nodes ``N_x``.
+    eta, gamma, theta, p:
+        Mackey–Glass parameters as in :class:`DigitalMGDFR`.
+    substeps:
+        Integrator sub-steps per virtual-node slot ``theta``.
+    integrator:
+        ``"exact"`` (exponential update, exact for frozen ``f``) or
+        ``"euler"`` (forward Euler).
+    hold:
+        ``"node"`` or ``"substep"`` — see module docstring.
+    """
+
+    def __init__(
+        self,
+        mask,
+        *,
+        eta: float = 0.5,
+        gamma: float = 0.05,
+        theta: float = 0.2,
+        p: float = 2.0,
+        substeps: int = 1,
+        integrator: str = "exact",
+        hold: str = "node",
+    ):
+        if not isinstance(mask, InputMask):
+            mask = InputMask(mask)
+        check_positive(theta, name="theta")
+        if substeps < 1:
+            raise ValueError(f"substeps must be >= 1, got {substeps}")
+        if integrator not in ("exact", "euler"):
+            raise ValueError(f"integrator must be 'exact' or 'euler', got {integrator!r}")
+        if hold not in ("node", "substep"):
+            raise ValueError(f"hold must be 'node' or 'substep', got {hold!r}")
+        if integrator == "euler" and theta / substeps >= 1.0:
+            raise ValueError(
+                "forward Euler requires sub-step dt < 1 (the MG time constant); "
+                f"got dt = {theta / substeps}"
+            )
+        self.mask = mask
+        self.eta = float(eta)
+        self.gamma = float(gamma)
+        self.theta = float(theta)
+        self.p = float(p)
+        self.substeps = int(substeps)
+        self.integrator = integrator
+        self.hold = hold
+
+    @property
+    def n_nodes(self) -> int:
+        return self.mask.n_nodes
+
+    @property
+    def tau(self) -> float:
+        """Total loop delay ``tau = N_x * theta``."""
+        return self.n_nodes * self.theta
+
+    def _mg(self, z: np.ndarray) -> np.ndarray:
+        return z / (1.0 + np.abs(z) ** self.p)
+
+    def run(self, u: np.ndarray) -> np.ndarray:
+        """Integrate the DDE over a batch of inputs.
+
+        Parameters
+        ----------
+        u:
+            Input batch ``(N, T, C)`` (or a single ``(T, C)`` sample).
+
+        Returns
+        -------
+        ndarray of shape ``(N, T+1, N_x)``: the virtual-node samples, with a
+        zero initial row — the same trace convention as
+        :class:`~repro.reservoir.modular.ReservoirTrace.states`.
+        """
+        u = as_batch(u)
+        j_seq = self.gamma * self.mask.apply(u)  # (N, T, N_x)
+        n, t_len, nx = j_seq.shape
+        dt = self.theta / self.substeps
+        decay = np.exp(-dt)
+        rise = 1.0 - decay
+
+        # delay line at sub-step resolution covering exactly tau
+        delay_len = nx * self.substeps
+        line = np.zeros((n, delay_len))
+        states = np.zeros((n, t_len + 1, nx))
+        x = np.zeros(n)
+        pos = 0  # write cursor into the circular delay line
+
+        for k in range(t_len):
+            for node in range(nx):
+                drive = j_seq[:, k, node]
+                if self.hold == "node":
+                    # delayed sample frozen at the end of slot (k-1, node):
+                    # that is exactly the value the cursor is about to
+                    # overwrite after the *last* sub-step of this slot, i.e.
+                    # the oldest entry of the slot's sub-step run.
+                    delayed = line[:, (pos + self.substeps - 1) % delay_len]
+                    f_val = self.eta * self._mg(delayed + drive)
+                for _ in range(self.substeps):
+                    if self.hold == "substep":
+                        delayed = line[:, pos]
+                        f_val = self.eta * self._mg(delayed + drive)
+                    if self.integrator == "exact":
+                        x = x * decay + rise * f_val
+                    else:  # euler
+                        x = x + dt * (-x + f_val)
+                    line[:, pos] = x
+                    pos = (pos + 1) % delay_len
+                states[:, k + 1, node] = x
+        return states
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"AnalogMGDFR(n_nodes={self.n_nodes}, eta={self.eta}, gamma={self.gamma}, "
+            f"theta={self.theta}, p={self.p}, substeps={self.substeps}, "
+            f"integrator={self.integrator!r}, hold={self.hold!r})"
+        )

@@ -1,0 +1,132 @@
+"""Input masking for delayed-feedback reservoirs.
+
+In a DFR a single physical nonlinear node emulates ``N_x`` virtual nodes by
+time-multiplexing: each input sample ``u(k)`` is *masked* — multiplied by a
+fixed, randomly chosen per-node coefficient — before being injected into the
+node (paper Sec. 2.1).  For a digital DFR with a ``C``-channel multivariate
+input the mask generalizes to a matrix ``M`` of shape ``(N_x, C)`` and the
+masked drive is
+
+.. math:: j(k) = M\\,u(k) \\in \\mathbb{R}^{N_x}.
+
+The univariate case of the paper (``j(k) = m\\,u(k)``) is ``C = 1``.
+
+Binary ±gamma masks are the standard digital choice (Appeltant et al. 2011);
+uniform masks are included for completeness.  The mask is *fixed* — it is not
+trained and not part of the optimized parameter set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["InputMask", "binary_mask", "uniform_mask"]
+
+
+def binary_mask(
+    n_nodes: int, n_channels: int, *, gamma: float = 1.0, seed: SeedLike = None
+) -> np.ndarray:
+    """Draw a random binary mask with entries ``+gamma`` or ``-gamma``.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of virtual nodes ``N_x``.
+    n_channels:
+        Number of input channels ``C``.
+    gamma:
+        Input scaling (the paper's ``gamma``); must be positive.
+    seed:
+        Seed or generator for reproducibility.
+    """
+    _check_shape(n_nodes, n_channels)
+    check_positive(gamma, name="gamma")
+    rng = ensure_rng(seed)
+    signs = rng.integers(0, 2, size=(n_nodes, n_channels)) * 2 - 1
+    return gamma * signs.astype(np.float64)
+
+
+def uniform_mask(
+    n_nodes: int, n_channels: int, *, gamma: float = 1.0, seed: SeedLike = None
+) -> np.ndarray:
+    """Draw a random mask with entries uniform in ``[-gamma, gamma]``."""
+    _check_shape(n_nodes, n_channels)
+    check_positive(gamma, name="gamma")
+    rng = ensure_rng(seed)
+    return rng.uniform(-gamma, gamma, size=(n_nodes, n_channels))
+
+
+def _check_shape(n_nodes: int, n_channels: int) -> None:
+    if n_nodes < 1:
+        raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+    if n_channels < 1:
+        raise ValueError(f"n_channels must be >= 1, got {n_channels}")
+
+
+class InputMask:
+    """A fixed masking matrix mapping input samples to virtual-node drives.
+
+    Parameters
+    ----------
+    matrix:
+        Array of shape ``(n_nodes, n_channels)``.
+
+    Examples
+    --------
+    >>> mask = InputMask.binary(n_nodes=4, n_channels=2, seed=0)
+    >>> j = mask.apply(np.ones((10, 5, 2)))   # (N, T, C) -> (N, T, N_x)
+    >>> j.shape
+    (10, 5, 4)
+    """
+
+    def __init__(self, matrix: np.ndarray):
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ValueError(f"mask matrix must be 2-D, got shape {matrix.shape}")
+        if not np.all(np.isfinite(matrix)):
+            raise ValueError("mask matrix must be finite")
+        self.matrix = matrix
+
+    @classmethod
+    def binary(
+        cls, n_nodes: int, n_channels: int, *, gamma: float = 1.0, seed: SeedLike = None
+    ) -> "InputMask":
+        """Create a random ±gamma binary mask (the standard digital choice)."""
+        return cls(binary_mask(n_nodes, n_channels, gamma=gamma, seed=seed))
+
+    @classmethod
+    def uniform(
+        cls, n_nodes: int, n_channels: int, *, gamma: float = 1.0, seed: SeedLike = None
+    ) -> "InputMask":
+        """Create a random mask with entries uniform in ``[-gamma, gamma]``."""
+        return cls(uniform_mask(n_nodes, n_channels, gamma=gamma, seed=seed))
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of virtual nodes ``N_x``."""
+        return self.matrix.shape[0]
+
+    @property
+    def n_channels(self) -> int:
+        """Number of input channels ``C``."""
+        return self.matrix.shape[1]
+
+    def apply(self, u: np.ndarray) -> np.ndarray:
+        """Mask a batch of inputs: ``(N, T, C) -> (N, T, N_x)``.
+
+        Also accepts a single sample ``(T, C)`` and returns ``(T, N_x)``.
+        """
+        u = np.asarray(u, dtype=np.float64)
+        if u.ndim not in (2, 3):
+            raise ValueError(f"input must be (T, C) or (N, T, C), got {u.shape}")
+        if u.shape[-1] != self.n_channels:
+            raise ValueError(
+                f"input has {u.shape[-1]} channels but mask expects {self.n_channels}"
+            )
+        return u @ self.matrix.T
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"InputMask(n_nodes={self.n_nodes}, n_channels={self.n_channels})"

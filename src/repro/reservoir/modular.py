@@ -1,0 +1,313 @@
+"""The modular DFR reservoir (paper Sec. 2.3, Eq. 13).
+
+Model
+-----
+With mask drive :math:`j(k) = M u(k)` the reservoir state updates as
+
+.. math::
+
+    x(k)_n = A\\,\\varphi\\bigl(j(k)_n + x(k-1)_n\\bigr) + B\\,x(k)_{n-1},
+    \\qquad n = 1, \\dots, N_x,
+
+with :math:`x(0) = 0` and the node-chain boundary
+:math:`x(k)_0 \\equiv x(k-1)_{N_x}`: the delay line is continuous in time, so
+the "previous node" of node 1 at step ``k`` is the last node of step ``k-1``.
+Equivalently, flattening ``t = (k-1) N_x + n`` gives one chain
+
+.. math:: x_t = A\\,\\varphi(j_t + x_{t-N_x}) + B\\,x_{t-1}.
+
+Fast evaluation
+---------------
+The argument of :math:`\\varphi` only involves states of step ``k-1``, so for
+a *fixed* step ``k`` the recursion over ``n`` is linear in the unknowns — a
+first-order IIR filter with coefficient ``B`` driven by
+``c = A * phi(j(k) + x(k-1))``.  :func:`scipy.signal.lfilter` evaluates that
+chain in C for the whole batch at once, so the Python-level loop is only over
+the ``T`` time steps, for *any* nonlinearity.
+
+Two execution modes are provided:
+
+* :meth:`ModularDFR.run` stores the full state trace ``(N, T+1, N_x)`` —
+  needed for full backpropagation-through-time and convenient for analysis;
+* :meth:`ModularDFR.run_streaming` accumulates the DPRR representation online
+  and retains only the last ``window + 1`` states, exactly the storage regime
+  of the paper's truncated backpropagation (Sec. 3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+from scipy.signal import lfilter
+
+from repro.reservoir.masking import InputMask
+from repro.reservoir.nonlinearity import Identity, Nonlinearity, get_nonlinearity
+from repro.utils.validation import as_batch
+
+__all__ = ["ModularDFR", "ReservoirTrace", "StreamingResult"]
+
+#: states with magnitude above this are treated as numerically diverged
+_DIVERGENCE_LIMIT = 1e100
+
+
+@dataclass
+class ReservoirTrace:
+    """Full forward trace of a modular DFR run.
+
+    Attributes
+    ----------
+    states:
+        ``(N, T+1, N_x)`` array; ``states[:, 0]`` is the zero initial state
+        and ``states[:, k]`` is :math:`x(k)` for ``k = 1..T``.
+    pre_activations:
+        ``(N, T, N_x)`` array of :math:`s(k) = j(k) + x(k-1)`, the argument
+        of the nonlinearity at each step (needed by backpropagation).
+    diverged:
+        ``(N,)`` boolean array flagging samples whose state left the finite
+        range (possible for unbounded nonlinearities at large ``A, B``).
+    """
+
+    states: np.ndarray
+    pre_activations: np.ndarray
+    diverged: np.ndarray
+
+    @property
+    def n_samples(self) -> int:
+        return self.states.shape[0]
+
+    @property
+    def n_steps(self) -> int:
+        """Series length ``T``."""
+        return self.states.shape[1] - 1
+
+    @property
+    def n_nodes(self) -> int:
+        return self.states.shape[2]
+
+    def final_window(self, window: int) -> "StreamingResult":
+        """Slice the last ``window`` steps into a :class:`StreamingResult`.
+
+        Useful to run truncated backpropagation from a full trace; the result
+        is identical to what :meth:`ModularDFR.run_streaming` produces with
+        the same window (tests pin this equivalence).
+        """
+        window = _check_window(window, self.n_steps)
+        return StreamingResult(
+            window_states=self.states[:, -(window + 1):].copy(),
+            window_pre_activations=self.pre_activations[:, -window:].copy(),
+            dprr_sums=None,
+            diverged=self.diverged.copy(),
+            n_steps=self.n_steps,
+        )
+
+
+@dataclass
+class StreamingResult:
+    """Memory-bounded forward result (paper's truncated-backprop regime).
+
+    Attributes
+    ----------
+    window_states:
+        ``(N, window+1, N_x)`` — states ``x(T-window) .. x(T)``.
+    window_pre_activations:
+        ``(N, window, N_x)`` — ``s(T-window+1) .. s(T)``.
+    dprr_sums:
+        Optional pair ``(P, s)`` with ``P`` of shape ``(N, N_x, N_x)`` holding
+        :math:`\\sum_k x(k) x(k-1)^T` and ``s`` of shape ``(N, N_x)`` holding
+        :math:`\\sum_k x(k)` — the *unnormalized* DPRR accumulators
+        (paper Eqs. 10–11).  ``None`` when the result was sliced from a full
+        trace rather than streamed.
+    diverged:
+        ``(N,)`` boolean divergence flags.
+    n_steps:
+        Total series length ``T`` that was consumed.
+    """
+
+    window_states: np.ndarray
+    window_pre_activations: np.ndarray
+    dprr_sums: Optional[tuple]
+    diverged: np.ndarray
+    n_steps: int
+
+    @property
+    def window(self) -> int:
+        return self.window_pre_activations.shape[1]
+
+
+def _check_window(window: int, n_steps: int) -> int:
+    window = int(window)
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    return min(window, n_steps)
+
+
+class ModularDFR:
+    """Modular delayed-feedback reservoir (paper Eq. 13).
+
+    Parameters
+    ----------
+    mask:
+        The fixed :class:`~repro.reservoir.masking.InputMask`; its row count
+        defines the number of virtual nodes ``N_x``.
+    nonlinearity:
+        Shape function :math:`\\varphi` (name or instance); the paper's
+        evaluation uses the identity.
+
+    Examples
+    --------
+    >>> mask = InputMask.binary(n_nodes=30, n_channels=3, seed=0)
+    >>> dfr = ModularDFR(mask)
+    >>> trace = dfr.run(np.random.default_rng(0).normal(size=(8, 50, 3)),
+    ...                 A=0.1, B=0.05)
+    >>> trace.states.shape
+    (8, 51, 30)
+    """
+
+    def __init__(self, mask: InputMask, nonlinearity=None):
+        if not isinstance(mask, InputMask):
+            mask = InputMask(mask)
+        self.mask = mask
+        self.nonlinearity: Nonlinearity = (
+            Identity() if nonlinearity is None else get_nonlinearity(nonlinearity)
+        )
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of virtual nodes ``N_x``."""
+        return self.mask.n_nodes
+
+    @property
+    def n_channels(self) -> int:
+        """Number of input channels ``C``."""
+        return self.mask.n_channels
+
+    # ------------------------------------------------------------------ #
+    # forward passes
+    # ------------------------------------------------------------------ #
+
+    def run(self, u: np.ndarray, A: float, B: float) -> ReservoirTrace:
+        """Run the reservoir over a batch, keeping the full state trace.
+
+        Parameters
+        ----------
+        u:
+            Input batch ``(N, T, C)`` (a single ``(T, C)`` sample is also
+            accepted).
+        A, B:
+            The two reservoir parameters of the modular DFR.
+
+        Returns
+        -------
+        ReservoirTrace
+        """
+        u = as_batch(u)
+        A, B = _check_params(A, B)
+        j = self.mask.apply(u)  # (N, T, N_x)
+        n, t_len, nx = j.shape
+        phi = self.nonlinearity.phi
+
+        states = np.zeros((n, t_len + 1, nx))
+        pre = np.empty((n, t_len, nx))
+        with np.errstate(over="ignore", invalid="ignore"):
+            if isinstance(self.nonlinearity, Identity):
+                # Identity fast path: on the flat chain t = (k-1) N_x + n the
+                # whole trajectory solves ONE linear recurrence
+                #   x_t = A j_t + B x_{t-1} + A x_{t-N_x},
+                # i.e. a single IIR filter over T*N_x samples per series.
+                a_poly = np.zeros(nx + 1)
+                a_poly[0] = 1.0
+                a_poly[1] -= B
+                a_poly[nx] -= A
+                x_flat = lfilter([A], a_poly, j.reshape(n, t_len * nx), axis=-1)
+                states[:, 1:, :] = x_flat.reshape(n, t_len, nx)
+                pre[:] = j + states[:, :-1, :]
+            else:
+                b_poly = np.array([1.0, -B])
+                for k in range(t_len):
+                    s = j[:, k, :] + states[:, k, :]
+                    pre[:, k, :] = s
+                    c = A * phi(s)
+                    zi = (B * states[:, k, -1])[:, np.newaxis]
+                    states[:, k + 1, :], _ = lfilter(
+                        [1.0], b_poly, c, axis=-1, zi=zi
+                    )
+        diverged = _divergence_flags(states.reshape(n, -1))
+        return ReservoirTrace(states=states, pre_activations=pre, diverged=diverged)
+
+    def run_streaming(
+        self, u: np.ndarray, A: float, B: float, *, window: int = 1
+    ) -> StreamingResult:
+        """Run the reservoir keeping only the last ``window + 1`` states.
+
+        The DPRR accumulators (paper Eqs. 10–11, unnormalized) are updated
+        online each step, so the peak reservoir-state storage is
+        ``(window + 1) * N_x`` values per sample — the storage regime counted
+        by :mod:`repro.memory.accounting` and reported in the paper's
+        Table 2.
+
+        Returns
+        -------
+        StreamingResult
+        """
+        u = as_batch(u)
+        A, B = _check_params(A, B)
+        j = self.mask.apply(u)
+        n, t_len, nx = j.shape
+        window = _check_window(window, t_len)
+        phi = self.nonlinearity.phi
+
+        # ring buffer of the last (window + 1) states, logically ordered
+        ring = np.zeros((n, window + 1, nx))
+        pre_ring = np.zeros((n, window, nx))
+        p_acc = np.zeros((n, nx, nx))
+        s_acc = np.zeros((n, nx))
+        b_poly = np.array([1.0, -B])
+        with np.errstate(over="ignore", invalid="ignore"):
+            for k in range(t_len):
+                x_prev = ring[:, -1, :]
+                s = j[:, k, :] + x_prev
+                c = A * phi(s)
+                zi = (B * x_prev[:, -1])[:, np.newaxis]
+                x_new, _ = lfilter([1.0], b_poly, c, axis=-1, zi=zi)
+                # DPRR accumulation: P += x(k) x(k-1)^T, s += x(k)
+                p_acc += x_new[:, :, np.newaxis] * x_prev[:, np.newaxis, :]
+                s_acc += x_new
+                ring = np.roll(ring, -1, axis=1)
+                ring[:, -1, :] = x_new
+                pre_ring = np.roll(pre_ring, -1, axis=1)
+                pre_ring[:, -1, :] = s
+        diverged = _divergence_flags(ring.reshape(n, -1)) | _divergence_flags(
+            p_acc.reshape(n, -1)
+        )
+        return StreamingResult(
+            window_states=ring,
+            window_pre_activations=pre_ring,
+            dprr_sums=(p_acc, s_acc),
+            diverged=diverged,
+            n_steps=t_len,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"ModularDFR(n_nodes={self.n_nodes}, n_channels={self.n_channels}, "
+            f"nonlinearity={self.nonlinearity!r})"
+        )
+
+
+def _check_params(A: float, B: float) -> tuple:
+    A = float(A)
+    B = float(B)
+    if not np.isfinite(A) or not np.isfinite(B):
+        raise ValueError(f"A and B must be finite, got A={A!r}, B={B!r}")
+    return A, B
+
+
+def _divergence_flags(flat_per_sample: np.ndarray) -> np.ndarray:
+    """Per-sample flag: any non-finite or astronomically large value."""
+    with np.errstate(invalid="ignore"):
+        bad = ~np.isfinite(flat_per_sample) | (
+            np.abs(flat_per_sample) > _DIVERGENCE_LIMIT
+        )
+    return bad.any(axis=1)

@@ -1,0 +1,211 @@
+"""Nonlinearity library for the modular DFR.
+
+The modular DFR model (Ikeda et al., Eq. 13) writes each virtual-node update
+as
+
+.. math::
+
+    x(k)_n = A \\cdot f\\bigl(j(k)_n + x(k-1)_n\\bigr) + B \\cdot x(k)_{n-1},
+
+where the "one-input one-output" block :math:`f` carries a constant
+multiplication parameter :math:`A` (paper Sec. 3.3).  We factor that constant
+out and implement the *shape* :math:`\\varphi` of the nonlinearity, i.e.
+:math:`f(s) = A\\,\\varphi(s)`, because backpropagation needs
+
+* :math:`\\partial f/\\partial s = A\\,\\varphi'(s)` for the state gradient
+  (paper Eq. 29), and
+* :math:`\\partial f/\\partial A = \\varphi(s)` for the parameter gradient
+  (paper Eq. 28).
+
+Each :class:`Nonlinearity` therefore exposes :meth:`phi` and :meth:`dphi`,
+both vectorized over numpy arrays.
+
+The paper's evaluation (Sec. 4) uses the identity, :math:`f(x) = A x`.  The
+other shapes here demonstrate the modular DFR's design flexibility (its main
+selling point) and feed the nonlinearity ablation bench; the Mackey–Glass
+shape additionally realizes the classic analog/digital DFR of Appeltant et
+al. exactly (see :mod:`repro.reservoir.digital`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Nonlinearity",
+    "Identity",
+    "Tanh",
+    "Sine",
+    "MackeyGlass",
+    "SaturatingLinear",
+    "get_nonlinearity",
+    "NONLINEARITIES",
+]
+
+
+class Nonlinearity:
+    """Base class: a differentiable one-input, one-output shape function."""
+
+    #: short registry name, overridden by subclasses
+    name = "base"
+
+    def phi(self, s: np.ndarray) -> np.ndarray:
+        """Evaluate the shape function element-wise."""
+        raise NotImplementedError
+
+    def dphi(self, s: np.ndarray) -> np.ndarray:
+        """Evaluate the derivative of the shape function element-wise."""
+        raise NotImplementedError
+
+    #: True when ``|phi(s)|`` is bounded for all real ``s`` — bounded shapes
+    #: cannot diverge no matter how ``A`` and ``B`` are chosen inside (0, 1).
+    bounded = False
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}()"
+
+    def __eq__(self, other) -> bool:
+        return type(self) is type(other) and self.__dict__ == other.__dict__
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, tuple(sorted(self.__dict__.items()))))
+
+
+class Identity(Nonlinearity):
+    """The paper's evaluation default: ``f(x) = A x`` (phi is the identity)."""
+
+    name = "identity"
+
+    def phi(self, s: np.ndarray) -> np.ndarray:
+        return np.asarray(s, dtype=np.float64)
+
+    def dphi(self, s: np.ndarray) -> np.ndarray:
+        return np.ones_like(np.asarray(s, dtype=np.float64))
+
+
+class Tanh(Nonlinearity):
+    """Hyperbolic tangent shape, the standard echo-state-network choice."""
+
+    name = "tanh"
+    bounded = True
+
+    def phi(self, s: np.ndarray) -> np.ndarray:
+        return np.tanh(s)
+
+    def dphi(self, s: np.ndarray) -> np.ndarray:
+        t = np.tanh(s)
+        return 1.0 - t * t
+
+
+class Sine(Nonlinearity):
+    """Sinusoidal shape ``phi(s) = sin(omega * s)``.
+
+    Sinusoidal nonlinearities arise in optoelectronic DFRs (Mach–Zehnder
+    modulators, Larger et al. 2012).
+    """
+
+    name = "sine"
+    bounded = True
+
+    def __init__(self, omega: float = 1.0):
+        if not np.isfinite(omega) or omega == 0.0:
+            raise ValueError(f"omega must be finite and non-zero, got {omega!r}")
+        self.omega = float(omega)
+
+    def phi(self, s: np.ndarray) -> np.ndarray:
+        return np.sin(self.omega * np.asarray(s, dtype=np.float64))
+
+    def dphi(self, s: np.ndarray) -> np.ndarray:
+        return self.omega * np.cos(self.omega * np.asarray(s, dtype=np.float64))
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Sine(omega={self.omega})"
+
+
+class MackeyGlass(Nonlinearity):
+    """Mackey–Glass shape ``phi(s) = s / (1 + |s|^p)``.
+
+    The classical Mackey–Glass nonlinearity (paper Eq. 3) is
+    ``s / (1 + s^p)``; for non-integer or even ``p`` the textbook form is
+    ill-defined (or non-monotone in sign) for negative ``s``, so we use the
+    odd-symmetric extension with ``|s|^p``, which coincides with the textbook
+    form for ``s >= 0`` and keeps the block a bounded, sign-preserving
+    saturation for all real inputs.  This is the behaviour analog DFR
+    electronics actually exhibit.
+    """
+
+    name = "mackey-glass"
+    bounded = True
+
+    def __init__(self, p: float = 2.0):
+        if not np.isfinite(p) or p < 1.0:
+            raise ValueError(f"p must be finite and >= 1, got {p!r}")
+        self.p = float(p)
+
+    def phi(self, s: np.ndarray) -> np.ndarray:
+        s = np.asarray(s, dtype=np.float64)
+        return s / (1.0 + np.abs(s) ** self.p)
+
+    def dphi(self, s: np.ndarray) -> np.ndarray:
+        s = np.asarray(s, dtype=np.float64)
+        a = np.abs(s) ** self.p
+        denom = (1.0 + a) ** 2
+        return (1.0 + (1.0 - self.p) * a) / denom
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"MackeyGlass(p={self.p})"
+
+
+class SaturatingLinear(Nonlinearity):
+    """Hard-clipped identity: linear in ``[-limit, limit]``, saturated outside.
+
+    This is the cheapest hardware-friendly bounded block (a comparator pair);
+    its derivative is 1 inside the linear region and 0 in saturation.
+    """
+
+    name = "sat-linear"
+    bounded = True
+
+    def __init__(self, limit: float = 1.0):
+        if not np.isfinite(limit) or limit <= 0.0:
+            raise ValueError(f"limit must be finite and positive, got {limit!r}")
+        self.limit = float(limit)
+
+    def phi(self, s: np.ndarray) -> np.ndarray:
+        return np.clip(s, -self.limit, self.limit)
+
+    def dphi(self, s: np.ndarray) -> np.ndarray:
+        s = np.asarray(s, dtype=np.float64)
+        return (np.abs(s) <= self.limit).astype(np.float64)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"SaturatingLinear(limit={self.limit})"
+
+
+#: registry of default-constructed nonlinearities, keyed by name
+NONLINEARITIES = {
+    Identity.name: Identity,
+    Tanh.name: Tanh,
+    Sine.name: Sine,
+    MackeyGlass.name: MackeyGlass,
+    SaturatingLinear.name: SaturatingLinear,
+}
+
+
+def get_nonlinearity(spec) -> Nonlinearity:
+    """Resolve ``spec`` into a :class:`Nonlinearity` instance.
+
+    ``spec`` may already be an instance (returned unchanged) or a registry
+    name such as ``"identity"`` or ``"mackey-glass"``.
+    """
+    if isinstance(spec, Nonlinearity):
+        return spec
+    if isinstance(spec, str):
+        try:
+            return NONLINEARITIES[spec]()
+        except KeyError:
+            known = ", ".join(sorted(NONLINEARITIES))
+            raise ValueError(f"unknown nonlinearity {spec!r}; known: {known}") from None
+    raise TypeError(
+        f"nonlinearity must be a Nonlinearity or a name, got {type(spec).__name__}"
+    )

@@ -1,0 +1,195 @@
+"""Naive reference implementations used for differential testing.
+
+These transcribe the paper's equations as directly as possible — explicit
+double loops over time steps and virtual nodes, no vectorization tricks.
+They are intentionally slow and exist so that the fast production paths
+(:mod:`repro.reservoir.modular`, :mod:`repro.representation.dprr`,
+:mod:`repro.core.backprop`) can be checked against an independently written
+oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.reservoir.nonlinearity import Identity, get_nonlinearity
+from repro.utils.validation import as_batch
+
+__all__ = [
+    "naive_modular_forward",
+    "naive_digital_mg_forward",
+    "naive_dprr",
+    "naive_full_backward",
+]
+
+
+def naive_modular_forward(u, mask_matrix, A, B, nonlinearity=None):
+    """Direct transcription of paper Eq. 13 for a batch of inputs.
+
+    Returns ``(states, pre_activations)`` with the same shapes and
+    conventions as :class:`repro.reservoir.modular.ReservoirTrace`:
+    ``states`` is ``(N, T+1, N_x)`` with a zero initial state, and the
+    boundary rule is ``x(k)_0 = x(k-1)_{N_x}``.
+    """
+    u = as_batch(u)
+    phi = (Identity() if nonlinearity is None else get_nonlinearity(nonlinearity)).phi
+    mask_matrix = np.asarray(mask_matrix, dtype=np.float64)
+    n, t_len, _ = u.shape
+    nx = mask_matrix.shape[0]
+    states = np.zeros((n, t_len + 1, nx))
+    pre = np.zeros((n, t_len, nx))
+    for i in range(n):
+        for k in range(1, t_len + 1):
+            j_k = mask_matrix @ u[i, k - 1]
+            for node in range(nx):
+                s = j_k[node] + states[i, k - 1, node]
+                pre[i, k - 1, node] = s
+                if node == 0:
+                    x_left = states[i, k - 1, nx - 1]
+                else:
+                    x_left = states[i, k, node - 1]
+                states[i, k, node] = A * float(phi(s)) + B * x_left
+    return states, pre
+
+
+def naive_digital_mg_forward(u, mask_matrix, eta, theta, gamma, p):
+    """Direct transcription of the classic digital MG-DFR update (paper Eq. 8).
+
+    .. math::
+
+        x(k)_n = x(k)_{n-1} e^{-\\theta}
+                 + (1 - e^{-\\theta})\\,\\eta\\,
+                   \\frac{z}{1 + |z|^p},\\quad
+        z = x(k-1)_n + \\gamma\\, j(k)_n
+
+    with the same zero initial state and node-chain boundary as the modular
+    model.  Equivalent to the modular DFR with ``A = eta * (1 - e^{-theta})``,
+    ``B = e^{-theta}`` and a Mackey–Glass shape driven by a ``gamma``-scaled
+    mask — the equivalence the modular-DFR paper establishes, pinned by
+    tests.
+    """
+    u = as_batch(u)
+    mask_matrix = np.asarray(mask_matrix, dtype=np.float64)
+    n, t_len, _ = u.shape
+    nx = mask_matrix.shape[0]
+    decay = np.exp(-theta)
+    gain = eta * (1.0 - decay)
+    states = np.zeros((n, t_len + 1, nx))
+    for i in range(n):
+        for k in range(1, t_len + 1):
+            j_k = gamma * (mask_matrix @ u[i, k - 1])
+            for node in range(nx):
+                z = states[i, k - 1, node] + j_k[node]
+                mg = z / (1.0 + abs(z) ** p)
+                if node == 0:
+                    x_left = states[i, k - 1, nx - 1]
+                else:
+                    x_left = states[i, k, node - 1]
+                states[i, k, node] = x_left * decay + gain * mg
+    return states
+
+
+def naive_dprr(states, normalize=None):
+    """Direct transcription of the DPRR definition (paper Eqs. 18–19).
+
+    Parameters
+    ----------
+    states:
+        Full trace ``(N, T+1, N_x)`` including the zero initial state.
+    normalize:
+        ``None`` for the literal paper sums; ``"length"`` to divide by ``T``.
+
+    Returns
+    -------
+    ndarray of shape ``(N, N_x * (N_x + 1))`` laid out exactly as the paper
+    indexes it: entry ``(i-1) N_x + j`` is :math:`\\sum_k x(k)_i x(k-1)_j`
+    and entry ``N_x^2 + i`` is :math:`\\sum_k x(k)_i` (1-based in the paper).
+    """
+    states = np.asarray(states, dtype=np.float64)
+    n, t_plus_1, nx = states.shape
+    t_len = t_plus_1 - 1
+    out = np.zeros((n, nx * (nx + 1)))
+    for sample in range(n):
+        for i in range(nx):
+            for j in range(nx):
+                acc = 0.0
+                for k in range(1, t_len + 1):
+                    acc += states[sample, k, i] * states[sample, k - 1, j]
+                out[sample, i * nx + j] = acc
+            acc = 0.0
+            for k in range(1, t_len + 1):
+                acc += states[sample, k, i]
+            out[sample, nx * nx + i] = acc
+    if normalize == "length":
+        out /= t_len
+    elif normalize is not None:
+        raise ValueError(f"unknown normalize mode {normalize!r}")
+    return out
+
+
+def naive_full_backward(states, pre, j_drive, A, B, dr, nonlinearity=None):
+    """Reference full BPTT through DPRR + reservoir for ONE sample.
+
+    Implements paper Eqs. 23 and 30–32 literally on the flat node chain,
+    walking backwards one scalar at a time.
+
+    Parameters
+    ----------
+    states:
+        ``(T+1, N_x)`` trace of one sample.
+    pre:
+        ``(T, N_x)`` pre-activations ``s(k) = j(k) + x(k-1)``.
+    j_drive:
+        ``(T, N_x)`` masked drive (unused by the identity shape but kept for
+        signature clarity).
+    A, B:
+        Reservoir parameters.
+    dr:
+        ``(N_x (N_x+1),)`` gradient of the loss w.r.t. the (possibly
+        normalized) DPRR vector.
+
+    Returns
+    -------
+    (dA, dB, g) where ``g`` is the ``(T, N_x)`` array of dL/dx(k)_n.
+    """
+    nonl = Identity() if nonlinearity is None else get_nonlinearity(nonlinearity)
+    states = np.asarray(states, dtype=np.float64)
+    pre = np.asarray(pre, dtype=np.float64)
+    t_plus_1, nx = states.shape
+    t_len = t_plus_1 - 1
+    g_mat = np.asarray(dr[: nx * nx], dtype=np.float64).reshape(nx, nx)
+    g_sum = np.asarray(dr[nx * nx:], dtype=np.float64)
+
+    g = np.zeros((t_len + 2, nx))  # rows 1..T used; T+1 stays zero
+    for k in range(t_len, 0, -1):
+        for node in range(nx - 1, -1, -1):
+            # paper Eq. 23 — contribution flowing out of the DPRR layer
+            bpv = g_sum[node]
+            for jj in range(nx):
+                bpv += states[k - 1, jj] * g_mat[node, jj]
+            if k < t_len:
+                for ii in range(nx):
+                    bpv += states[k + 1, ii] * g_mat[ii, node]
+            val = bpv
+            # paper Eq. 30 — B chain to the next node on the flat chain
+            if node == nx - 1:
+                if k < t_len:
+                    val += B * g[k + 1, 0]
+            else:
+                val += B * g[k, node + 1]
+            # paper Eq. 30 — f' chain to the same node one step later
+            if k < t_len:
+                val += A * float(nonl.dphi(pre[k, node])) * g[k + 1, node]
+            g[k, node] = val
+
+    dA = 0.0
+    dB = 0.0
+    for k in range(1, t_len + 1):
+        for node in range(nx):
+            dA += float(nonl.phi(pre[k - 1, node])) * g[k, node]
+            if node == 0:
+                x_left = states[k - 1, nx - 1]
+            else:
+                x_left = states[k, node - 1]
+            dB += x_left * g[k, node]
+    return dA, dB, g[1: t_len + 1]

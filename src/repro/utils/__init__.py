@@ -1,0 +1,18 @@
+"""Small shared utilities: RNG handling and argument validation."""
+
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.validation import (
+    as_batch,
+    check_positive,
+    check_probability,
+    ensure_1d_labels,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rng",
+    "as_batch",
+    "check_positive",
+    "check_probability",
+    "ensure_1d_labels",
+]

@@ -1,0 +1,71 @@
+"""Input validation helpers shared across the library.
+
+The conventions enforced here are global to the package:
+
+* a *sample* is a 2-D array of shape ``(T, C)`` — ``T`` time steps of a
+  ``C``-channel multivariate series;
+* a *batch* is a 3-D array of shape ``(N, T, C)``;
+* labels are 1-D integer arrays of shape ``(N,)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def as_batch(u: np.ndarray, *, name: str = "u") -> np.ndarray:
+    """Coerce ``u`` to a float64 batch of shape ``(N, T, C)``.
+
+    A single 2-D sample ``(T, C)`` is promoted to a batch of one.  A 1-D
+    univariate series ``(T,)`` is promoted to ``(1, T, 1)``.
+    """
+    arr = np.asarray(u, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr[np.newaxis, :, np.newaxis]
+    elif arr.ndim == 2:
+        arr = arr[np.newaxis, :, :]
+    elif arr.ndim != 3:
+        raise ValueError(
+            f"{name} must have 1, 2 or 3 dimensions (got shape {arr.shape})"
+        )
+    if arr.shape[1] < 1:
+        raise ValueError(f"{name} must contain at least one time step")
+    if arr.shape[2] < 1:
+        raise ValueError(f"{name} must contain at least one channel")
+    return arr
+
+
+def check_positive(value: float, *, name: str) -> float:
+    """Validate that ``value`` is a finite, strictly positive scalar."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0.0:
+        raise ValueError(f"{name} must be a finite positive number, got {value!r}")
+    return value
+
+
+def check_probability(value: float, *, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return value
+
+
+def ensure_1d_labels(y: np.ndarray, *, n_samples: int = None) -> np.ndarray:
+    """Coerce ``y`` to a 1-D int64 label array, optionally checking length."""
+    labels = np.asarray(y)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and not np.issubdtype(labels.dtype, np.integer):
+        rounded = np.rint(labels)
+        if not np.allclose(labels, rounded):
+            raise ValueError("labels must be integers")
+        labels = rounded
+    labels = labels.astype(np.int64)
+    if n_samples is not None and labels.shape[0] != n_samples:
+        raise ValueError(
+            f"expected {n_samples} labels, got {labels.shape[0]}"
+        )
+    if labels.size and labels.min() < 0:
+        raise ValueError("labels must be non-negative class indices")
+    return labels

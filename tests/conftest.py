@@ -1,0 +1,11 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

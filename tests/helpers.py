@@ -1,0 +1,70 @@
+"""Shared helpers for gradient and end-to-end tests."""
+
+from __future__ import annotations
+
+import numpy as np
+from repro.readout.softmax import SoftmaxReadout, cross_entropy, softmax
+from repro.representation.dprr import DPRR
+from repro.reservoir.masking import InputMask
+from repro.reservoir.modular import ModularDFR
+from repro.reservoir.nonlinearity import get_nonlinearity
+
+
+def small_instance(
+    rng,
+    *,
+    n_nodes=4,
+    n_channels=2,
+    n_steps=6,
+    n_classes=3,
+    nonlinearity="identity",
+    zero_readout=False,
+):
+    """Build a random small DFR instance for gradient/differential tests.
+
+    Returns a dict with the input sample, mask, reservoir, readout, and
+    random (A, B) drawn from a stable range.
+    """
+    mask = InputMask.uniform(n_nodes, n_channels, seed=rng)
+    dfr = ModularDFR(mask, nonlinearity=nonlinearity)
+    u = rng.normal(size=(n_steps, n_channels))
+    a_val = float(rng.uniform(0.05, 0.4))
+    b_val = float(rng.uniform(0.05, 0.4))
+    n_features = DPRR.n_features(n_nodes)
+    readout = SoftmaxReadout(n_features, n_classes)
+    if not zero_readout:
+        readout.weights = rng.normal(scale=0.3, size=(n_classes, n_features))
+        readout.bias = rng.normal(scale=0.1, size=n_classes)
+    target = np.zeros(n_classes)
+    target[int(rng.integers(n_classes))] = 1.0
+    return {
+        "u": u,
+        "mask": mask,
+        "dfr": dfr,
+        "A": a_val,
+        "B": b_val,
+        "readout": readout,
+        "target": target,
+        "nonlinearity": nonlinearity,
+    }
+
+
+def end_to_end_loss(u, mask, A, B, weights, bias, target_onehot,
+                    nonlinearity="identity", normalize="length"):
+    """Loss of the full stack as a plain function of the parameters.
+
+    Used by finite-difference gradient checks: it shares the *forward* code
+    with production but involves none of the analytic backward code.
+    """
+    dfr = ModularDFR(mask, nonlinearity=get_nonlinearity(nonlinearity))
+    trace = dfr.run(u, A, B)
+    feats = DPRR(normalize=normalize).features(trace)[0]
+    z = weights @ feats + bias
+    probs = softmax(z)
+    return float(cross_entropy(probs[np.newaxis],
+                               np.asarray(target_onehot)[np.newaxis])[0])
+
+
+def central_difference(func, x0, eps=1e-6):
+    """Central finite difference of a scalar function at ``x0``."""
+    return (func(x0 + eps) - func(x0 - eps)) / (2.0 * eps)

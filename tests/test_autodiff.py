@@ -1,0 +1,122 @@
+"""Tests for the scalar autodiff tape (the gradient oracle itself)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autodiff.scalar import Value
+
+finite = st.floats(-3.0, 3.0, allow_nan=False)
+nonzero = st.floats(0.5, 3.0)
+
+
+def grad_of(f, x0, eps=1e-6):
+    return (f(x0 + eps) - f(x0 - eps)) / (2 * eps)
+
+
+class TestPrimitives:
+    def test_add_mul(self):
+        a, b = Value(2.0), Value(3.0)
+        out = a * b + a
+        out.backward()
+        assert out.data == 8.0
+        assert a.grad == 4.0  # b + 1
+        assert b.grad == 2.0
+
+    def test_sub_div_pow(self):
+        a, b = Value(5.0), Value(2.0)
+        out = (a - b) / b + a**2
+        out.backward()
+        assert out.data == pytest.approx(1.5 + 25.0)
+        assert a.grad == pytest.approx(1 / 2 + 10.0)
+        assert b.grad == pytest.approx(-5.0 / 4)
+
+    def test_scalar_mixing(self):
+        a = Value(3.0)
+        out = 2.0 * a + 1.0 - a / 2.0 + (4.0 - a)
+        out.backward()
+        assert out.data == pytest.approx(6 + 1 - 1.5 + 1)
+        assert a.grad == pytest.approx(2.0 - 0.5 - 1.0)
+
+    def test_pow_rejects_value_exponent(self):
+        with pytest.raises(TypeError):
+            Value(2.0) ** Value(3.0)
+
+    @pytest.mark.parametrize(
+        "name,fn,ref",
+        [
+            ("tanh", lambda v: v.tanh(), math.tanh),
+            ("sin", lambda v: v.sin(), math.sin),
+            ("exp", lambda v: v.exp(), math.exp),
+            ("abs", lambda v: v.abs(), abs),
+        ],
+    )
+    def test_unary_values_and_grads(self, name, fn, ref):
+        for x0 in (-1.3, 0.4, 2.2):
+            v = Value(x0)
+            out = fn(v)
+            out.backward()
+            assert out.data == pytest.approx(ref(x0))
+            assert v.grad == pytest.approx(grad_of(ref, x0), rel=1e-4, abs=1e-7)
+
+    def test_log(self):
+        v = Value(2.5)
+        out = v.log()
+        out.backward()
+        assert out.data == pytest.approx(math.log(2.5))
+        assert v.grad == pytest.approx(0.4)
+
+
+class TestGraphs:
+    def test_value_reused_twice_accumulates(self):
+        a = Value(3.0)
+        out = a * a + a * 2.0
+        out.backward()
+        assert a.grad == pytest.approx(2 * 3.0 + 2.0)
+
+    def test_deep_chain_does_not_hit_recursion_limit(self):
+        v = Value(0.5)
+        out = v
+        for _ in range(5000):
+            out = out * 1.0001 + 0.0
+        out.backward()
+        assert v.grad == pytest.approx(1.0001**5000, rel=1e-9)
+
+    def test_diamond_graph(self):
+        x = Value(1.5)
+        a = x * 2.0
+        b = x + 1.0
+        out = a * b
+        out.backward()
+        # d/dx [2x (x+1)] = 4x + 2
+        assert x.grad == pytest.approx(4 * 1.5 + 2)
+
+    @settings(max_examples=40, deadline=None)
+    @given(x0=finite, y0=nonzero)
+    def test_property_rational_function(self, x0, y0):
+        def f(x, y):
+            return (x * y + x**2) / (y + 4.0)
+
+        xv, yv = Value(x0), Value(y0)
+        out = (xv * yv + xv**2) / (yv + 4.0)
+        out.backward()
+        assert xv.grad == pytest.approx(
+            grad_of(lambda t: f(t, y0), x0), rel=1e-4, abs=1e-6
+        )
+        assert yv.grad == pytest.approx(
+            grad_of(lambda t: f(x0, t), y0), rel=1e-4, abs=1e-6
+        )
+
+    def test_mackey_glass_composition(self):
+        """The MG shape as composed on the tape matches its closed form."""
+        p = 2.0
+        for s0 in (-1.7, 0.3, 2.1):
+            v = Value(s0)
+            out = v / (v.abs() ** p + 1.0)
+            out.backward()
+            a = abs(s0) ** p
+            expected = (1 + (1 - p) * a) / (1 + a) ** 2
+            assert v.grad == pytest.approx(expected, rel=1e-9)

@@ -1,0 +1,111 @@
+"""Unit tests for the bench harness logic (fast paths only).
+
+Full-scale harness runs are exercised via ``repro-bench`` and the
+pytest-benchmark suite; here we test the pure logic: row assembly, paper
+comparison, formatting, and the CLI parser.
+"""
+
+import pytest
+
+from repro.bench.__main__ import build_parser
+from repro.bench.fig6 import Fig6Result
+from repro.bench.table1 import Table1Row, format_table1
+from repro.bench.table2 import format_table2, run_table2
+from repro.data.metadata import PAPER_TABLE2, dataset_keys
+
+
+class TestTable2Harness:
+    def test_all_rows_match_paper(self):
+        rows = run_table2()
+        assert [r.dataset for r in rows] == list(dataset_keys())
+        assert all(r.matches_paper for r in rows)
+
+    def test_subset_selection(self):
+        rows = run_table2(["LIB", "WAF"])
+        assert [r.dataset for r in rows] == ["LIB", "WAF"]
+
+    def test_window_changes_simplified_column(self):
+        base = run_table2(["ECG"])[0]
+        wider = run_table2(["ECG"], window=8)[0]
+        assert wider.simplified > base.simplified
+        assert wider.naive == base.naive
+        assert not wider.matches_paper  # paper's column is window=1
+
+    def test_formatting_flags_mismatches(self):
+        rows = run_table2(["ECG"], window=8)
+        text = format_table2(rows)
+        assert "MISMATCH" in text
+        assert "0/1 rows match" in text
+
+    def test_paper_reference_complete(self):
+        assert set(PAPER_TABLE2) == set(dataset_keys())
+
+
+class TestTable1Formatting:
+    def _row(self, **overrides):
+        defaults = dict(
+            dataset="LIB",
+            bp_accuracy=0.81,
+            bp_seconds=12.0,
+            gs_divisions=18,
+            gs_seconds=8423.0,
+            gs_accuracy=0.81,
+            ratio=700.0,
+            gs_reached_target=True,
+        )
+        defaults.update(overrides)
+        return Table1Row(**defaults)
+
+    def test_contains_measured_and_paper_columns(self):
+        text = format_table1([self._row()])
+        assert "LIB" in text
+        assert "0.810" in text
+        assert "700.0" in text
+        assert "701.9" in text  # the paper's reference ratio for LIB
+
+    def test_cap_marker(self):
+        text = format_table1([self._row(gs_reached_target=False,
+                                        gs_divisions=20)])
+        assert "20+" in text
+
+    def test_unknown_dataset_tolerated(self):
+        text = format_table1([self._row(dataset="TOY")])
+        assert "TOY" in text and "-" in text
+
+
+class TestFig6Result:
+    def test_missed_optimum_logic(self):
+        result = Fig6Result(
+            dataset="CHAR", levels=[], reference_best_accuracy=0.95,
+            reference_divisions=10, zoom_final_accuracy=0.80,
+        )
+        assert result.zoom_missed_optimum
+        assert result.accuracy_gap == pytest.approx(0.15)
+        found = Fig6Result(
+            dataset="CHAR", levels=[], reference_best_accuracy=0.95,
+            reference_divisions=10, zoom_final_accuracy=0.95,
+        )
+        assert not found.zoom_missed_optimum
+
+
+class TestCLI:
+    def test_parser_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1", "--datasets", "LIB", "JPVOW"])
+        assert args.command == "table1"
+        assert args.datasets == ["LIB", "JPVOW"]
+        args = parser.parse_args(["table2", "--window", "4"])
+        assert args.window == 4
+        args = parser.parse_args(["fig6", "--divisions", "3"])
+        assert args.divisions == 3
+        for cmd in ("ablation-truncation", "ablation-nonlinearity",
+                    "ablation-bitwidth", "ablation-optimizer", "all"):
+            assert build_parser().parse_args([cmd]).command == cmd
+
+    def test_parser_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--datasets", "MNIST"])
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,125 @@
+"""Equivalence tests across the three DFR substrates.
+
+Pins the chain the paper builds on: the analog Mackey-Glass DDE under a
+zero-order hold integrates exactly to the classic digital DFR (paper Eq. 8),
+which in turn is the modular DFR with (A, B) = (eta (1 - e^-theta), e^-theta)
+and a Mackey-Glass shape (paper Sec. 2.3).
+"""
+
+import numpy as np
+import pytest
+
+from repro.reservoir.analog import AnalogMGDFR
+from repro.reservoir.digital import DigitalMGDFR, modular_params_from_mg
+from repro.reservoir.masking import InputMask
+from repro.reservoir.modular import ModularDFR
+from repro.reservoir.nonlinearity import MackeyGlass
+from repro.reservoir.reference import naive_digital_mg_forward
+
+MG = dict(eta=0.7, gamma=0.08, theta=0.25, p=2.0)
+
+
+@pytest.fixture
+def setup(rng):
+    mask = InputMask.binary(6, 2, seed=rng)
+    u = rng.normal(size=(3, 12, 2))
+    return mask, u
+
+
+def test_digital_matches_naive_eq8(setup):
+    mask, u = setup
+    digital = DigitalMGDFR(mask, **MG)
+    ref = naive_digital_mg_forward(
+        u, mask.matrix, MG["eta"], MG["theta"], MG["gamma"], MG["p"]
+    )
+    np.testing.assert_allclose(digital.run(u).states, ref, rtol=1e-12, atol=1e-12)
+
+
+def test_digital_equals_equivalent_modular(setup):
+    mask, u = setup
+    digital = DigitalMGDFR(mask, **MG)
+    a_eq, b_eq = modular_params_from_mg(MG["eta"], MG["theta"])
+    modular = ModularDFR(
+        InputMask(MG["gamma"] * mask.matrix), nonlinearity=MackeyGlass(p=MG["p"])
+    )
+    np.testing.assert_allclose(
+        digital.run(u).states, modular.run(u, a_eq, b_eq).states, rtol=1e-12
+    )
+
+
+def test_modular_param_map():
+    a_eq, b_eq = modular_params_from_mg(eta=2.0, theta=np.log(2.0))
+    assert b_eq == pytest.approx(0.5)
+    assert a_eq == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("substeps", [1, 3, 10])
+def test_analog_node_hold_exact_equals_digital_any_substeps(setup, substeps):
+    """Exact integrator + per-node hold reproduces Eq. 8 independent of dt."""
+    mask, u = setup
+    digital = DigitalMGDFR(mask, **MG)
+    analog = AnalogMGDFR(
+        mask, substeps=substeps, integrator="exact", hold="node", **MG
+    )
+    np.testing.assert_allclose(
+        analog.run(u), digital.run(u).states, rtol=1e-10, atol=1e-12
+    )
+
+
+def test_analog_euler_converges_to_exact(setup):
+    mask, u = setup
+    exact = AnalogMGDFR(mask, substeps=1, integrator="exact", hold="node", **MG).run(u)
+    errs = []
+    for substeps in (2, 8, 32):
+        euler = AnalogMGDFR(
+            mask, substeps=substeps, integrator="euler", hold="node", **MG
+        ).run(u)
+        errs.append(np.max(np.abs(euler - exact)))
+    assert errs[0] > errs[1] > errs[2]
+    assert errs[2] < 1e-2
+
+
+def test_analog_substep_hold_converges_to_node_hold_at_coarse_limit(setup):
+    """With one substep per node, the two hold modes see the same delayed
+    sample and must agree exactly."""
+    mask, u = setup
+    node = AnalogMGDFR(mask, substeps=1, integrator="exact", hold="node", **MG).run(u)
+    sub = AnalogMGDFR(mask, substeps=1, integrator="exact", hold="substep", **MG).run(u)
+    np.testing.assert_allclose(node, sub, rtol=1e-12)
+
+
+def test_analog_substep_hold_differs_then_stays_bounded(setup):
+    mask, u = setup
+    fine = AnalogMGDFR(mask, substeps=16, integrator="exact", hold="substep", **MG)
+    out = fine.run(u)
+    assert np.all(np.isfinite(out))
+    # MG shape is bounded by 1, so |x| <= eta in steady state
+    assert np.max(np.abs(out)) <= MG["eta"] + 1e-9
+
+
+def test_analog_tau(setup):
+    mask, _ = setup
+    analog = AnalogMGDFR(mask, **MG)
+    assert analog.tau == pytest.approx(mask.n_nodes * MG["theta"])
+
+
+def test_analog_validations(setup):
+    mask, _ = setup
+    with pytest.raises(ValueError):
+        AnalogMGDFR(mask, substeps=0, **MG)
+    with pytest.raises(ValueError):
+        AnalogMGDFR(mask, integrator="rk4", **MG)
+    with pytest.raises(ValueError):
+        AnalogMGDFR(mask, hold="forever", **MG)
+    with pytest.raises(ValueError):
+        # Euler with dt >= 1 is rejected
+        AnalogMGDFR(mask, eta=0.5, gamma=0.1, theta=2.0, substeps=1,
+                    integrator="euler")
+
+
+def test_digital_equivalent_params_property(setup):
+    mask, _ = setup
+    digital = DigitalMGDFR(mask, **MG)
+    a_eq, b_eq = digital.equivalent_modular_params
+    assert a_eq == pytest.approx(MG["eta"] * (1 - np.exp(-MG["theta"])))
+    assert b_eq == pytest.approx(np.exp(-MG["theta"]))

@@ -1,0 +1,99 @@
+"""Tests for the echo-state-network baseline reservoir."""
+
+import numpy as np
+import pytest
+
+from repro.readout.ridge import select_beta
+from repro.representation.dprr import DPRR
+from repro.reservoir.esn import EchoStateNetwork
+
+
+@pytest.fixture
+def esn():
+    return EchoStateNetwork(20, 2, spectral_radius=0.9, seed=0)
+
+
+def test_trace_interface(esn, rng):
+    u = rng.normal(size=(4, 30, 2))
+    trace = esn.run(u)
+    assert trace.states.shape == (4, 31, 20)
+    assert trace.pre_activations.shape == (4, 30, 20)
+    np.testing.assert_array_equal(trace.states[:, 0], 0.0)
+    assert not trace.diverged.any()
+
+
+def test_spectral_radius_is_scaled(esn):
+    radius = max(abs(np.linalg.eigvals(esn.w_res)))
+    assert radius == pytest.approx(0.9, rel=1e-10)
+
+
+def test_update_rule_matches_definition(rng):
+    esn = EchoStateNetwork(6, 1, leak=0.7, seed=1)
+    u = rng.normal(size=(1, 5, 1))
+    trace = esn.run(u)
+    x = np.zeros(6)
+    for k in range(5):
+        s = esn.w_in @ u[0, k] + esn.w_res @ x
+        x = 0.3 * x + 0.7 * np.tanh(s)
+        np.testing.assert_allclose(trace.states[0, k + 1], x, rtol=1e-12)
+
+
+def test_echo_state_property(rng):
+    """Below unit spectral radius, two different initial conditions driven
+    by the same input converge (state forgetting)."""
+    esn = EchoStateNetwork(15, 1, spectral_radius=0.8, seed=2)
+    u = rng.normal(size=(1, 200, 1))
+    trace_a = esn.run(u)
+    # emulate a different initial condition by prepending noise input
+    prefix = rng.normal(size=(1, 50, 1))
+    trace_b = esn.run(np.concatenate([prefix, u], axis=1))
+    gap = np.abs(trace_a.states[0, -1] - trace_b.states[0, -1]).max()
+    assert gap < 1e-3
+
+
+def test_states_are_bounded(rng):
+    esn = EchoStateNetwork(10, 2, spectral_radius=1.5, seed=0)  # even unstable rho
+    u = rng.normal(size=(2, 100, 2)) * 10
+    trace = esn.run(u)
+    assert np.all(np.abs(trace.states) <= 1.0)  # tanh squashing
+
+
+def test_composes_with_dprr_and_ridge(rng):
+    """The ESN slots into the classification stack unchanged."""
+    esn = EchoStateNetwork(12, 2, seed=0)
+    u = rng.normal(size=(40, 25, 2))
+    y = rng.integers(0, 2, size=40)
+    u[y == 1] *= 2.0  # amplitude difference -> separable second moments
+    feats = DPRR().features(esn.run(u))
+    sel = select_beta(feats, y, seed=0)
+    assert sel.best_model.accuracy(feats, y) > 0.8
+
+
+def test_reproducible(rng):
+    u = rng.normal(size=(2, 10, 2))
+    t1 = EchoStateNetwork(8, 2, seed=5).run(u)
+    t2 = EchoStateNetwork(8, 2, seed=5).run(u)
+    np.testing.assert_array_equal(t1.states, t2.states)
+
+
+def test_channel_mismatch_rejected(esn, rng):
+    with pytest.raises(ValueError, match="channels"):
+        esn.run(rng.normal(size=(1, 5, 3)))
+
+
+def test_n_recurrent_weights_reflects_density():
+    sparse = EchoStateNetwork(30, 1, density=0.1, seed=0)
+    dense = EchoStateNetwork(30, 1, density=0.9, seed=0)
+    assert sparse.n_recurrent_weights < dense.n_recurrent_weights
+    assert dense.n_recurrent_weights <= 30 * 30
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        EchoStateNetwork(0, 1)
+    with pytest.raises(ValueError):
+        EchoStateNetwork(5, 1, spectral_radius=-1.0)
+    with pytest.raises(ValueError):
+        EchoStateNetwork(5, 1, leak=0.0)
+    with pytest.raises(ValueError):
+        EchoStateNetwork(5, 1, density=0.0)

@@ -1,0 +1,142 @@
+"""Tests for the grid-search baseline and the recursive zoom variant."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid_search import (
+    PAPER_A_RANGE,
+    PAPER_B_RANGE,
+    GridSearch,
+    RecursiveGridSearch,
+    grid_values,
+)
+from repro.core.pipeline import DFRFeatureExtractor
+from repro.data.loaders import make_toy_dataset
+
+
+@pytest.fixture(scope="module")
+def setup():
+    data = make_toy_dataset(n_classes=3, n_channels=2, length=25,
+                            n_train=45, n_test=45, noise=0.3, seed=11)
+    ext = DFRFeatureExtractor(n_nodes=6, seed=0).fit(data.u_train)
+    return data, ext
+
+
+class TestGridValues:
+    def test_single_division_is_geometric_midpoint(self):
+        vals = grid_values(-3.0, -1.0, 1)
+        assert vals.shape == (1,)
+        assert vals[0] == pytest.approx(10.0**-2.0)
+
+    def test_two_divisions_are_section_midpoints(self):
+        vals = grid_values(-2.0, 0.0, 2)
+        np.testing.assert_allclose(vals, [10**-1.5, 10**-0.5])
+
+    def test_values_lie_inside_range(self):
+        vals = grid_values(*PAPER_A_RANGE, 8)
+        assert np.all(vals > 10 ** PAPER_A_RANGE[0])
+        assert np.all(vals < 10 ** PAPER_A_RANGE[1])
+        assert vals.shape == (8,)
+        assert np.all(np.diff(vals) > 0)
+
+    def test_log_spacing(self):
+        vals = grid_values(-3.0, 0.0, 3)
+        ratios = vals[1:] / vals[:-1]
+        np.testing.assert_allclose(ratios, ratios[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grid_values(-1.0, -2.0, 3)
+        with pytest.raises(ValueError):
+            grid_values(-2.0, -1.0, 0)
+
+
+class TestGridSearch:
+    def test_level_evaluates_d_squared_points(self, setup):
+        data, ext = setup
+        gs = GridSearch(ext, seed=0)
+        level = gs.run_level(data.u_train, data.y_train,
+                             data.u_test, data.y_test, 3)
+        assert level.n_points == 9
+        assert level.divisions == 3
+        assert level.elapsed_seconds > 0
+        mat = level.accuracy_matrix()
+        assert mat.shape == (3, 3)
+        assert np.all(np.isfinite(mat))
+
+    def test_best_has_max_val_accuracy(self, setup):
+        data, ext = setup
+        gs = GridSearch(ext, seed=0)
+        level = gs.run_level(data.u_train, data.y_train,
+                             data.u_test, data.y_test, 3)
+        assert level.best.val_accuracy == max(
+            ev.val_accuracy for ev in level.evaluations
+        )
+
+    def test_search_until_accumulates(self, setup):
+        data, ext = setup
+        gs = GridSearch(ext, seed=0)
+        out = gs.search_until(data.u_train, data.y_train,
+                              data.u_test, data.y_test,
+                              target_accuracy=2.0,  # unreachable
+                              max_divisions=3)
+        assert not out.reached
+        assert out.divisions == 3
+        assert out.total_points == 1 + 4 + 9
+        assert out.total_seconds >= sum(l.elapsed_seconds for l in out.levels) * 0.99
+        assert len(out.levels) == 3
+
+    def test_search_until_stops_at_target(self, setup):
+        data, ext = setup
+        gs = GridSearch(ext, seed=0)
+        out = gs.search_until(data.u_train, data.y_train,
+                              data.u_test, data.y_test,
+                              target_accuracy=0.0,
+                              max_divisions=5)
+        assert out.reached
+        assert out.divisions == 1
+        assert out.total_points == 1
+
+    def test_max_divisions_validation(self, setup):
+        data, ext = setup
+        gs = GridSearch(ext, seed=0)
+        with pytest.raises(ValueError):
+            gs.search_until(data.u_train, data.y_train,
+                            data.u_test, data.y_test, 0.9, max_divisions=0)
+
+
+class TestRecursiveGridSearch:
+    def test_levels_zoom_into_best_cell(self, setup):
+        data, ext = setup
+        rgs = RecursiveGridSearch(ext, divisions=3, seed=0)
+        levels = rgs.run(data.u_train, data.y_train,
+                         data.u_test, data.y_test, n_levels=2)
+        assert len(levels) == 2
+        lvl1, lvl2 = levels
+        assert lvl1.a_box == PAPER_A_RANGE
+        assert lvl1.b_box == PAPER_B_RANGE
+        # level 2's box is one level-1 section
+        width1 = (PAPER_A_RANGE[1] - PAPER_A_RANGE[0]) / 3
+        assert (lvl2.a_box[1] - lvl2.a_box[0]) == pytest.approx(width1)
+        # and it contains the level-1 winner
+        best_a = np.log10(lvl1.best.A)
+        assert lvl2.a_box[0] <= best_a <= lvl2.a_box[1]
+
+    def test_matrices_have_level_shape(self, setup):
+        data, ext = setup
+        rgs = RecursiveGridSearch(ext, divisions=3, seed=0)
+        levels = rgs.run(data.u_train, data.y_train,
+                         data.u_test, data.y_test, n_levels=1)
+        assert levels[0].accuracy_matrix.shape == (3, 3)
+        assert levels[0].val_loss_matrix.shape == (3, 3)
+        assert levels[0].val_accuracy_matrix.shape == (3, 3)
+        bi, bj = levels[0].best_index
+        assert levels[0].val_accuracy_matrix[bi, bj] == levels[0].val_accuracy_matrix.max()
+
+    def test_validation(self, setup):
+        _, ext = setup
+        with pytest.raises(ValueError):
+            RecursiveGridSearch(ext, divisions=1)
+        rgs = RecursiveGridSearch(ext, divisions=2)
+        with pytest.raises(ValueError):
+            rgs.run(None, None, None, None, n_levels=0)

@@ -1,0 +1,127 @@
+"""Tests for fixed-point simulation and the circuit cost model."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.cost_model import (
+    CircuitCost,
+    dfr_inference_cost,
+    dfr_training_memory_bits,
+)
+from repro.hardware.fixed_point import QFormat, QuantizedModularDFR
+from repro.memory.accounting import naive_storage, truncated_storage
+from repro.reservoir.masking import InputMask
+from repro.reservoir.modular import ModularDFR
+
+
+class TestQFormat:
+    def test_basic_properties(self):
+        q = QFormat(3, 4)
+        assert q.total_bits == 8
+        assert q.resolution == pytest.approx(1 / 16)
+        assert q.max_value == pytest.approx(8 - 1 / 16)
+        assert q.min_value == -8.0
+        assert str(q) == "Q3.4"
+
+    def test_quantize_rounds_to_grid(self):
+        q = QFormat(2, 2)  # resolution 0.25
+        np.testing.assert_allclose(
+            q.quantize(np.array([0.1, 0.13, 0.37, -0.3])),
+            [0.0, 0.25, 0.25, -0.25],
+        )
+
+    def test_quantize_saturates(self):
+        q = QFormat(1, 2)
+        assert q.quantize(np.array([100.0]))[0] == q.max_value
+        assert q.quantize(np.array([-100.0]))[0] == q.min_value
+
+    def test_grid_values_are_exact(self):
+        q = QFormat(4, 8)
+        vals = np.arange(-16, 16, q.resolution)
+        np.testing.assert_array_equal(q.quantize(vals), vals)
+
+    def test_quantization_error_bounded_by_half_lsb(self, rng):
+        q = QFormat(4, 6)
+        x = rng.uniform(-10, 10, size=1000)
+        assert q.quantization_error(x) <= q.resolution / 2 + 1e-15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QFormat(-1, 4)
+        with pytest.raises(ValueError):
+            QFormat(0, 0)
+
+
+class TestQuantizedModularDFR:
+    def _setup(self, rng, frac_bits):
+        mask = InputMask.binary(5, 2, seed=1)
+        u = rng.normal(size=(3, 15, 2))
+        qdfr = QuantizedModularDFR(mask, QFormat(4, frac_bits))
+        fdfr = ModularDFR(mask)
+        return u, qdfr, fdfr
+
+    def test_output_lies_on_grid(self, rng):
+        u, qdfr, _ = self._setup(rng, 6)
+        states = qdfr.run(u, 0.3, 0.2)
+        q = qdfr.qformat
+        np.testing.assert_array_equal(states, q.quantize(states))
+
+    def test_converges_to_float_with_more_bits(self, rng):
+        u, _, fdfr = self._setup(rng, 0)
+        ref = fdfr.run(u, 0.3, 0.2).states
+        errs = []
+        for frac_bits in (4, 8, 16):
+            qdfr = QuantizedModularDFR(InputMask.binary(5, 2, seed=1),
+                                       QFormat(4, frac_bits))
+            states = qdfr.run(u, 0.3, 0.2)
+            errs.append(np.max(np.abs(states - ref)))
+        assert errs[0] > errs[1] > errs[2]
+        assert errs[2] < 1e-3
+
+    def test_high_precision_matches_float_closely(self, rng):
+        mask = InputMask.binary(4, 1, seed=0)
+        u = rng.normal(size=(2, 10, 1))
+        qdfr = QuantizedModularDFR(mask, QFormat(6, 24))
+        fdfr = ModularDFR(mask)
+        np.testing.assert_allclose(
+            qdfr.run(u, 0.25, 0.25), fdfr.run(u, 0.25, 0.25).states, atol=1e-4
+        )
+
+    def test_mask_is_quantized_on_construction(self):
+        mask = InputMask(np.array([[0.333]]))
+        qdfr = QuantizedModularDFR(mask, QFormat(2, 2))
+        assert qdfr.mask.matrix[0, 0] == pytest.approx(0.25)
+
+
+class TestCostModel:
+    def test_paper_scale_counts(self):
+        cost = dfr_inference_cost(30, 3, 500, n_channels=1)
+        assert cost.multipliers == 2           # the modular DFR's A and B
+        assert cost.lut_blocks == 0            # identity shape
+        n_r = 30 * 31
+        assert cost.memory_words == 30 + n_r + 3 * (n_r + 1)
+        assert cost.macs_per_step == 30 * 3 + n_r
+        assert cost.macs_per_inference == 500 * cost.macs_per_step + 3 * (n_r + 1)
+
+    def test_nonidentity_adds_lut(self):
+        cost = dfr_inference_cost(10, 2, 50, identity_shape=False)
+        assert cost.lut_blocks == 1
+
+    def test_memory_bits_scaling(self):
+        cost = dfr_inference_cost(10, 2, 50)
+        assert cost.memory_bits(16) == 16 * cost.memory_words
+        with pytest.raises(ValueError):
+            cost.memory_bits(0)
+
+    def test_training_memory_matches_accounting(self):
+        full = dfr_training_memory_bits(30, 2, 500, word_bits=16, window=None)
+        trunc = dfr_training_memory_bits(30, 2, 500, word_bits=16, window=1)
+        assert full == 16 * naive_storage(500, 30, 2).total
+        assert trunc == 16 * truncated_storage(30, 2).total
+        assert trunc < full
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dfr_inference_cost(0, 2, 10)
+        with pytest.raises(ValueError):
+            dfr_training_memory_bits(30, 2, 500, word_bits=0)

@@ -1,0 +1,92 @@
+"""Tests for the black-box (A, B, beta) search baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.hyperopt import RandomSearch, SimulatedAnnealing
+from repro.core.pipeline import DFRFeatureExtractor
+from repro.data.loaders import make_toy_dataset
+
+
+@pytest.fixture(scope="module")
+def setup():
+    data = make_toy_dataset(n_classes=3, n_channels=2, length=25,
+                            n_train=45, n_test=45, noise=0.3, seed=11)
+    ext = DFRFeatureExtractor(n_nodes=6, seed=0).fit(data.u_train)
+    return data, ext
+
+
+class TestRandomSearch:
+    def test_finds_reasonable_point(self, setup):
+        data, ext = setup
+        rs = RandomSearch(ext, seed=0)
+        out = rs.search(data.u_train, data.y_train, data.u_test, data.y_test,
+                        n_samples=12, n_classes=3)
+        assert out.n_evaluations == 12
+        assert out.best.test_accuracy > 0.5
+        assert out.total_seconds > 0
+
+    def test_samples_stay_in_box(self, setup):
+        data, ext = setup
+        rs = RandomSearch(ext, seed=1)
+        out = rs.search(data.u_train, data.y_train, data.u_test, data.y_test,
+                        n_samples=20, n_classes=3)
+        for ev in out.evaluations:
+            assert 10**-3.75 <= ev.A <= 10**-0.25
+            assert 10**-2.75 <= ev.B <= 10**-0.25
+
+    def test_best_is_incumbent_maximum(self, setup):
+        data, ext = setup
+        out = RandomSearch(ext, seed=2).search(
+            data.u_train, data.y_train, data.u_test, data.y_test,
+            n_samples=10, n_classes=3,
+        )
+        assert out.best.val_accuracy == max(
+            ev.val_accuracy for ev in out.evaluations
+        )
+
+    def test_deterministic_under_seed(self, setup):
+        data, ext = setup
+        o1 = RandomSearch(ext, seed=3).search(
+            data.u_train, data.y_train, data.u_test, data.y_test,
+            n_samples=5, n_classes=3)
+        o2 = RandomSearch(ext, seed=3).search(
+            data.u_train, data.y_train, data.u_test, data.y_test,
+            n_samples=5, n_classes=3)
+        assert [e.A for e in o1.evaluations] == [e.A for e in o2.evaluations]
+
+    def test_validation(self, setup):
+        data, ext = setup
+        with pytest.raises(ValueError):
+            RandomSearch(ext).search(data.u_train, data.y_train,
+                                     data.u_test, data.y_test, n_samples=0)
+
+
+class TestSimulatedAnnealing:
+    def test_walk_improves_or_matches_start(self, setup):
+        data, ext = setup
+        sa = SimulatedAnnealing(ext, seed=0)
+        out = sa.search(data.u_train, data.y_train, data.u_test, data.y_test,
+                        n_steps=10, n_classes=3)
+        start = out.evaluations[0]
+        assert out.best.val_accuracy >= start.val_accuracy
+        assert out.n_evaluations == 11  # start + n_steps
+
+    def test_proposals_respect_box(self, setup):
+        data, ext = setup
+        out = SimulatedAnnealing(ext, seed=4).search(
+            data.u_train, data.y_train, data.u_test, data.y_test,
+            n_steps=15, n_classes=3)
+        for ev in out.evaluations:
+            assert 10**-3.76 <= ev.A <= 10**-0.24
+            assert 10**-2.76 <= ev.B <= 10**-0.24
+
+    def test_validation(self, setup):
+        data, ext = setup
+        sa = SimulatedAnnealing(ext, seed=0)
+        with pytest.raises(ValueError):
+            sa.search(data.u_train, data.y_train, data.u_test, data.y_test,
+                      n_steps=0)
+        with pytest.raises(ValueError):
+            sa.search(data.u_train, data.y_train, data.u_test, data.y_test,
+                      n_steps=5, cooling=1.5)

@@ -1,0 +1,143 @@
+"""Algebraic invariants of the DFR stack (hypothesis property tests).
+
+These pin structural facts that the paper's analysis relies on implicitly:
+the identity-shape reservoir is a *linear* system (superposition and scale
+equivariance), the DPRR is exactly quadratic in the input scale, and the
+closed-form spectral radius predicts the empirical growth rate of the
+zero-input dynamics.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.representation.dprr import DPRR
+from repro.reservoir.masking import InputMask
+from repro.reservoir.modular import ModularDFR
+from repro.reservoir.stability import one_step_matrix, spectral_radius
+
+params = dict(
+    a_val=st.floats(0.02, 0.5),
+    b_val=st.floats(0.02, 0.5),
+    seed=st.integers(0, 10_000),
+)
+
+
+def _dfr(seed, n_nodes=5, n_channels=2):
+    return ModularDFR(InputMask.uniform(n_nodes, n_channels, seed=seed))
+
+
+@settings(max_examples=25, deadline=None)
+@given(**params)
+def test_identity_reservoir_superposition(a_val, b_val, seed):
+    """x(u1 + u2) == x(u1) + x(u2) for the identity shape."""
+    rng = np.random.default_rng(seed)
+    dfr = _dfr(seed)
+    u1 = rng.normal(size=(1, 12, 2))
+    u2 = rng.normal(size=(1, 12, 2))
+    lhs = dfr.run(u1 + u2, a_val, b_val).states
+    rhs = dfr.run(u1, a_val, b_val).states + dfr.run(u2, a_val, b_val).states
+    np.testing.assert_allclose(lhs, rhs, rtol=1e-9, atol=1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(scale=st.floats(-3.0, 3.0), **params)
+def test_identity_reservoir_scale_equivariance(scale, a_val, b_val, seed):
+    """x(c * u) == c * x(u) for the identity shape."""
+    rng = np.random.default_rng(seed)
+    dfr = _dfr(seed)
+    u = rng.normal(size=(1, 10, 2))
+    lhs = dfr.run(scale * u, a_val, b_val).states
+    rhs = scale * dfr.run(u, a_val, b_val).states
+    np.testing.assert_allclose(lhs, rhs, rtol=1e-9, atol=1e-10)
+
+
+@settings(max_examples=25, deadline=None)
+@given(scale=st.floats(0.1, 3.0), **params)
+def test_dprr_is_quadratic_in_input_scale(scale, a_val, b_val, seed):
+    """The lag-product block scales as c^2, the sum block as c.
+
+    This is the structural reason the ridge regularizer beta interacts with
+    A (DESIGN.md Sec. 3): feature magnitude carries parameter information.
+    """
+    rng = np.random.default_rng(seed)
+    dfr = _dfr(seed, n_nodes=4)
+    dprr = DPRR(normalize=None)
+    u = rng.normal(size=(1, 9, 2))
+    base = dprr.features(dfr.run(u, a_val, b_val))[0]
+    scaled = dprr.features(dfr.run(scale * u, a_val, b_val))[0]
+    nx = 4
+    np.testing.assert_allclose(
+        scaled[: nx * nx], scale**2 * base[: nx * nx], rtol=1e-8, atol=1e-10
+    )
+    np.testing.assert_allclose(
+        scaled[nx * nx:], scale * base[nx * nx:], rtol=1e-8, atol=1e-10
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(**params)
+def test_spectral_radius_predicts_zero_input_decay(a_val, b_val, seed):
+    """Iterating the one-step matrix must match simulating the reservoir
+    with the input switched off — the closed form is the real dynamics."""
+    rng = np.random.default_rng(seed)
+    nx = 4
+    dfr = ModularDFR(InputMask.uniform(nx, 1, seed=seed))
+    u = np.zeros((1, 25, 1))
+    u[0, 0, 0] = 1.0  # one kick, then free evolution
+    trace = dfr.run(u, a_val, b_val)
+    mat = one_step_matrix(a_val, b_val, nx)
+    predicted = trace.states[0, 1]
+    for k in range(2, 26):
+        predicted = mat @ predicted
+        np.testing.assert_allclose(
+            trace.states[0, k], predicted, rtol=1e-8, atol=1e-12
+        )
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_mask_sign_flip_flips_states(seed):
+    """Negating the mask negates the (identity-shape) states, leaving the
+    DPRR lag products invariant — masks are sign-symmetric features."""
+    rng = np.random.default_rng(seed)
+    mask = InputMask.binary(4, 2, seed=seed)
+    u = rng.normal(size=(1, 8, 2))
+    pos = ModularDFR(mask).run(u, 0.3, 0.2)
+    neg = ModularDFR(InputMask(-mask.matrix)).run(u, 0.3, 0.2)
+    np.testing.assert_allclose(neg.states, -pos.states, rtol=1e-10)
+    dprr = DPRR(normalize=None)
+    nx = 4
+    np.testing.assert_allclose(
+        dprr.features(neg)[0][: nx * nx],
+        dprr.features(pos)[0][: nx * nx],
+        rtol=1e-9,
+    )
+
+
+def test_time_shift_of_padded_input_shifts_states():
+    """Zero-padding at the front delays the response verbatim (time
+    invariance of the reservoir)."""
+    rng = np.random.default_rng(0)
+    dfr = _dfr(1, n_nodes=3, n_channels=1)
+    u = rng.normal(size=(1, 10, 1))
+    padded = np.concatenate([np.zeros((1, 5, 1)), u], axis=1)
+    direct = dfr.run(u, 0.3, 0.25).states[0, 1:]
+    shifted = dfr.run(padded, 0.3, 0.25).states[0, 6:]
+    np.testing.assert_allclose(shifted, direct, rtol=1e-10, atol=1e-12)
+
+
+@pytest.mark.parametrize("nonlinearity", ["tanh", "mackey-glass"])
+def test_bounded_shapes_never_diverge(nonlinearity):
+    """For bounded phi, |x| <= A * sup|phi| / (1 - B) for B < 1 — no (A, B)
+    in the unit box can diverge."""
+    rng = np.random.default_rng(3)
+    dfr = ModularDFR(InputMask.binary(6, 1, seed=0),
+                     nonlinearity=nonlinearity)
+    u = rng.normal(size=(1, 300, 1)) * 10
+    for a_val, b_val in [(0.9, 0.9), (0.56, 0.56), (0.99, 0.5)]:
+        trace = dfr.run(u, a_val, b_val)
+        assert not trace.diverged[0]
+        bound = a_val / (1 - b_val) + 1e-9
+        assert np.abs(trace.states).max() <= bound

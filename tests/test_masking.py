@@ -1,0 +1,68 @@
+"""Tests for input mask generation and application."""
+
+import numpy as np
+import pytest
+
+from repro.reservoir.masking import InputMask, binary_mask, uniform_mask
+
+
+def test_binary_mask_values_are_pm_gamma():
+    m = binary_mask(16, 3, gamma=0.25, seed=7)
+    assert m.shape == (16, 3)
+    assert set(np.unique(m)) <= {-0.25, 0.25}
+
+
+def test_binary_mask_uses_both_signs():
+    m = binary_mask(64, 4, seed=0)
+    assert (m > 0).any() and (m < 0).any()
+
+
+def test_uniform_mask_range():
+    m = uniform_mask(100, 2, gamma=0.5, seed=1)
+    assert m.min() >= -0.5 and m.max() <= 0.5
+
+
+def test_masks_are_reproducible_by_seed():
+    np.testing.assert_array_equal(binary_mask(8, 2, seed=3), binary_mask(8, 2, seed=3))
+    assert not np.array_equal(binary_mask(8, 2, seed=3), binary_mask(8, 2, seed=4))
+
+
+def test_apply_matches_matrix_product():
+    mask = InputMask.uniform(5, 3, seed=0)
+    u = np.random.default_rng(1).normal(size=(4, 10, 3))
+    j = mask.apply(u)
+    assert j.shape == (4, 10, 5)
+    np.testing.assert_allclose(j[2, 7], mask.matrix @ u[2, 7])
+
+
+def test_apply_single_sample():
+    mask = InputMask.binary(6, 2, seed=0)
+    u = np.ones((9, 2))
+    assert mask.apply(u).shape == (9, 6)
+
+
+def test_apply_rejects_wrong_channel_count():
+    mask = InputMask.binary(6, 2, seed=0)
+    with pytest.raises(ValueError, match="channels"):
+        mask.apply(np.ones((3, 9, 4)))
+
+
+def test_mask_univariate_case_is_paper_vector_mask():
+    # with C = 1 the mask degenerates to the paper's mask vector m: j = m u(k)
+    mask = InputMask.binary(10, 1, seed=5)
+    u = np.full((1, 3, 1), 2.0)
+    j = mask.apply(u)
+    np.testing.assert_allclose(j[0, 0], 2.0 * mask.matrix[:, 0])
+
+
+def test_invalid_shapes_rejected():
+    with pytest.raises(ValueError):
+        binary_mask(0, 1)
+    with pytest.raises(ValueError):
+        uniform_mask(4, 0)
+    with pytest.raises(ValueError):
+        binary_mask(4, 1, gamma=-1.0)
+    with pytest.raises(ValueError):
+        InputMask(np.ones((2, 2, 2)))
+    with pytest.raises(ValueError):
+        InputMask(np.array([[np.inf, 0.0]]))

@@ -1,0 +1,96 @@
+"""Storage accounting: the paper's Table 2, reproduced EXACTLY.
+
+These are the strongest paper-number tests in the suite: the formulas of
+repro.memory.accounting must regenerate every naive/simplified/reduction
+value of Table 2 from the dataset metadata, bit for bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.metadata import DATASETS, N_X_PAPER, PAPER_TABLE2
+from repro.memory.accounting import (
+    StorageBreakdown,
+    dataset_storage_row,
+    naive_storage,
+    reduction_percent,
+    truncated_storage,
+)
+
+
+@pytest.mark.parametrize("key", list(DATASETS))
+def test_table2_rows_reproduce_exactly(key):
+    spec = DATASETS[key]
+    row = dataset_storage_row(spec)
+    naive, simplified, reduction = PAPER_TABLE2[key]
+    assert row["naive"] == naive, f"{key}: naive storage mismatch"
+    assert row["simplified"] == simplified, f"{key}: simplified storage mismatch"
+    assert row["reduction_percent"] == reduction, f"{key}: reduction mismatch"
+
+
+def test_paper_example_from_section_3_4():
+    """Sec. 3.4: T=500, N_x=30, 3 classes -> ~80% total memory reduction."""
+    naive = naive_storage(500, 30, 3)
+    reduced = truncated_storage(30, 3)
+    assert reduction_percent(naive.total, reduced.total) == pytest.approx(80, abs=2)
+
+
+def test_state_memory_reduction_below_2_percent_for_long_series():
+    """Sec. 3.4: for T > 100 the reservoir-state storage drops below 2%."""
+    for t_len in (101, 500, 1917):
+        naive = naive_storage(t_len, 30, 2)
+        reduced = truncated_storage(30, 2)
+        assert reduced.reservoir_states / naive.reservoir_states < 0.02
+
+
+def test_breakdown_components():
+    b = naive_storage(10, 4, 3)
+    assert b.reservoir_states == 11 * 4
+    assert b.representation == 4 * 5
+    assert b.readout == 3 * (4 * 5 + 1)
+    assert b.total == 44 + 20 + 63
+    assert isinstance(b, StorageBreakdown)
+
+
+def test_truncated_window_scaling():
+    base = truncated_storage(30, 2, window=1)
+    wider = truncated_storage(30, 2, window=4)
+    assert wider.reservoir_states - base.reservoir_states == 3 * 30
+    assert wider.representation == base.representation
+    assert wider.readout == base.readout
+
+
+def test_truncated_equals_naive_at_window_T():
+    naive = naive_storage(57, 30, 5)
+    reduced = truncated_storage(30, 5, window=57)
+    assert reduced.total == naive.total
+
+
+def test_reduction_percent_rounding():
+    assert reduction_percent(13030, 10300) == 21   # ARAB: 20.95 -> 21
+    assert reduction_percent(93455, 89435) == 4    # AUS: 4.30 -> 4
+    assert reduction_percent(100, 100) == 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        naive_storage(0, 30, 2)
+    with pytest.raises(ValueError):
+        naive_storage(10, 0, 2)
+    with pytest.raises(ValueError):
+        truncated_storage(30, 0)
+    with pytest.raises(ValueError):
+        truncated_storage(30, 2, window=0)
+    with pytest.raises(ValueError):
+        reduction_percent(0, 1)
+
+
+def test_metadata_consistency_with_inversion():
+    """The (T, N_y) metadata must invert Table 2 under the formulas — i.e.
+    the derivation chain paper -> metadata -> Table 2 is self-consistent."""
+    for key, spec in DATASETS.items():
+        naive, simplified, _ = PAPER_TABLE2[key]
+        n_r = N_X_PAPER * (N_X_PAPER + 1)
+        readout = spec.n_classes * (n_r + 1)
+        assert naive - simplified == (spec.length - 1) * N_X_PAPER, key
+        assert simplified == 2 * N_X_PAPER + n_r + readout, key

@@ -1,0 +1,73 @@
+"""Tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.readout.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    macro_f1,
+    mse,
+    nrmse,
+)
+
+
+def test_accuracy_basic():
+    assert accuracy_score([0, 1, 2, 1], [0, 1, 1, 1]) == pytest.approx(0.75)
+    assert accuracy_score([1], [1]) == 1.0
+
+
+def test_accuracy_empty_rejected():
+    with pytest.raises(ValueError):
+        accuracy_score(np.array([], dtype=int), np.array([], dtype=int))
+
+
+def test_accuracy_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        accuracy_score([0, 1], [0])
+
+
+def test_confusion_matrix_counts():
+    mat = confusion_matrix([0, 0, 1, 2], [0, 1, 1, 2], n_classes=3)
+    expected = np.array([[1, 1, 0], [0, 1, 0], [0, 0, 1]])
+    np.testing.assert_array_equal(mat, expected)
+    assert mat.sum() == 4
+
+
+def test_confusion_matrix_infers_class_count():
+    mat = confusion_matrix([0, 3], [3, 0])
+    assert mat.shape == (4, 4)
+
+
+def test_macro_f1_perfect_and_worst():
+    assert macro_f1([0, 1, 2], [0, 1, 2]) == pytest.approx(1.0)
+    assert macro_f1([0, 0, 0], [1, 1, 1], n_classes=2) == pytest.approx(0.0)
+
+
+def test_macro_f1_known_value():
+    # class 0: P=1, R=0.5, F1=2/3 ; class 1: P=0.5, R=1, F1=2/3
+    y_true = [0, 0, 1]
+    y_pred = [0, 1, 1]
+    assert macro_f1(y_true, y_pred, n_classes=2) == pytest.approx(2 / 3)
+
+
+def test_mse():
+    assert mse([1.0, 2.0], [1.0, 4.0]) == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        mse([1.0], [1.0, 2.0])
+
+
+def test_nrmse_zero_for_perfect_prediction(rng):
+    y = rng.normal(size=100)
+    assert nrmse(y, y) == pytest.approx(0.0)
+
+
+def test_nrmse_one_for_mean_prediction(rng):
+    y = rng.normal(size=10_000)
+    pred = np.full_like(y, y.mean())
+    assert nrmse(y, pred) == pytest.approx(1.0, rel=1e-6)
+
+
+def test_nrmse_rejects_constant_target():
+    with pytest.raises(ValueError):
+        nrmse(np.ones(5), np.zeros(5))

@@ -1,0 +1,83 @@
+"""Tests for the reservoir model-space representation baseline."""
+
+import numpy as np
+import pytest
+
+from repro.representation.model_space import ModelSpace
+from repro.reservoir.masking import InputMask
+from repro.reservoir.modular import ModularDFR
+
+
+@pytest.fixture
+def trace(rng):
+    dfr = ModularDFR(InputMask.binary(5, 2, seed=0))
+    return dfr.run(rng.normal(size=(4, 20, 2)), 0.3, 0.3)
+
+
+def test_state_space_feature_width(trace):
+    feats = ModelSpace(target="states").features(trace)
+    assert feats.shape == (4, 5 * 6)
+    assert ModelSpace(target="states").n_features(5) == 30
+
+
+def test_input_space_feature_width(trace, rng):
+    u = rng.normal(size=(4, 20, 2))
+    feats = ModelSpace(target="input").features(trace, u=u)
+    assert feats.shape == (4, 2 * 6)
+    assert ModelSpace(target="input").n_features(5, n_channels=2) == 12
+
+
+def test_features_separate_input_dynamics(rng):
+    """The representation's actual job: samples whose *input dynamics*
+    differ must land in separable regions of model space."""
+    dfr = ModularDFR(InputMask.binary(6, 1, seed=0))
+    ms = ModelSpace(target="states")
+    t_grid = np.arange(80)
+    feats = []
+    labels = []
+    for i in range(30):
+        freq = 0.05 if i % 2 == 0 else 0.22  # slow vs fast class
+        u = np.sin(2 * np.pi * freq * t_grid + rng.uniform(0, 6.28))
+        u = (u + 0.2 * rng.normal(size=80))[np.newaxis, :, np.newaxis]
+        feats.append(ms.features(dfr.run(u, 0.3, 0.3))[0])
+        labels.append(i % 2)
+    feats = np.asarray(feats)
+    labels = np.asarray(labels)
+    from repro.readout.ridge import fit_ridge
+
+    model = fit_ridge(feats, labels, beta=1e-4)
+    assert model.accuracy(feats, labels) >= 0.9
+
+
+def test_coefficients_converge_to_one_step_matrix(rng):
+    """Under full-rank excitation (C = N_x independent channels) the fitted
+    one-step model is a consistent estimator of the true linear map: the
+    coefficient error must shrink as T grows."""
+    from repro.reservoir.stability import one_step_matrix
+
+    dfr = ModularDFR(InputMask.uniform(3, 3, seed=1))
+    m_true = one_step_matrix(0.25, 0.3, 3)
+    errs = []
+    for t_len in (500, 4000, 16000):
+        u = rng.normal(size=(1, t_len, 3))
+        trace = dfr.run(u, 0.25, 0.3)
+        feats = ModelSpace(ridge=1e-10, target="states").features(trace)[0]
+        coef = feats.reshape(3, 4)[:, :3]  # strip intercept column
+        errs.append(np.abs(coef - m_true).max())
+    assert errs[2] < errs[0]
+    assert errs[2] < 0.15
+
+
+def test_validation(trace, rng):
+    with pytest.raises(ValueError):
+        ModelSpace(ridge=0.0)
+    with pytest.raises(ValueError):
+        ModelSpace(target="future")
+    with pytest.raises(ValueError):
+        ModelSpace(target="input").features(trace)  # u missing
+    with pytest.raises(ValueError):
+        ModelSpace(target="input").features(trace, u=rng.normal(size=(4, 9, 2)))
+    with pytest.raises(ValueError):
+        ModelSpace().features(np.zeros((2, 2, 3)))  # too short
+    with pytest.raises(ValueError):
+        ModelSpace(target="input").n_features(5)

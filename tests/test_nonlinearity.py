@@ -1,0 +1,118 @@
+"""Tests for the nonlinearity library: values, derivatives, registry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reservoir.nonlinearity import (
+    NONLINEARITIES,
+    Identity,
+    MackeyGlass,
+    SaturatingLinear,
+    Sine,
+    Tanh,
+    get_nonlinearity,
+)
+
+ALL_SHAPES = [Identity(), Tanh(), Sine(), Sine(omega=2.5),
+              MackeyGlass(), MackeyGlass(p=3.0), SaturatingLinear(),
+              SaturatingLinear(limit=0.5)]
+
+
+@pytest.mark.parametrize("nonl", ALL_SHAPES, ids=repr)
+def test_derivative_matches_finite_difference(nonl):
+    rng = np.random.default_rng(0)
+    s = rng.uniform(-3.0, 3.0, size=200)
+    # keep clear of the non-differentiable kinks of the piecewise shapes
+    if isinstance(nonl, SaturatingLinear):
+        s = s[np.abs(np.abs(s) - nonl.limit) > 1e-3]
+    if isinstance(nonl, MackeyGlass):
+        s = s[np.abs(s) > 1e-3]
+    eps = 1e-6
+    numeric = (nonl.phi(s + eps) - nonl.phi(s - eps)) / (2 * eps)
+    np.testing.assert_allclose(nonl.dphi(s), numeric, rtol=1e-5, atol=1e-7)
+
+
+@pytest.mark.parametrize("nonl", ALL_SHAPES, ids=repr)
+def test_phi_preserves_shape_and_dtype(nonl):
+    s = np.zeros((3, 4))
+    assert nonl.phi(s).shape == (3, 4)
+    assert nonl.dphi(s).shape == (3, 4)
+
+
+def test_identity_is_identity():
+    s = np.linspace(-5, 5, 11)
+    np.testing.assert_array_equal(Identity().phi(s), s)
+    np.testing.assert_array_equal(Identity().dphi(s), np.ones_like(s))
+
+
+def test_mackey_glass_matches_textbook_for_positive_inputs():
+    p = 2.0
+    s = np.linspace(0.01, 4.0, 50)
+    np.testing.assert_allclose(MackeyGlass(p).phi(s), s / (1 + s**p))
+
+
+def test_mackey_glass_is_odd_symmetric():
+    mg = MackeyGlass(p=2.0)
+    s = np.linspace(0.1, 3.0, 20)
+    np.testing.assert_allclose(mg.phi(-s), -mg.phi(s))
+
+
+def test_mackey_glass_is_bounded():
+    mg = MackeyGlass(p=2.0)
+    s = np.linspace(-100, 100, 1001)
+    assert np.all(np.abs(mg.phi(s)) <= 1.0)
+
+
+@given(st.floats(-50, 50, allow_nan=False))
+@settings(max_examples=50, deadline=None)
+def test_bounded_flags_are_honest(s):
+    for nonl in ALL_SHAPES:
+        if nonl.bounded:
+            assert abs(float(nonl.phi(np.array(s)))) <= max(
+                1.0, getattr(nonl, "limit", 1.0)
+            )
+
+
+def test_saturating_linear_clips():
+    sat = SaturatingLinear(limit=0.5)
+    np.testing.assert_array_equal(
+        sat.phi(np.array([-2.0, 0.2, 2.0])), np.array([-0.5, 0.2, 0.5])
+    )
+    np.testing.assert_array_equal(
+        sat.dphi(np.array([-2.0, 0.2, 2.0])), np.array([0.0, 1.0, 0.0])
+    )
+
+
+def test_registry_round_trip():
+    for name in NONLINEARITIES:
+        assert get_nonlinearity(name).name == name
+
+
+def test_get_nonlinearity_passthrough():
+    inst = MackeyGlass(p=4.0)
+    assert get_nonlinearity(inst) is inst
+
+
+def test_get_nonlinearity_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown nonlinearity"):
+        get_nonlinearity("relu6")
+    with pytest.raises(TypeError):
+        get_nonlinearity(42)
+
+
+def test_invalid_constructor_args_rejected():
+    with pytest.raises(ValueError):
+        MackeyGlass(p=0.5)
+    with pytest.raises(ValueError):
+        Sine(omega=0.0)
+    with pytest.raises(ValueError):
+        SaturatingLinear(limit=-1.0)
+
+
+def test_equality_and_hash():
+    assert MackeyGlass(p=2.0) == MackeyGlass(p=2.0)
+    assert MackeyGlass(p=2.0) != MackeyGlass(p=3.0)
+    assert Identity() == Identity()
+    assert hash(Sine(omega=1.5)) == hash(Sine(omega=1.5))

@@ -1,0 +1,87 @@
+"""Tests for Bianchi-format npz import/export."""
+
+import numpy as np
+import pytest
+
+from repro.data.loaders import make_toy_dataset
+from repro.data.npz_io import load_npz_dataset, save_npz_dataset
+
+
+@pytest.fixture
+def toy():
+    return make_toy_dataset(n_classes=3, n_channels=2, length=12,
+                            n_train=15, n_test=9, seed=0)
+
+
+def test_round_trip(tmp_path, toy):
+    path = str(tmp_path / "toy.npz")
+    save_npz_dataset(path, toy)
+    loaded = load_npz_dataset(path)
+    np.testing.assert_array_equal(loaded.u_train, toy.u_train)
+    np.testing.assert_array_equal(loaded.y_train, toy.y_train)
+    np.testing.assert_array_equal(loaded.u_test, toy.u_test)
+    np.testing.assert_array_equal(loaded.y_test, toy.y_test)
+    assert loaded.n_classes == 3
+    assert loaded.spec.family == "npz"
+
+
+def test_one_based_labels_are_shifted(tmp_path, toy):
+    path = str(tmp_path / "toy1.npz")
+    save_npz_dataset(path, toy, one_based=True)
+    loaded = load_npz_dataset(path)
+    np.testing.assert_array_equal(loaded.y_train, toy.y_train)
+    assert loaded.y_train.min() == 0
+
+
+def test_key_override_and_default(tmp_path, toy):
+    path = str(tmp_path / "mydata.npz")
+    save_npz_dataset(path, toy)
+    assert load_npz_dataset(path).key == "MYDATA"
+    assert load_npz_dataset(path, key="CUSTOM").key == "CUSTOM"
+
+
+def test_label_column_shape_tolerated(tmp_path, toy):
+    """Some distributions store labels as (N, 1) floats; both must load."""
+    path = str(tmp_path / "floaty.npz")
+    np.savez(
+        path,
+        X=toy.u_train,
+        Y=toy.y_train.astype(np.float64)[:, np.newaxis],
+        Xte=toy.u_test,
+        Yte=toy.y_test.astype(np.float64)[:, np.newaxis],
+    )
+    loaded = load_npz_dataset(path)
+    np.testing.assert_array_equal(loaded.y_train, toy.y_train)
+
+
+def test_missing_keys_rejected(tmp_path, toy):
+    path = str(tmp_path / "broken.npz")
+    np.savez(path, X=toy.u_train, Y=toy.y_train)
+    with pytest.raises(ValueError, match="missing keys"):
+        load_npz_dataset(path)
+
+
+def test_shape_mismatch_rejected(tmp_path, toy):
+    path = str(tmp_path / "mismatch.npz")
+    np.savez(
+        path,
+        X=toy.u_train,
+        Y=toy.y_train[:, np.newaxis],
+        Xte=toy.u_test[:, :5, :],   # different T
+        Yte=toy.y_test[:, np.newaxis],
+    )
+    with pytest.raises(ValueError, match="disagree"):
+        load_npz_dataset(path)
+
+
+def test_loaded_dataset_runs_through_pipeline(tmp_path, toy):
+    from repro.core.pipeline import DFRClassifier
+    from repro.core.trainer import TrainerConfig
+
+    path = str(tmp_path / "pipe.npz")
+    save_npz_dataset(path, toy)
+    data = load_npz_dataset(path)
+    clf = DFRClassifier(n_nodes=5, seed=0, config=TrainerConfig(epochs=2))
+    clf.fit(data.u_train, data.y_train)
+    preds = clf.predict(data.u_test)
+    assert preds.shape == (9,)

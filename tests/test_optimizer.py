@@ -1,0 +1,131 @@
+"""Tests for optimizers and learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.core.optimizer import (
+    Adam,
+    ConstantSchedule,
+    MomentumSGD,
+    SGD,
+    StepSchedule,
+    clip_gradients,
+    get_optimizer,
+    paper_output_schedule,
+    paper_reservoir_schedule,
+)
+
+
+class TestSchedules:
+    def test_paper_reservoir_schedule_values(self):
+        """Sec. 4: start at 1, x0.1 at epochs 5, 10, 15, 20."""
+        sched = paper_reservoir_schedule()
+        expected = {1: 1.0, 4: 1.0, 5: 0.1, 9: 0.1, 10: 0.01, 14: 0.01,
+                    15: 1e-3, 19: 1e-3, 20: 1e-4, 25: 1e-4}
+        for epoch, lr in expected.items():
+            assert sched.lr_at(epoch) == pytest.approx(lr)
+
+    def test_paper_output_schedule_values(self):
+        """Sec. 4: output layer decays at epochs 10, 15, 20 only."""
+        sched = paper_output_schedule()
+        assert sched.lr_at(9) == pytest.approx(1.0)
+        assert sched.lr_at(10) == pytest.approx(0.1)
+        assert sched.lr_at(25) == pytest.approx(1e-3)
+
+    def test_constant_schedule(self):
+        sched = ConstantSchedule(0.5)
+        assert sched.lr_at(1) == sched.lr_at(100) == 0.5
+
+    def test_step_schedule_validation(self):
+        with pytest.raises(ValueError):
+            StepSchedule(0.0, (5,))
+        with pytest.raises(ValueError):
+            StepSchedule(1.0, (5, 3))  # not increasing
+        with pytest.raises(ValueError):
+            StepSchedule(1.0, (0,))  # epochs are 1-indexed
+        with pytest.raises(ValueError):
+            StepSchedule(1.0, (5,), gamma=0.0)
+        with pytest.raises(ValueError):
+            StepSchedule(1.0, (5,)).lr_at(0)
+
+
+class TestClipGradients:
+    def test_no_clip_below_threshold(self):
+        grads = {"a": np.array([3.0]), "b": np.array([4.0])}
+        norm = clip_gradients(grads, 10.0)
+        assert norm == pytest.approx(5.0)
+        assert grads["a"][0] == 3.0
+
+    def test_clips_to_max_norm(self):
+        grads = {"a": np.array([3.0]), "b": np.array([4.0])}
+        clip_gradients(grads, 1.0)
+        total = np.sqrt(grads["a"][0] ** 2 + grads["b"][0] ** 2)
+        assert total == pytest.approx(1.0)
+        # direction preserved
+        assert grads["a"][0] / grads["b"][0] == pytest.approx(0.75)
+
+    def test_none_disables(self):
+        grads = {"a": np.array([100.0])}
+        clip_gradients(grads, None)
+        assert grads["a"][0] == 100.0
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_gradients({"a": np.array([1.0])}, -1.0)
+
+
+class TestOptimizers:
+    def _params(self):
+        return {"w": np.array([1.0, 2.0]), "s": np.array(0.5)}
+
+    def test_sgd_step(self):
+        params = self._params()
+        grads = {"w": np.array([0.1, -0.1]), "s": np.array(0.2)}
+        SGD().step(params, grads, {"w": 1.0, "s": 0.5})
+        np.testing.assert_allclose(params["w"], [0.9, 2.1])
+        assert params["s"] == pytest.approx(0.4)
+
+    def test_momentum_accumulates(self):
+        params = {"w": np.array([0.0])}
+        grads = {"w": np.array([1.0])}
+        opt = MomentumSGD(momentum=0.5)
+        opt.step(params, grads, {"w": 1.0})   # v = -1    -> w = -1
+        opt.step(params, grads, {"w": 1.0})   # v = -1.5  -> w = -2.5
+        assert params["w"][0] == pytest.approx(-2.5)
+        opt.reset()
+        opt.step(params, grads, {"w": 1.0})
+        assert params["w"][0] == pytest.approx(-3.5)
+
+    def test_adam_first_step_is_lr_sized(self):
+        params = {"w": np.array([0.0])}
+        grads = {"w": np.array([7.0])}
+        Adam().step(params, grads, {"w": 0.1})
+        # bias-corrected first step magnitude ~ lr regardless of grad scale
+        assert params["w"][0] == pytest.approx(-0.1, rel=1e-6)
+
+    def test_optimizers_reduce_quadratic_loss(self):
+        for opt in (SGD(), MomentumSGD(), Adam()):
+            params = {"w": np.array([5.0, -3.0])}
+            for _ in range(200):
+                grads = {"w": 2 * params["w"]}
+                opt.step(params, grads, {"w": 0.05})
+            assert np.linalg.norm(params["w"]) < 0.5, repr(opt)
+
+    def test_get_optimizer(self):
+        assert isinstance(get_optimizer("sgd"), SGD)
+        assert isinstance(get_optimizer("momentum"), MomentumSGD)
+        assert isinstance(get_optimizer("adam"), Adam)
+        inst = Adam()
+        assert get_optimizer(inst) is inst
+        with pytest.raises(ValueError):
+            get_optimizer("lbfgs")
+        with pytest.raises(TypeError):
+            get_optimizer(3.14)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            MomentumSGD(momentum=1.0)
+        with pytest.raises(ValueError):
+            Adam(beta1=1.5)
+        with pytest.raises(ValueError):
+            ConstantSchedule(-1.0)

@@ -1,0 +1,120 @@
+"""End-to-end tests for DFRClassifier and the shared evaluation protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import (
+    DFRClassifier,
+    DFRFeatureExtractor,
+    evaluate_fixed_params,
+)
+from repro.core.trainer import TrainerConfig
+from repro.data.loaders import make_toy_dataset
+
+
+@pytest.fixture(scope="module")
+def toy():
+    return make_toy_dataset(n_classes=3, n_channels=2, length=30,
+                            n_train=45, n_test=45, noise=0.25, seed=7)
+
+
+@pytest.fixture(scope="module")
+def fitted(toy):
+    clf = DFRClassifier(n_nodes=8, seed=0)
+    clf.fit(toy.u_train, toy.y_train)
+    return clf
+
+
+class TestDFRClassifier:
+    def test_learns_toy_problem(self, toy, fitted):
+        assert fitted.score(toy.u_test, toy.y_test) > 0.6
+
+    def test_beats_untrained_parameters(self, toy, fitted):
+        ext = DFRFeatureExtractor(n_nodes=8, seed=0).fit(toy.u_train)
+        untrained = evaluate_fixed_params(
+            ext, toy.u_train, toy.y_train, toy.u_test, toy.y_test,
+            0.01, 0.01, seed=1,
+        )
+        assert fitted.score(toy.u_test, toy.y_test) >= untrained.test_accuracy
+
+    def test_fitted_attributes(self, fitted):
+        assert fitted.A_ is not None and fitted.B_ is not None
+        assert fitted.beta_ in (1e-6, 1e-4, 1e-2, 1.0)
+        assert fitted.n_classes_ == 3
+        assert len(fitted.training_.history) == TrainerConfig().epochs
+
+    def test_predict_shapes(self, toy, fitted):
+        preds = fitted.predict(toy.u_test)
+        assert preds.shape == (45,)
+        probs = fitted.predict_proba(toy.u_test)
+        assert probs.shape == (45, 3)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+        np.testing.assert_array_equal(preds, probs.argmax(axis=1))
+
+    def test_unfitted_prediction_rejected(self):
+        clf = DFRClassifier(n_nodes=4, seed=0)
+        with pytest.raises(RuntimeError, match="fitted"):
+            clf.predict(np.zeros((1, 5, 2)))
+
+    def test_reproducible_under_seed(self, toy):
+        a1 = DFRClassifier(n_nodes=6, seed=3).fit(toy.u_train, toy.y_train)
+        a2 = DFRClassifier(n_nodes=6, seed=3).fit(toy.u_train, toy.y_train)
+        assert a1.A_ == a2.A_ and a1.beta_ == a2.beta_
+        np.testing.assert_array_equal(
+            a1.predict(toy.u_test), a2.predict(toy.u_test)
+        )
+
+    def test_custom_config_is_used(self, toy):
+        config = TrainerConfig(epochs=2)
+        clf = DFRClassifier(n_nodes=6, config=config, seed=0)
+        clf.fit(toy.u_train, toy.y_train)
+        assert len(clf.training_.history) == 2
+
+
+class TestFeatureExtractor:
+    def test_feature_shape(self, toy):
+        ext = DFRFeatureExtractor(n_nodes=8, seed=0).fit(toy.u_train)
+        feats, diverged = ext.features(toy.u_test, 0.1, 0.1)
+        assert feats.shape == (45, 8 * 9)
+        assert diverged.shape == (45,)
+        assert not diverged.any()
+
+    def test_unfitted_rejected(self):
+        ext = DFRFeatureExtractor(n_nodes=4)
+        with pytest.raises(RuntimeError, match="fitted"):
+            ext.features(np.zeros((1, 5, 2)), 0.1, 0.1)
+
+    def test_standardization_is_fit_on_train_only(self, toy):
+        ext = DFRFeatureExtractor(n_nodes=4, seed=0).fit(toy.u_train)
+        mean_before = ext.standardizer.mean_.copy()
+        ext.features(toy.u_test * 100, 0.1, 0.1)
+        np.testing.assert_array_equal(ext.standardizer.mean_, mean_before)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            DFRFeatureExtractor(n_nodes=0)
+        with pytest.raises(ValueError):
+            DFRFeatureExtractor(mask_kind="magic")
+
+
+class TestEvaluateFixedParams:
+    def test_diverged_params_reported_not_raised(self, toy):
+        ext = DFRFeatureExtractor(n_nodes=6, seed=0).fit(toy.u_train)
+        ev = evaluate_fixed_params(
+            ext, toy.u_train, toy.y_train, toy.u_test, toy.y_test,
+            5.0, 5.0, seed=1,  # wildly unstable for the identity shape
+        )
+        assert ev.diverged
+        assert ev.test_accuracy == 0.0
+        assert ev.val_loss == float("inf")
+
+    def test_returns_consistent_selection(self, toy):
+        ext = DFRFeatureExtractor(n_nodes=6, seed=0).fit(toy.u_train)
+        ev = evaluate_fixed_params(
+            ext, toy.u_train, toy.y_train, toy.u_test, toy.y_test,
+            0.1, 0.2, seed=1,
+        )
+        assert not ev.diverged
+        assert ev.beta in (1e-6, 1e-4, 1e-2, 1.0)
+        assert 0.0 <= ev.test_accuracy <= 1.0
+        assert ev.A == 0.1 and ev.B == 0.2

@@ -1,0 +1,68 @@
+"""Tests for the bench reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import ascii_heatmap, format_paper_comparison, format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["name", "value"], [["a", 1.0], ["bb", 2.5]])
+        lines = text.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert "-+-" in lines[1]
+        assert "1.000" in lines[2]
+        assert "2.500" in lines[3]
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_column_alignment(self):
+        text = format_table(["col"], [["short"], ["a-much-longer-cell"]])
+        lines = text.splitlines()
+        assert len(lines[2]) == len(lines[3])
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestAsciiHeatmap:
+    def test_values_rendered(self):
+        mat = np.array([[0.1, 0.9], [0.5, 0.3]])
+        text = ascii_heatmap(mat, row_labels=["r0", "r1"],
+                             col_labels=["c0", "c1"])
+        assert "0.100" in text and "0.900" in text
+        assert "r0" in text and "c1" in text
+
+    def test_mark(self):
+        mat = np.array([[0.1, 0.9]])
+        text = ascii_heatmap(mat, row_labels=["r"], col_labels=["a", "b"],
+                             mark=(0, 1))
+        assert "0.900*" in text
+
+    def test_nan_rendering(self):
+        mat = np.array([[np.nan, 1.0]])
+        text = ascii_heatmap(mat, row_labels=["r"], col_labels=["a", "b"])
+        assert "----" in text
+
+    def test_constant_matrix_does_not_crash(self):
+        mat = np.full((2, 2), 0.5)
+        text = ascii_heatmap(mat, row_labels=["a", "b"], col_labels=["c", "d"])
+        assert "0.500" in text
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.zeros(3), row_labels=["a"], col_labels=["b"])
+
+
+class TestPaperComparison:
+    def test_interleaving(self):
+        text = format_paper_comparison(
+            ["ds", "acc"],
+            [["X", 0.9]],
+            [["X", 0.85]],
+        )
+        assert "0.900 (0.850)" in text

@@ -1,0 +1,171 @@
+"""Differential tests: fast modular DFR vs the naive reference transcription."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.representation.dprr import DPRR
+from repro.reservoir.masking import InputMask
+from repro.reservoir.modular import ModularDFR
+from repro.reservoir.reference import naive_modular_forward
+
+
+@pytest.mark.parametrize("nonlinearity", ["identity", "tanh", "mackey-glass", "sine"])
+def test_fast_forward_matches_naive_reference(nonlinearity):
+    rng = np.random.default_rng(42)
+    mask = InputMask.uniform(5, 3, seed=rng)
+    u = rng.normal(size=(4, 11, 3))
+    a_val, b_val = 0.3, 0.25
+    dfr = ModularDFR(mask, nonlinearity=nonlinearity)
+    trace = dfr.run(u, a_val, b_val)
+    ref_states, ref_pre = naive_modular_forward(
+        u, mask.matrix, a_val, b_val, nonlinearity
+    )
+    np.testing.assert_allclose(trace.states, ref_states, rtol=1e-12, atol=1e-12)
+    np.testing.assert_allclose(trace.pre_activations, ref_pre, rtol=1e-12, atol=1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_nodes=st.integers(1, 7),
+    n_steps=st.integers(1, 9),
+    a_val=st.floats(0.01, 0.5),
+    b_val=st.floats(0.01, 0.5),
+    seed=st.integers(0, 10_000),
+)
+def test_fast_forward_matches_naive_reference_property(
+    n_nodes, n_steps, a_val, b_val, seed
+):
+    rng = np.random.default_rng(seed)
+    mask = InputMask.binary(n_nodes, 2, seed=rng)
+    u = rng.normal(size=(2, n_steps, 2))
+    trace = ModularDFR(mask).run(u, a_val, b_val)
+    ref_states, _ = naive_modular_forward(u, mask.matrix, a_val, b_val)
+    np.testing.assert_allclose(trace.states, ref_states, rtol=1e-10, atol=1e-12)
+
+
+def test_initial_state_is_zero_and_shapes():
+    mask = InputMask.binary(8, 2, seed=0)
+    u = np.random.default_rng(0).normal(size=(3, 12, 2))
+    trace = ModularDFR(mask).run(u, 0.1, 0.1)
+    assert trace.states.shape == (3, 13, 8)
+    assert trace.pre_activations.shape == (3, 12, 8)
+    np.testing.assert_array_equal(trace.states[:, 0], 0.0)
+    assert trace.n_steps == 12 and trace.n_nodes == 8 and trace.n_samples == 3
+
+
+def test_node_chain_boundary_crosses_time_steps():
+    # with A = 0 the update is x(k)_n = B x(k)_{n-1}: node 1 at step 2 must
+    # see node N_x of step 1 through the boundary, not zero
+    mask = InputMask(np.ones((3, 1)))
+    dfr = ModularDFR(mask)
+    u = np.zeros((1, 2, 1))
+    # seed the state via one step with A = 1: x(1) = phi(j) = j = 0 here,
+    # so instead drive step 1 with input and A = 1
+    u[0, 0, 0] = 1.0
+    trace = dfr.run(u, 1.0, 0.5)
+    x1 = trace.states[0, 1]  # after step 1
+    x2 = trace.states[0, 2]
+    # step 2 has zero input: x(2)_1 = A*x(1)_1 + B*x(1)_3
+    assert x2[0] == pytest.approx(1.0 * x1[0] + 0.5 * x1[2])
+
+
+def test_first_step_first_node_has_no_feedback():
+    # x(1)_1 = A*phi(j(1)_1) exactly (all feedback terms are zero)
+    mask = InputMask(np.array([[2.0], [1.0]]))
+    dfr = ModularDFR(mask)
+    u = np.array([[[3.0]]])  # one sample, one step, one channel
+    trace = dfr.run(u, 0.25, 0.9)
+    assert trace.states[0, 1, 0] == pytest.approx(0.25 * 6.0)
+    # and node 2 sees node 1 through B
+    assert trace.states[0, 1, 1] == pytest.approx(0.25 * 3.0 + 0.9 * 0.25 * 6.0)
+
+
+def test_divergence_flagging():
+    mask = InputMask(np.ones((4, 1)))
+    dfr = ModularDFR(mask)  # identity shape -> can diverge
+    u = np.ones((2, 400, 1))
+    u[1] *= 0.0  # second sample: zero input stays at zero
+    trace = dfr.run(u, 2.0, 1.5)  # wildly unstable parameters
+    assert trace.diverged[0]
+    assert not trace.diverged[1]
+
+
+def test_stable_run_not_flagged():
+    mask = InputMask.binary(10, 2, seed=0)
+    u = np.random.default_rng(0).normal(size=(3, 200, 2))
+    trace = ModularDFR(mask).run(u, 0.3, 0.3)
+    assert not trace.diverged.any()
+    assert np.all(np.isfinite(trace.states))
+
+
+def test_rejects_nonfinite_params():
+    mask = InputMask.binary(4, 1, seed=0)
+    dfr = ModularDFR(mask)
+    with pytest.raises(ValueError):
+        dfr.run(np.ones((1, 5, 1)), np.nan, 0.1)
+    with pytest.raises(ValueError):
+        dfr.run(np.ones((1, 5, 1)), 0.1, np.inf)
+
+
+class TestStreaming:
+    def test_streaming_window_matches_trace_tail(self):
+        rng = np.random.default_rng(3)
+        mask = InputMask.uniform(6, 2, seed=rng)
+        dfr = ModularDFR(mask, nonlinearity="tanh")
+        u = rng.normal(size=(5, 20, 2))
+        trace = dfr.run(u, 0.4, 0.3)
+        for window in (1, 3, 20):
+            stream = dfr.run_streaming(u, 0.4, 0.3, window=window)
+            np.testing.assert_allclose(
+                stream.window_states,
+                trace.states[:, -(window + 1):],
+                rtol=1e-12,
+                atol=1e-12,
+            )
+            np.testing.assert_allclose(
+                stream.window_pre_activations,
+                trace.pre_activations[:, -window:],
+                rtol=1e-12,
+                atol=1e-12,
+            )
+
+    def test_streaming_dprr_sums_match_batch_dprr(self):
+        rng = np.random.default_rng(4)
+        mask = InputMask.uniform(5, 3, seed=rng)
+        dfr = ModularDFR(mask)
+        u = rng.normal(size=(3, 15, 3))
+        trace = dfr.run(u, 0.2, 0.35)
+        stream = dfr.run_streaming(u, 0.2, 0.35, window=2)
+        dprr = DPRR(normalize=None)
+        np.testing.assert_allclose(
+            dprr.features(stream), dprr.features(trace), rtol=1e-10, atol=1e-12
+        )
+
+    def test_final_window_slicing_equals_streaming(self):
+        rng = np.random.default_rng(5)
+        mask = InputMask.uniform(4, 2, seed=rng)
+        dfr = ModularDFR(mask)
+        u = rng.normal(size=(2, 10, 2))
+        trace = dfr.run(u, 0.3, 0.2)
+        stream = dfr.run_streaming(u, 0.3, 0.2, window=4)
+        sliced = trace.final_window(4)
+        np.testing.assert_allclose(sliced.window_states, stream.window_states)
+        np.testing.assert_allclose(
+            sliced.window_pre_activations, stream.window_pre_activations
+        )
+        assert sliced.n_steps == stream.n_steps == 10
+
+    def test_window_longer_than_series_is_clamped(self):
+        mask = InputMask.binary(3, 1, seed=0)
+        dfr = ModularDFR(mask)
+        u = np.random.default_rng(0).normal(size=(1, 5, 1))
+        stream = dfr.run_streaming(u, 0.2, 0.2, window=99)
+        assert stream.window == 5
+
+    def test_invalid_window_rejected(self):
+        mask = InputMask.binary(3, 1, seed=0)
+        dfr = ModularDFR(mask)
+        with pytest.raises(ValueError):
+            dfr.run_streaming(np.ones((1, 5, 1)), 0.2, 0.2, window=0)

@@ -1,0 +1,137 @@
+"""Tests for the ridge readout and beta model selection."""
+
+import numpy as np
+import pytest
+
+from repro.readout.ridge import (
+    PAPER_BETAS,
+    fit_ridge,
+    fit_ridge_sweep,
+    select_beta,
+)
+
+
+def _separable_problem(rng, n=60, n_features=8, n_classes=3, scale=3.0):
+    """Gaussian blobs: linearly separable when scale is large."""
+    y = rng.integers(0, n_classes, size=n)
+    centers = rng.normal(size=(n_classes, n_features)) * scale
+    x = centers[y] + rng.normal(size=(n, n_features))
+    return x, y
+
+
+def test_fit_ridge_learns_separable_blobs(rng):
+    x, y = _separable_problem(rng)
+    model = fit_ridge(x, y, beta=1e-4)
+    assert model.accuracy(x, y) >= 0.95
+
+
+def test_predictions_generalize(rng):
+    x, y = _separable_problem(rng, n=200)
+    model = fit_ridge(x[:100], y[:100], beta=1e-2)
+    assert model.accuracy(x[100:], y[100:]) >= 0.9
+
+
+def test_small_beta_approaches_least_squares(rng):
+    """As beta -> 0 on a well-conditioned problem, ridge -> OLS."""
+    x = rng.normal(size=(100, 5))
+    w_true = rng.normal(size=(5, 2))
+    scores = x @ w_true
+    y = scores.argmax(axis=1)
+    m_small = fit_ridge(x, y, beta=1e-10)
+    m_tiny = fit_ridge(x, y, beta=1e-12)
+    np.testing.assert_allclose(m_small.coef, m_tiny.coef, rtol=1e-3, atol=1e-6)
+
+
+def test_heavier_beta_shrinks_coefficients(rng):
+    x, y = _separable_problem(rng)
+    sweep = fit_ridge_sweep(x, y, [1e-6, 1e2])
+    assert np.linalg.norm(sweep[1e2].coef) < np.linalg.norm(sweep[1e-6].coef)
+
+
+def test_sweep_matches_individual_fits(rng):
+    x, y = _separable_problem(rng)
+    sweep = fit_ridge_sweep(x, y, PAPER_BETAS)
+    for beta in PAPER_BETAS:
+        single = fit_ridge(x, y, beta)
+        np.testing.assert_allclose(sweep[beta].coef, single.coef, rtol=1e-10)
+
+
+def test_rank_deficient_features_are_handled(rng):
+    """More features than samples (the DPRR regime: N_r=930 >> N)."""
+    x = rng.normal(size=(20, 50))
+    y = rng.integers(0, 2, size=20)
+    model = fit_ridge(x, y, beta=1e-2)
+    assert np.all(np.isfinite(model.coef))
+    assert model.accuracy(x, y) >= 0.5
+
+
+def test_constant_feature_does_not_blow_up(rng):
+    x, y = _separable_problem(rng)
+    x[:, 0] = 5.0  # zero variance
+    model = fit_ridge(x, y, beta=1e-4)
+    assert np.all(np.isfinite(model.coef))
+
+
+def test_scores_shape_and_intercept(rng):
+    x, y = _separable_problem(rng, n_classes=4)
+    model = fit_ridge(x, y, beta=1e-2)
+    assert model.scores(x).shape == (60, 4)
+    # one-hot regression scores should average to the class priors
+    np.testing.assert_allclose(
+        model.scores(x).mean(axis=0),
+        np.bincount(y, minlength=4) / len(y),
+        atol=0.05,
+    )
+
+
+def test_nonfinite_features_rejected(rng):
+    x, y = _separable_problem(rng)
+    x[0, 0] = np.inf
+    with pytest.raises(ValueError, match="non-finite"):
+        fit_ridge(x, y, beta=1e-2)
+
+
+def test_nonpositive_beta_rejected(rng):
+    x, y = _separable_problem(rng)
+    with pytest.raises(ValueError):
+        fit_ridge(x, y, beta=0.0)
+    with pytest.raises(ValueError):
+        fit_ridge(x, y, beta=-1.0)
+
+
+class TestSelectBeta:
+    def test_selects_regularized_model_when_overfitting(self, rng):
+        # high-dimensional noise + weak signal: tiny beta overfits badly
+        n, n_features = 40, 200
+        y = rng.integers(0, 2, size=n)
+        x = rng.normal(size=(n, n_features))
+        x[:, 0] += 0.5 * (2 * y - 1)
+        sel = select_beta(x, y, betas=PAPER_BETAS, seed=0)
+        assert sel.best_beta >= 1e-4
+
+    def test_selection_returns_all_candidates(self, rng):
+        x, y = _separable_problem(rng)
+        sel = select_beta(x, y, betas=PAPER_BETAS, seed=0)
+        assert set(sel.val_losses) == set(PAPER_BETAS)
+        assert set(sel.val_accuracies) == set(PAPER_BETAS)
+        assert sel.best_val_loss == sel.val_losses[sel.best_beta]
+
+    def test_final_model_is_refit_on_all_data(self, rng):
+        x, y = _separable_problem(rng)
+        sel = select_beta(x, y, betas=[1e-2], seed=0)
+        direct = fit_ridge(x, y, beta=1e-2)
+        np.testing.assert_allclose(sel.best_model.coef, direct.coef, rtol=1e-10)
+
+    def test_tiny_dataset_fallback(self, rng):
+        # every class has a single sample -> empty holdout -> fallback
+        x = rng.normal(size=(3, 5))
+        y = np.array([0, 1, 2])
+        sel = select_beta(x, y, betas=PAPER_BETAS, seed=0)
+        assert sel.best_beta in PAPER_BETAS
+
+    def test_deterministic_under_seed(self, rng):
+        x, y = _separable_problem(rng)
+        s1 = select_beta(x, y, seed=7)
+        s2 = select_beta(x, y, seed=7)
+        assert s1.best_beta == s2.best_beta
+        assert s1.val_losses == s2.val_losses

@@ -1,0 +1,168 @@
+"""Tests for the softmax/cross-entropy output layer (paper Sec. 3.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.readout.softmax import (
+    SoftmaxReadout,
+    cross_entropy,
+    one_hot,
+    softmax,
+)
+
+
+def test_softmax_rows_sum_to_one(rng):
+    z = rng.normal(size=(7, 4)) * 10
+    p = softmax(z)
+    np.testing.assert_allclose(p.sum(axis=1), 1.0, rtol=1e-12)
+    assert np.all(p >= 0)
+
+
+def test_softmax_is_shift_invariant(rng):
+    z = rng.normal(size=(3, 5))
+    np.testing.assert_allclose(softmax(z), softmax(z + 123.0), rtol=1e-10)
+
+
+def test_softmax_extreme_logits_stable():
+    p = softmax(np.array([[1e4, 0.0, -1e4]]))
+    assert np.all(np.isfinite(p))
+    assert p[0, 0] == pytest.approx(1.0)
+
+
+def test_cross_entropy_perfect_prediction_is_zero():
+    probs = np.array([[0.0, 1.0, 0.0]])
+    targets = np.array([[0.0, 1.0, 0.0]])
+    assert cross_entropy(probs, targets)[0] == pytest.approx(0.0)
+
+
+def test_cross_entropy_wrong_confident_prediction_is_large_but_finite():
+    probs = np.array([[1.0, 0.0]])
+    targets = np.array([[0.0, 1.0]])
+    loss = cross_entropy(probs, targets)[0]
+    assert np.isfinite(loss) and loss > 100
+
+
+def test_one_hot_round_trip():
+    labels = np.array([0, 2, 1, 2])
+    enc = one_hot(labels, 3)
+    assert enc.shape == (4, 3)
+    np.testing.assert_array_equal(enc.argmax(axis=1), labels)
+    np.testing.assert_array_equal(enc.sum(axis=1), 1.0)
+
+
+def test_one_hot_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        one_hot(np.array([0, 3]), 3)
+    with pytest.raises(ValueError):
+        one_hot(np.array([-1]), 3)
+
+
+class TestSoftmaxReadout:
+    def test_zero_init_predicts_uniform(self):
+        readout = SoftmaxReadout(10, 4)
+        p = readout.predict_proba(np.random.default_rng(0).normal(size=(3, 10)))
+        np.testing.assert_allclose(p, 0.25, rtol=1e-12)
+
+    def test_gradients_match_finite_difference(self, rng):
+        readout = SoftmaxReadout(6, 3)
+        readout.weights = rng.normal(size=(3, 6))
+        readout.bias = rng.normal(size=3)
+        r = rng.normal(size=6)
+        d = one_hot(np.array([1]), 3)[0]
+        out = readout.loss_and_grads(r, d)
+
+        eps = 1e-6
+
+        def loss_at(w, b):
+            tmp = SoftmaxReadout(6, 3)
+            tmp.weights, tmp.bias = w, b
+            return tmp.loss_and_grads(r, d).loss
+
+        # spot-check several weight entries and all bias entries
+        for (i, j) in [(0, 0), (1, 3), (2, 5)]:
+            w_plus = readout.weights.copy()
+            w_plus[i, j] += eps
+            w_minus = readout.weights.copy()
+            w_minus[i, j] -= eps
+            num = (loss_at(w_plus, readout.bias) - loss_at(w_minus, readout.bias)) / (
+                2 * eps
+            )
+            assert out.d_weights[i, j] == pytest.approx(num, rel=1e-5, abs=1e-8)
+        for i in range(3):
+            b_plus = readout.bias.copy()
+            b_plus[i] += eps
+            b_minus = readout.bias.copy()
+            b_minus[i] -= eps
+            num = (loss_at(readout.weights, b_plus)
+                   - loss_at(readout.weights, b_minus)) / (2 * eps)
+            assert out.d_bias[i] == pytest.approx(num, rel=1e-5, abs=1e-8)
+
+    def test_feature_gradient_matches_finite_difference(self, rng):
+        readout = SoftmaxReadout(5, 3)
+        readout.weights = rng.normal(size=(3, 5))
+        r = rng.normal(size=5)
+        d = one_hot(np.array([2]), 3)[0]
+        out = readout.loss_and_grads(r, d)
+        eps = 1e-6
+        for i in range(5):
+            r_plus = r.copy()
+            r_plus[i] += eps
+            r_minus = r.copy()
+            r_minus[i] -= eps
+            num = (
+                readout.loss_and_grads(r_plus, d).loss
+                - readout.loss_and_grads(r_minus, d).loss
+            ) / (2 * eps)
+            assert out.d_features[i] == pytest.approx(num, rel=1e-5, abs=1e-8)
+
+    def test_delta_is_probs_minus_target(self, rng):
+        """Paper Eq. 16: the backpropagated output error is y - d."""
+        readout = SoftmaxReadout(4, 3)
+        readout.weights = rng.normal(size=(3, 4))
+        r = rng.normal(size=4)
+        d = one_hot(np.array([0]), 3)[0]
+        out = readout.loss_and_grads(r, d)
+        np.testing.assert_allclose(out.d_bias, out.probs - d, rtol=1e-12)
+
+    def test_shape_validation(self):
+        readout = SoftmaxReadout(4, 3)
+        with pytest.raises(ValueError):
+            readout.loss_and_grads(np.zeros(5), np.zeros(3))
+        with pytest.raises(ValueError):
+            readout.loss_and_grads(np.zeros(4), np.zeros(2))
+        with pytest.raises(ValueError):
+            SoftmaxReadout(0, 3)
+        with pytest.raises(ValueError):
+            SoftmaxReadout(4, 1)
+
+    def test_predict_argmax(self, rng):
+        readout = SoftmaxReadout(4, 3)
+        readout.weights = rng.normal(size=(3, 4))
+        feats = rng.normal(size=(10, 4))
+        np.testing.assert_array_equal(
+            readout.predict(feats), readout.predict_proba(feats).argmax(axis=1)
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_gradient_of_loss_wrt_logits_is_probs_minus_target(seed):
+    rng = np.random.default_rng(seed)
+    z = rng.normal(size=4)
+    d = np.zeros(4)
+    d[rng.integers(4)] = 1.0
+
+    def loss(z_val):
+        return float(cross_entropy(softmax(z_val[np.newaxis]), d[np.newaxis])[0])
+
+    grads = softmax(z[np.newaxis])[0] - d
+    eps = 1e-6
+    for i in range(4):
+        z_p = z.copy()
+        z_p[i] += eps
+        z_m = z.copy()
+        z_m[i] -= eps
+        assert grads[i] == pytest.approx((loss(z_p) - loss(z_m)) / (2 * eps),
+                                         rel=1e-4, abs=1e-7)

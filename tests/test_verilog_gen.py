@@ -1,0 +1,111 @@
+"""Tests for the Verilog generator and its bit-exact golden model."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.fixed_point import QFormat
+from repro.hardware.verilog_gen import (
+    generate,
+    generate_dfr_module,
+    generate_testbench,
+    golden_fixed_states,
+)
+
+Q = QFormat(3, 8)
+
+
+class TestModuleGeneration:
+    def test_structure(self):
+        src = generate_dfr_module(30, 0.3, 0.25, Q)
+        assert "module modular_dfr" in src
+        assert "parameter integer WIDTH = 12" in src
+        assert "parameter integer N_NODES = 30" in src
+        assert "endmodule" in src
+        assert "COEFF_A" in src and "COEFF_B" in src
+        assert ">>> FRAC" in src  # truncating fixed-point products
+
+    def test_coefficients_encoded(self):
+        # A = 0.25 in Q3.8 -> 0x040
+        src = generate_dfr_module(4, 0.25, 0.5, Q)
+        assert "12'h040" in src   # A
+        assert "12'h080" in src   # B
+
+    def test_negative_coefficient_twos_complement(self):
+        src = generate_dfr_module(4, -0.25, 0.5, Q)
+        assert "12'hfc0" in src   # -0.25 -> two's complement of 0x040
+
+    def test_custom_module_name(self):
+        src = generate_dfr_module(4, 0.1, 0.1, Q, module_name="my_dfr")
+        assert "module my_dfr" in src
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_dfr_module(0, 0.1, 0.1, Q)
+
+
+class TestGoldenModel:
+    def test_zero_drive_stays_zero(self):
+        out = golden_fixed_states([0] * 12, 77, 33, 4, 12, 8)
+        assert out == [0] * 12
+
+    def test_single_impulse_response(self):
+        # one-node chain: x[t] = (A*(j + x[t-1]_as_delay...)) — with n=1 the
+        # delay line has depth 1 so x[t-1] plays both roles
+        a_fixed = 1 << 8  # A = 1.0
+        b_fixed = 0
+        out = golden_fixed_states([256, 0, 0], a_fixed, b_fixed, 1, 12, 8)
+        # x0 = (256*256)>>8 = 256; x1 = A*(0 + 256) = 256; persists
+        assert out[0] == 256
+        assert out[1] == 256
+
+    def test_truncation_floors_toward_minus_infinity(self):
+        # A = 0.5, drive = 1 LSB: product = 1*128 = 128 >> 8 = 0 (floor)
+        out = golden_fixed_states([1, 0], 128, 0, 2, 12, 8)
+        assert out[0] == 0
+        # negative drive: -1 * 128 = -128 >> 8 = -1 (floors, not to zero)
+        out = golden_fixed_states([-1, 0], 128, 0, 2, 12, 8)
+        assert out[0] == -1
+
+    def test_wraparound_at_width(self):
+        # saturating behavior is NOT modeled: the RTL wraps, so must we
+        big = (1 << 11) - 1  # max positive at width 12
+        out = golden_fixed_states([big, big], 1 << 8, 1 << 8, 1, 12, 8)
+        assert all(-(1 << 11) <= v < (1 << 11) for v in out)
+
+    def test_matches_float_model_when_exact(self):
+        """With A = 1 and B = 0 every product is exact (no truncation), so
+        the golden model must equal the float recurrence exactly."""
+        n_nodes, width, frac = 3, 12, 8
+        rng = np.random.default_rng(0)
+        drive_fixed = [int(v) for v in rng.integers(-40, 40, size=9)]
+        out = golden_fixed_states(drive_fixed, 1 << frac, 0,
+                                  n_nodes, width, frac)
+        # float reference of x[t] = j[t] + x[t-N] on the flat chain
+        line = [0] * n_nodes
+        for t, j_val in enumerate(drive_fixed):
+            x = j_val + line[-1]
+            line = [x] + line[:-1]
+            assert out[t] == x
+
+
+class TestTestbench:
+    def test_structure_and_vectors(self):
+        rng = np.random.default_rng(1)
+        drive = rng.uniform(-1, 1, size=8)
+        tb = generate_testbench(4, 0.3, 0.25, Q, drive)
+        assert "modular_dfr_tb" in tb
+        assert "localparam integer N_VEC = 8" in tb
+        assert tb.count("stimulus[") == 8 + 1  # 8 assignments + declaration
+        assert "$display" in tb and "$finish" in tb
+
+    def test_drive_length_validation(self):
+        with pytest.raises(ValueError):
+            generate_testbench(4, 0.3, 0.25, Q, np.ones(7))  # not multiple
+        with pytest.raises(ValueError):
+            generate_testbench(4, 0.3, 0.25, Q, np.zeros(0))
+
+    def test_generate_and_write(self, tmp_path):
+        v = generate(4, 0.3, 0.25, Q, seed=0)
+        mod_path, tb_path = v.write(str(tmp_path))
+        assert open(mod_path).read() == v.module_source
+        assert open(tb_path).read() == v.testbench_source
