@@ -5,6 +5,9 @@ forward sweep, the DPRR contraction, the (truncated vs full) backward pass,
 and the ridge solve that dominates each grid point.
 """
 
+import os
+import time
+
 import numpy as np
 import pytest
 
@@ -94,6 +97,64 @@ def test_full_bptt_backward(benchmark, dfr, trace, rng):
         return total
 
     benchmark.pedantic(backward_some, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def test_backward_batched_vs_per_sample(benchmark, jpvow_small, rng):
+    """Throughput of ``batch_gradients`` vs a per-sample loop at batch 32.
+
+    The recorded metric is the batched backward pass; ``extra_info`` carries
+    the per-sample baseline and the speedup factor so the pytest-benchmark
+    JSON report (``--benchmark-json``) tracks the ratio across PRs.
+    """
+    data = jpvow_small
+    batch = 32
+    u = data.u_train[:batch]
+    dfr = ModularDFR(InputMask.binary(N_NODES, u.shape[2], seed=0))
+    trace32 = dfr.run(u, 0.2, 0.3)
+    t_len = trace32.n_steps
+    dprr = DPRR()
+    feats = dprr.features(trace32)
+    readout = SoftmaxReadout(feats.shape[1], data.n_classes)
+    readout.weights = rng.normal(scale=0.01, size=readout.weights.shape)
+    targets = one_hot(data.y_train[:batch], data.n_classes)
+    engine = BackpropEngine(window=1, dprr=dprr)
+    win = trace32.final_window(1, copy=False)
+
+    def per_sample():
+        for i in range(batch):
+            engine.sample_gradients(
+                win.window_states[i], win.window_pre_activations[i],
+                feats[i], readout, targets[i], 0.2, 0.3, n_steps=t_len,
+            )
+
+    def batched():
+        return engine.batch_gradients(
+            win.window_states, win.window_pre_activations,
+            feats, readout, targets, 0.2, 0.3, n_steps=t_len,
+        )
+
+    def best_of(fn, rounds=5):
+        timings = []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            fn()
+            timings.append(time.perf_counter() - start)
+        return min(timings)
+
+    per_sample_s = best_of(per_sample)
+    batched_s = best_of(batched)
+    speedup = per_sample_s / batched_s
+    benchmark.extra_info["per_sample_seconds"] = per_sample_s
+    benchmark.extra_info["batched_seconds"] = batched_s
+    benchmark.extra_info["batch_size"] = batch
+    benchmark.extra_info["speedup_batched_vs_per_sample"] = speedup
+    grads = benchmark.pedantic(batched, rounds=3, iterations=1, warmup_rounds=1)
+    assert grads.n_samples == batch
+    # the acceptance bar for the batched engine is >= 3x backward throughput
+    # (typically ~10x); REPRO_SPEEDUP_FLOOR relaxes the gate on noisy shared
+    # runners where wall-clock ratios are unreliable
+    floor = float(os.environ.get("REPRO_SPEEDUP_FLOOR", "3.0"))
+    assert speedup >= floor, f"batched backward only {speedup:.1f}x faster"
 
 
 def test_ridge_sweep_cost(benchmark, trace, rng):

@@ -55,6 +55,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--datasets", nargs="+", default=None,
                    choices=list(dataset_keys()))
     p.add_argument("--max-divisions", type=int, default=20)
+    p.add_argument(
+        "--batch-size", type=int, default=1,
+        help="minibatch size for the backprop phase (1 = the paper's "
+             "per-sample SGD; run once with 1 and once with e.g. 32 to "
+             "compare per-sample vs batched training throughput)",
+    )
     _add_common(p)
 
     p = sub.add_parser("table2", help="storage reduction (Table 2, exact)")
@@ -99,6 +105,7 @@ def main(argv=None) -> int:
             seed=args.seed,
             max_divisions=args.max_divisions,
             epochs=args.epochs,
+            batch_size=args.batch_size,
         )
         print()
         print(format_table1(rows))

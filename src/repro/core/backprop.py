@@ -42,7 +42,13 @@ from repro.readout.softmax import SoftmaxReadout
 from repro.representation.dprr import DPRR
 from repro.reservoir.nonlinearity import Identity, Nonlinearity, get_nonlinearity
 
-__all__ = ["DFRGradients", "BackpropEngine", "reservoir_backward"]
+__all__ = [
+    "DFRGradients",
+    "BatchGradients",
+    "BackpropEngine",
+    "reservoir_backward",
+    "batch_reservoir_backward",
+]
 
 
 @dataclass
@@ -58,6 +64,31 @@ class DFRGradients:
     #: dL/dx(k)_n over the backward window, shape (window, N_x); exposed for
     #: tests and diagnostics
     state_grads: Optional[np.ndarray] = None
+
+
+@dataclass
+class BatchGradients:
+    """Gradients of the per-sample losses over a whole minibatch.
+
+    Parameter gradients that are scalars per sample (``d_A``, ``d_B``) stay
+    per-row so the caller controls the reduction (and can drop diverged
+    rows); the dense output-layer gradients are already averaged over the
+    batch, since per-sample ``(N_y, N_r)`` matrices are rank-1 and never
+    needed individually.
+    """
+
+    losses: np.ndarray       # (N,) per-sample cross-entropy
+    probs: np.ndarray        # (N, N_y) predicted probabilities
+    d_A: np.ndarray          # (N,) per-sample dL/dA
+    d_B: np.ndarray          # (N,) per-sample dL/dB
+    d_weights: np.ndarray    # (N_y, N_r) mean over the batch
+    d_bias: np.ndarray       # (N_y,) mean over the batch
+    #: dL/dx(k)_n over the backward window, shape (N, window, N_x)
+    state_grads: Optional[np.ndarray] = None
+
+    @property
+    def n_samples(self) -> int:
+        return self.losses.shape[0]
 
 
 def reservoir_backward(
@@ -151,8 +182,106 @@ def reservoir_backward(
     return d_a, d_b, state_grads
 
 
+def batch_reservoir_backward(
+    window_states: np.ndarray,
+    window_pre: np.ndarray,
+    d_repr: np.ndarray,
+    A: float,
+    B: float,
+    *,
+    n_steps: int,
+    nonlinearity: Nonlinearity,
+) -> tuple:
+    """Vectorized :func:`reservoir_backward` over a minibatch.
+
+    Identical mathematics, one batch axis in front of every array: the
+    per-step backward recursion is a first-order IIR filter in ``n`` (the
+    reversed Eq.-30 chain), so :func:`scipy.signal.lfilter` evaluates it for
+    all samples at once exactly like the forward pass in
+    :mod:`repro.reservoir.modular` — the Python loop is only over the
+    ``window`` time steps, not over samples.
+
+    Parameters
+    ----------
+    window_states:
+        ``(N, window + 1, N_x)`` states ``x(T-window) .. x(T)`` per sample.
+    window_pre:
+        ``(N, window, N_x)`` pre-activations ``s(T-window+1) .. s(T)``.
+    d_repr:
+        ``(N, N_x (N_x+1))`` per-sample gradients w.r.t. the *unnormalized*
+        DPRR sums.
+    A, B:
+        Shared reservoir parameters (one candidate point for the batch).
+    n_steps:
+        Total series length ``T``.
+
+    Returns
+    -------
+    (d_A, d_B, state_grads):
+        ``(N,)`` parameter-gradient vectors and the ``(N, window, N_x)``
+        array of dL/dx(k)_n.
+    """
+    window_states = np.asarray(window_states, dtype=np.float64)
+    window_pre = np.asarray(window_pre, dtype=np.float64)
+    if window_pre.ndim != 3:
+        raise ValueError(
+            f"window_pre must be (N, window, N_x), got shape {window_pre.shape}"
+        )
+    n, window, nx = window_pre.shape
+    if window_states.shape != (n, window + 1, nx):
+        raise ValueError(
+            f"window_states must be (N, window+1, N_x) = {(n, window + 1, nx)}, "
+            f"got {window_states.shape}"
+        )
+    if window > n_steps:
+        raise ValueError(f"window {window} exceeds series length {n_steps}")
+    d_repr = np.asarray(d_repr, dtype=np.float64)
+    if d_repr.shape != (n, nx * (nx + 1)):
+        raise ValueError(
+            f"d_repr must be (N, N_x(N_x+1)) = {(n, nx * (nx + 1))}, "
+            f"got {d_repr.shape}"
+        )
+    g_mat = d_repr[:, : nx * nx].reshape(n, nx, nx)
+    g_sum = d_repr[:, nx * nx:]
+
+    b_poly = np.array([1.0, -B])
+    g_next = np.zeros((n, nx))   # g(k+1); zero beyond the final step
+    d_a = np.zeros(n)
+    d_b = np.zeros(n)
+    state_grads = np.zeros((n, window, nx))
+    dphi = nonlinearity.dphi
+    phi = nonlinearity.phi
+
+    for idx in range(window - 1, -1, -1):
+        k_is_last = idx == window - 1
+        x_prev = window_states[:, idx]
+        x_here = window_states[:, idx + 1]
+        # Eq. 23, batched: bpv(k) = G x(k-1) + g_sum (+ G^T x(k+1))
+        drive = np.einsum("nij,nj->ni", g_mat, x_prev) + g_sum
+        if not k_is_last:
+            x_next = window_states[:, idx + 2]
+            drive = drive + np.einsum("nji,nj->ni", g_mat, x_next)
+            # Eq. 30, cross-step term A * phi'(s(k+1)) * g(k+1)
+            drive = drive + A * dphi(window_pre[:, idx + 1]) * g_next
+        # Eq. 30, B-chain within the step, boundary B * g(k+1)_1 per sample
+        zi = B * g_next[:, :1]
+        rev, _ = lfilter([1.0], b_poly, drive[:, ::-1], axis=-1, zi=zi)
+        g_here = rev[:, ::-1]
+        state_grads[:, idx] = g_here
+        # Eqs. 31-32 restricted to the window, one dot product per sample
+        d_a += np.einsum("ni,ni->n", phi(window_pre[:, idx]), g_here)
+        x_left = np.concatenate([x_prev[:, -1:], x_here[:, :-1]], axis=1)
+        d_b += np.einsum("ni,ni->n", x_left, g_here)
+        g_next = g_here
+    return d_a, d_b, state_grads
+
+
 class BackpropEngine:
-    """Per-sample gradient computation for the modular-DFR classifier.
+    """Gradient computation for the modular-DFR classifier.
+
+    :meth:`sample_gradients` is the per-sample path (the paper's SGD
+    protocol); :meth:`batch_gradients` vectorizes the identical mathematics
+    over a minibatch sharing one ``(A, B)`` candidate.
 
     Parameters
     ----------
@@ -227,6 +356,52 @@ class BackpropEngine:
             d_B=d_b,
             d_weights=out.d_weights,
             d_bias=out.d_bias,
+            state_grads=state_grads if keep_state_grads else None,
+        )
+
+    def batch_gradients(
+        self,
+        window_states: np.ndarray,
+        window_pre: np.ndarray,
+        features: np.ndarray,
+        readout: SoftmaxReadout,
+        targets_onehot: np.ndarray,
+        A: float,
+        B: float,
+        *,
+        n_steps: int,
+        keep_state_grads: bool = False,
+    ) -> BatchGradients:
+        """Full gradient set for a minibatch sharing one ``(A, B)`` point.
+
+        Array arguments carry a leading batch axis: ``window_states`` is
+        ``(N, window+1, N_x)``, ``window_pre`` is ``(N, window, N_x)``,
+        ``features`` is ``(N, N_r)`` and ``targets_onehot`` is ``(N, N_y)``.
+        Output-layer gradients come back averaged over the batch; ``d_A``,
+        ``d_B`` and ``losses`` stay per-row so callers can mask diverged
+        samples before reducing.
+        """
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        out = readout.batch_loss_and_grads(features, targets_onehot)
+        # undo the DPRR normalization so d_repr is w.r.t. the raw sums
+        d_repr = out.d_features * self.dprr.scale(n_steps)
+        d_a, d_b, state_grads = batch_reservoir_backward(
+            window_states,
+            window_pre,
+            d_repr,
+            A,
+            B,
+            n_steps=n_steps,
+            nonlinearity=self.nonlinearity,
+        )
+        n = features.shape[0]
+        return BatchGradients(
+            losses=out.losses,
+            probs=out.probs,
+            d_A=d_a,
+            d_B=d_b,
+            d_weights=out.deltas.T @ features / n,
+            d_bias=out.deltas.mean(axis=0),
             state_grads=state_grads if keep_state_grads else None,
         )
 

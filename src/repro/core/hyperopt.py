@@ -69,6 +69,7 @@ class _BlackBoxSearch:
         b_range: Tuple[float, float] = PAPER_B_RANGE,
         betas: Sequence[float] = PAPER_BETAS,
         val_fraction: float = 0.2,
+        feature_batch_size: Optional[int] = None,
         seed: SeedLike = None,
     ):
         self.extractor = extractor
@@ -76,6 +77,9 @@ class _BlackBoxSearch:
         self.b_range = tuple(b_range)
         self.betas = tuple(betas)
         self.val_fraction = float(val_fraction)
+        #: chunk size for the per-candidate reservoir sweeps; bounds peak
+        #: trace memory on large datasets without changing any score
+        self.feature_batch_size = feature_batch_size
         self._rng = ensure_rng(seed)
 
     def _evaluate(self, data, log_a: float, log_b: float,
@@ -85,7 +89,8 @@ class _BlackBoxSearch:
             self.extractor, u_train, y_train, u_test, y_test,
             10.0**log_a, 10.0**log_b,
             betas=self.betas, val_fraction=self.val_fraction,
-            n_classes=n_classes, seed=split_seed,
+            n_classes=n_classes, feature_batch_size=self.feature_batch_size,
+            seed=split_seed,
         )
 
 

@@ -20,7 +20,7 @@ the Table 1 comparison.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
 import numpy as np
@@ -63,17 +63,26 @@ class DFRFeatureExtractor:
         normalize: Optional[str] = None,
         mask_kind: str = "binary",
         mask_gamma: float = 1.0,
+        feature_batch_size: Optional[int] = None,
         seed: SeedLike = None,
     ):
         if n_nodes < 1:
             raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
         if mask_kind not in ("binary", "uniform"):
             raise ValueError(f"mask_kind must be 'binary' or 'uniform', got {mask_kind!r}")
+        if feature_batch_size is not None and feature_batch_size < 1:
+            raise ValueError(
+                f"feature_batch_size must be None or >= 1, got {feature_batch_size}"
+            )
         self.n_nodes = int(n_nodes)
         self.nonlinearity = get_nonlinearity(nonlinearity)
         self.dprr = DPRR(normalize=normalize)
         self.mask_kind = mask_kind
         self.mask_gamma = float(mask_gamma)
+        #: when set, feature extraction runs the reservoir in chunks of this
+        #: many samples so the peak trace storage is bounded at
+        #: ``feature_batch_size * (T+1) * N_x`` regardless of the batch size
+        self.feature_batch_size = feature_batch_size
         self._rng = ensure_rng(seed)
         self.standardizer = ChannelStandardizer()
         self.reservoir: Optional[ModularDFR] = None
@@ -93,18 +102,37 @@ class DFRFeatureExtractor:
         self.reservoir = ModularDFR(mask, nonlinearity=self.nonlinearity)
         return self
 
-    def features(self, u: np.ndarray, A: float, B: float) -> tuple:
+    def features(
+        self, u: np.ndarray, A: float, B: float,
+        *, batch_size: Optional[int] = None,
+    ) -> tuple:
         """DPRR features for a batch under candidate parameters.
 
         Returns ``(features, diverged)`` where ``diverged`` is the per-sample
         flag from the reservoir run; rows flagged as diverged contain
         non-finite values and must not reach the ridge solver.
+
+        ``batch_size`` (default: the extractor's ``feature_batch_size``)
+        chunks the reservoir sweep over samples, bounding peak memory; the
+        features are identical either way since samples are independent.
         """
         if self.reservoir is None:
             raise RuntimeError("extractor must be fitted before use")
-        u_std = self.standardizer.transform(u)
-        trace = self.reservoir.run(u_std, A, B)
-        return self.dprr.features(trace), trace.diverged
+        u_std = as_batch(self.standardizer.transform(u))
+        if batch_size is None:
+            batch_size = self.feature_batch_size
+        n = u_std.shape[0]
+        if batch_size is None or n <= batch_size:
+            trace = self.reservoir.run(u_std, A, B)
+            return self.dprr.features(trace), trace.diverged
+        feats = np.empty((n, self.n_features))
+        diverged = np.empty(n, dtype=bool)
+        for start in range(0, n, batch_size):
+            stop = min(start + batch_size, n)
+            trace = self.reservoir.run(u_std[start:stop], A, B)
+            feats[start:stop] = self.dprr.features(trace)
+            diverged[start:stop] = trace.diverged
+        return feats, diverged
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (
@@ -138,6 +166,7 @@ def evaluate_fixed_params(
     betas: Sequence[float] = PAPER_BETAS,
     val_fraction: float = 0.2,
     n_classes: Optional[int] = None,
+    feature_batch_size: Optional[int] = None,
     seed: SeedLike = None,
 ) -> FixedParamsEvaluation:
     """Evaluate fixed reservoir parameters exactly like the pipeline would.
@@ -146,13 +175,20 @@ def evaluate_fixed_params(
     the full training set and scores the test set.  Diverged reservoirs are
     reported with infinite loss and zero accuracy instead of raising, so a
     grid sweep can cross unstable corners of the search box.
+    ``feature_batch_size`` chunks the reservoir sweeps (identical features,
+    bounded memory) — unrelated to the SGD minibatch size of
+    :class:`~repro.core.trainer.TrainerConfig`.
     """
     y_train = ensure_1d_labels(y_train)
     y_test = ensure_1d_labels(y_test)
     if n_classes is None:
         n_classes = int(max(y_train.max(), y_test.max())) + 1
-    f_train, div_train = extractor.features(u_train, A, B)
-    f_test, div_test = extractor.features(u_test, A, B)
+    f_train, div_train = extractor.features(
+        u_train, A, B, batch_size=feature_batch_size
+    )
+    f_test, div_test = extractor.features(
+        u_test, A, B, batch_size=feature_batch_size
+    )
     if div_train.any() or div_test.any():
         return FixedParamsEvaluation(
             A=A, B=B, beta=float("nan"), val_loss=float("inf"),
@@ -186,6 +222,10 @@ class DFRClassifier:
     config:
         :class:`~repro.core.trainer.TrainerConfig`; defaults to the paper's
         SGD protocol (25 epochs, truncated backprop, LR schedule).
+    batch_size:
+        Convenience override for ``config.batch_size``: 1 (the default
+        config) is the paper's per-sample SGD, larger values train through
+        the vectorized minibatch engine.
     betas:
         Ridge regularizer candidates (paper: ``1e-6, 1e-4, 1e-2, 1``).
     val_fraction:
@@ -209,6 +249,7 @@ class DFRClassifier:
         *,
         nonlinearity="identity",
         config: Optional[TrainerConfig] = None,
+        batch_size: Optional[int] = None,
         betas: Sequence[float] = PAPER_BETAS,
         val_fraction: float = 0.2,
         normalize: Optional[str] = None,
@@ -226,6 +267,8 @@ class DFRClassifier:
             seed=self._rng,
         )
         self.config = config if config is not None else TrainerConfig()
+        if batch_size is not None:
+            self.config = replace(self.config, batch_size=int(batch_size))
         self.betas = tuple(betas)
         self.val_fraction = float(val_fraction)
         # fitted attributes

@@ -4,7 +4,10 @@ The training protocol reproduced here is exactly the paper's:
 
 * parameters ``A``, ``B`` initialized to 0.01 each, output layer ``W``, ``b``
   initialized to zeros;
-* per-sample stochastic gradient descent for 25 epochs;
+* per-sample stochastic gradient descent for 25 epochs
+  (``batch_size=1``; larger minibatches vectorize the identical gradients
+  over samples and average them, trading the paper's update granularity for
+  throughput);
 * learning rates start at 1; the reservoir rate decays x0.1 at epochs
   5/10/15/20, the output rate at 10/15/20;
 * backpropagation truncated to the final reservoir state (``window=1``),
@@ -41,6 +44,11 @@ class TrainerConfig:
     """Hyperparameters of the backpropagation phase (defaults = the paper)."""
 
     epochs: int = 25
+    #: samples per SGD update; 1 = the paper's per-sample protocol (kept
+    #: numerically identical to the original loop), > 1 runs the batched
+    #: engine: one vectorized forward/backward per minibatch, gradients
+    #: averaged over the batch's non-diverged rows
+    batch_size: int = 1
     lr_reservoir: float = 1.0
     lr_output: float = 1.0
     reservoir_milestones: tuple = (5, 10, 15, 20)
@@ -69,6 +77,8 @@ class TrainerConfig:
     def __post_init__(self):
         if self.epochs < 1:
             raise ValueError(f"epochs must be >= 1, got {self.epochs}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
         if self.window is not None and self.window < 1:
             raise ValueError(f"window must be None or >= 1, got {self.window}")
         if self.param_min <= 0 or self.param_max <= self.param_min:
@@ -144,15 +154,35 @@ class BackpropTrainer:
             reservoir.nonlinearity, dprr=self.dprr, window=self.config.window
         )
 
-    def _pull_back(self, params) -> None:
-        """Shrink A and B after a divergent forward pass (recovery guard)."""
-        shrink = self.config.divergence_shrink
+    def _pull_back(self, params, count: int = 1) -> None:
+        """Shrink A and B after divergent forward passes (recovery guard).
+
+        ``count`` divergent samples apply the shrink ``count`` times, exactly
+        as the per-sample loop would have done one sample at a time.
+        """
+        shrink = self.config.divergence_shrink ** count
         params["A"] *= shrink
         params["B"] *= shrink
         np.clip(params["A"], self.config.param_min, self.config.param_max,
                 out=params["A"])
         np.clip(params["B"], self.config.param_min, self.config.param_max,
                 out=params["B"])
+
+    def _apply_update(self, params, grads, optimizer, lr_r: float,
+                      lr_o: float) -> None:
+        """Clip, step and clamp — shared by both execution paths."""
+        cfg = self.config
+        clip_gradients(grads, cfg.grad_clip)
+        if cfg.reservoir_grad_clip is not None:
+            np.clip(grads["A"], -cfg.reservoir_grad_clip,
+                    cfg.reservoir_grad_clip, out=grads["A"])
+            np.clip(grads["B"], -cfg.reservoir_grad_clip,
+                    cfg.reservoir_grad_clip, out=grads["B"])
+        optimizer.step(
+            params, grads, {"A": lr_r, "B": lr_r, "W": lr_o, "b": lr_o}
+        )
+        np.clip(params["A"], cfg.param_min, cfg.param_max, out=params["A"])
+        np.clip(params["B"], cfg.param_min, cfg.param_max, out=params["B"])
 
     def fit(self, u: np.ndarray, y: np.ndarray) -> TrainingResult:
         """Run the full SGD protocol on a training set.
@@ -194,6 +224,11 @@ class BackpropTrainer:
         window = self.engine.effective_window(t_len)
         use_full_trace = cfg.window is None
 
+        backward_window = t_len if use_full_trace else window
+        run_epoch = (
+            self._epoch_per_sample if cfg.batch_size == 1 else self._epoch_batched
+        )
+
         history: List[EpochStats] = []
         for epoch in range(1, cfg.epochs + 1):
             lr_r = res_schedule.lr_at(epoch)
@@ -201,55 +236,10 @@ class BackpropTrainer:
             order = self.rng.permutation(n_samples) if cfg.shuffle else np.arange(
                 n_samples
             )
-            losses = []
-            n_correct = 0
-            n_skipped = 0
-            for idx in order:
-                a_val = float(params["A"])
-                b_val = float(params["B"])
-                sample = u[idx: idx + 1]
-                # The full trace is computed for speed (the identity shape
-                # admits a single-filter forward); the backward pass then
-                # consumes only the truncation window, so the *mathematics*
-                # is identical to the memory-bounded streaming execution
-                # (ModularDFR.run_streaming), as pinned by tests.
-                trace = self.reservoir.run(sample, a_val, b_val)
-                if trace.diverged[0]:
-                    n_skipped += 1
-                    self._pull_back(params)
-                    continue
-                feats = self.dprr.features(trace)[0]
-                win = trace.final_window(t_len if use_full_trace else window)
-                grads_out = self.engine.sample_gradients(
-                    win.window_states[0],
-                    win.window_pre_activations[0],
-                    feats,
-                    readout,
-                    targets[idx],
-                    a_val,
-                    b_val,
-                    n_steps=t_len,
-                )
-                losses.append(grads_out.loss)
-                if int(np.argmax(grads_out.probs)) == y[idx]:
-                    n_correct += 1
-                grads = {
-                    "A": np.array(grads_out.d_A),
-                    "B": np.array(grads_out.d_B),
-                    "W": grads_out.d_weights,
-                    "b": grads_out.d_bias,
-                }
-                clip_gradients(grads, cfg.grad_clip)
-                if cfg.reservoir_grad_clip is not None:
-                    np.clip(grads["A"], -cfg.reservoir_grad_clip,
-                            cfg.reservoir_grad_clip, out=grads["A"])
-                    np.clip(grads["B"], -cfg.reservoir_grad_clip,
-                            cfg.reservoir_grad_clip, out=grads["B"])
-                optimizer.step(
-                    params, grads, {"A": lr_r, "B": lr_r, "W": lr_o, "b": lr_o}
-                )
-                np.clip(params["A"], cfg.param_min, cfg.param_max, out=params["A"])
-                np.clip(params["B"], cfg.param_min, cfg.param_max, out=params["B"])
+            losses, n_correct, n_skipped = run_epoch(
+                u, y, targets, order, params, readout, optimizer,
+                backward_window, t_len, lr_r, lr_o,
+            )
             n_seen = len(losses)
             history.append(
                 EpochStats(
@@ -270,6 +260,116 @@ class BackpropTrainer:
             history=history,
             elapsed_seconds=time.perf_counter() - start,
         )
+
+    def _epoch_per_sample(self, u, y, targets, order, params, readout,
+                          optimizer, backward_window, t_len, lr_r, lr_o):
+        """One epoch of the paper's per-sample SGD (``batch_size=1``).
+
+        This is the seed training loop verbatim; the ``batch_size=1``
+        trajectory is pinned bit-for-bit by regression tests, so any change
+        here must keep the arithmetic (and its order) intact.
+        """
+        losses = []
+        n_correct = 0
+        n_skipped = 0
+        for idx in order:
+            a_val = float(params["A"])
+            b_val = float(params["B"])
+            sample = u[idx: idx + 1]
+            # The full trace is computed for speed (the identity shape
+            # admits a single-filter forward); the backward pass then
+            # consumes only the truncation window, so the *mathematics*
+            # is identical to the memory-bounded streaming execution
+            # (ModularDFR.run_streaming), as pinned by tests.
+            trace = self.reservoir.run(sample, a_val, b_val)
+            if trace.diverged[0]:
+                n_skipped += 1
+                self._pull_back(params)
+                continue
+            feats = self.dprr.features(trace)[0]
+            win = trace.final_window(backward_window, copy=False)
+            grads_out = self.engine.sample_gradients(
+                win.window_states[0],
+                win.window_pre_activations[0],
+                feats,
+                readout,
+                targets[idx],
+                a_val,
+                b_val,
+                n_steps=t_len,
+            )
+            losses.append(grads_out.loss)
+            if int(np.argmax(grads_out.probs)) == y[idx]:
+                n_correct += 1
+            grads = {
+                "A": np.array(grads_out.d_A),
+                "B": np.array(grads_out.d_B),
+                "W": grads_out.d_weights,
+                "b": grads_out.d_bias,
+            }
+            self._apply_update(params, grads, optimizer, lr_r, lr_o)
+        return losses, n_correct, n_skipped
+
+    def _epoch_batched(self, u, y, targets, order, params, readout,
+                       optimizer, backward_window, t_len, lr_r, lr_o):
+        """One epoch of minibatch SGD through the vectorized engine.
+
+        Every minibatch shares one ``(A, B)`` snapshot for its forward and
+        backward pass; gradients are averaged over the batch's non-diverged
+        rows, and each diverged row triggers the same pull-back the
+        per-sample loop would have applied for that sample.
+        """
+        batch_size = self.config.batch_size
+        losses = []
+        n_correct = 0
+        n_skipped = 0
+        for start in range(0, order.shape[0], batch_size):
+            sel = order[start: start + batch_size]
+            a_val = float(params["A"])
+            b_val = float(params["B"])
+            trace = self.reservoir.run(u[sel], a_val, b_val)
+            diverged = trace.diverged
+            n_div = int(diverged.sum())
+            win = trace.final_window(backward_window, copy=False)
+            if n_div:
+                n_skipped += n_div
+                self._pull_back(params, count=n_div)
+                if n_div == sel.shape[0]:
+                    continue
+                # drop the diverged rows (this copies; the common all-valid
+                # case below stays on the no-copy views)
+                valid = ~diverged
+                kept = sel[valid]
+                feats = self.dprr.features(trace.states[valid])
+                window_states = win.window_states[valid]
+                window_pre = win.window_pre_activations[valid]
+            else:
+                kept = sel
+                feats = self.dprr.features(trace)
+                window_states = win.window_states
+                window_pre = win.window_pre_activations
+            grads_out = self.engine.batch_gradients(
+                window_states,
+                window_pre,
+                feats,
+                readout,
+                targets[kept],
+                a_val,
+                b_val,
+                n_steps=t_len,
+            )
+            losses.extend(grads_out.losses.tolist())
+            n_correct += int(
+                np.count_nonzero(grads_out.probs.argmax(axis=1) == y[kept])
+            )
+            grads = {
+                "A": np.array(grads_out.d_A.mean()),
+                "B": np.array(grads_out.d_B.mean()),
+                "W": grads_out.d_weights,
+                "b": grads_out.d_bias,
+            }
+            self._apply_update(params, grads, optimizer, lr_r, lr_o)
+        return losses, n_correct, n_skipped
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (

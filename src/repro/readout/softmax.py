@@ -22,7 +22,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["softmax", "cross_entropy", "one_hot", "SoftmaxReadout", "OutputGradients"]
+__all__ = [
+    "softmax",
+    "cross_entropy",
+    "one_hot",
+    "SoftmaxReadout",
+    "OutputGradients",
+    "BatchOutputGradients",
+]
 
 #: clamp for log() arguments so that a confidently wrong prediction yields a
 #: large-but-finite loss
@@ -76,6 +83,22 @@ class OutputGradients:
     d_weights: np.ndarray  # (N_y, N_r)
     d_bias: np.ndarray     # (N_y,)
     d_features: np.ndarray  # (N_r,)
+
+
+@dataclass
+class BatchOutputGradients:
+    """Closed-form output-layer gradients for a whole minibatch.
+
+    Per-sample weight gradients are rank-1 (``dL_i/dW = outer(deltas[i],
+    r[i])``), so the batch carries ``deltas`` instead of materializing ``N``
+    full ``(N_y, N_r)`` matrices; reduced weight/bias gradients follow as
+    ``deltas.T @ r / N`` and ``deltas.mean(axis=0)``.
+    """
+
+    losses: np.ndarray      # (N,)
+    probs: np.ndarray       # (N, N_y)
+    deltas: np.ndarray      # (N, N_y) = probs - targets (Eq. 16, per row)
+    d_features: np.ndarray  # (N, N_r) = deltas @ W (Eq. 17, per row)
 
 
 class SoftmaxReadout:
@@ -152,6 +175,38 @@ class SoftmaxReadout:
             d_weights=np.outer(delta, r),      # Eq. 17
             d_bias=delta,                      # Eq. 17
             d_features=self.weights.T @ delta,  # Eq. 17
+        )
+
+    def batch_loss_and_grads(
+        self, features: np.ndarray, targets_onehot: np.ndarray
+    ) -> BatchOutputGradients:
+        """Vectorized Eq.-17 gradients for a minibatch.
+
+        Parameters
+        ----------
+        features:
+            ``(N, N_r)`` representation matrix (one row per sample).
+        targets_onehot:
+            ``(N, N_y)`` one-hot target matrix.
+        """
+        r = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        d = np.atleast_2d(np.asarray(targets_onehot, dtype=np.float64))
+        if r.shape[1] != self.n_features:
+            raise ValueError(
+                f"feature size {r.shape[1]} != readout width {self.n_features}"
+            )
+        if d.shape != (r.shape[0], self.n_classes):
+            raise ValueError(
+                f"targets must be {(r.shape[0], self.n_classes)}, got {d.shape}"
+            )
+        z = r @ self.weights.T + self.bias
+        probs = softmax(z)
+        deltas = probs - d
+        return BatchOutputGradients(
+            losses=cross_entropy(probs, d),
+            probs=probs,
+            deltas=deltas,
+            d_features=deltas @ self.weights,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - trivial

@@ -86,19 +86,34 @@ class ReservoirTrace:
     def n_nodes(self) -> int:
         return self.states.shape[2]
 
-    def final_window(self, window: int) -> "StreamingResult":
+    def final_window(self, window: int, *, copy: bool = True) -> "StreamingResult":
         """Slice the last ``window`` steps into a :class:`StreamingResult`.
 
         Useful to run truncated backpropagation from a full trace; the result
         is identical to what :meth:`ModularDFR.run_streaming` produces with
         the same window (tests pin this equivalence).
+
+        With ``copy=False`` the result holds read-only *views* into this
+        trace instead of fresh arrays — the trainer's hot loop takes this
+        path, since it slices every sample every epoch and never mutates the
+        window.
         """
         window = _check_window(window, self.n_steps)
+        window_states = self.states[:, -(window + 1):]
+        window_pre = self.pre_activations[:, -window:]
+        diverged = self.diverged
+        if copy:
+            window_states = window_states.copy()
+            window_pre = window_pre.copy()
+            diverged = diverged.copy()
+        else:
+            window_states.setflags(write=False)
+            window_pre.setflags(write=False)
         return StreamingResult(
-            window_states=self.states[:, -(window + 1):].copy(),
-            window_pre_activations=self.pre_activations[:, -window:].copy(),
+            window_states=window_states,
+            window_pre_activations=window_pre,
             dprr_sums=None,
-            diverged=self.diverged.copy(),
+            diverged=diverged,
             n_steps=self.n_steps,
         )
 
