@@ -1,0 +1,85 @@
+"""Benchmark: serial vs multiprocess grid search through the executor layer.
+
+Times one full ``d=4`` grid level (16 independent ``(A, B)`` candidates)
+serially and sharded across 4 worker processes, mirroring PR 1's
+batched-backward benchmark: the measured metric is the parallel run, and
+``extra_info`` carries both timings plus the speedup ratio so the
+pytest-benchmark JSON report (``--benchmark-json``) tracks it across PRs.
+
+The acceptance bar is a >= 2x wall-clock speedup at 4 workers, which
+obviously needs hardware parallelism; on fewer than 4 usable cores the
+gate degrades gracefully (the ratio is still recorded).
+``REPRO_PARALLEL_SPEEDUP_FLOOR`` overrides the gate either way, mirroring
+``REPRO_SPEEDUP_FLOOR`` on shared CI runners.
+"""
+
+import os
+
+import pytest
+
+from repro.core.grid_search import GridSearch
+from repro.core.pipeline import DFRFeatureExtractor
+
+DIVISIONS = 4
+WORKERS = 4
+N_NODES = 24
+
+
+def _usable_cores() -> int:
+    # affinity-aware where available (cgroup/taskset limits): cpu_count()
+    # reports the host's cores even when this process may only use a few
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _default_floor(cores: int) -> str:
+    if cores >= 4:
+        return "2.0"
+    if cores >= 2:
+        return "1.0"   # 4 workers on 2 cores: expect a gain, not 2x
+    return "0.0"       # single core: parallelism cannot win; record only
+
+
+def test_grid_search_parallel_speedup(benchmark, jpvow_small):
+    data = jpvow_small
+    extractor = DFRFeatureExtractor(n_nodes=N_NODES, seed=0).fit(data.u_train)
+
+    def run_level(workers):
+        grid = GridSearch(extractor, seed=0, workers=workers)
+        return grid.run_level(
+            data.u_train, data.y_train, data.u_test, data.y_test,
+            DIVISIONS, n_classes=data.n_classes,
+        )
+
+    serial = run_level(1)
+    parallel = run_level(WORKERS)
+    # sharding must never change results — the same candidates, seeds and
+    # winner, bit for bit
+    assert parallel.evaluations == serial.evaluations
+    assert parallel.best == serial.best
+
+    speedup = serial.elapsed_seconds / parallel.elapsed_seconds
+    cores = _usable_cores()
+    benchmark.extra_info["divisions"] = DIVISIONS
+    benchmark.extra_info["grid_points"] = DIVISIONS * DIVISIONS
+    benchmark.extra_info["workers"] = WORKERS
+    benchmark.extra_info["cpu_count"] = cores
+    benchmark.extra_info["serial_seconds"] = serial.elapsed_seconds
+    benchmark.extra_info["parallel_seconds"] = parallel.elapsed_seconds
+    benchmark.extra_info["serial_compute_seconds"] = serial.compute_seconds
+    benchmark.extra_info["parallel_compute_seconds"] = parallel.compute_seconds
+    benchmark.extra_info["speedup_parallel_vs_serial"] = speedup
+
+    level = benchmark.pedantic(
+        run_level, args=(WORKERS,), rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert level.n_points == DIVISIONS * DIVISIONS
+
+    floor = float(os.environ.get("REPRO_PARALLEL_SPEEDUP_FLOOR",
+                                 _default_floor(cores)))
+    assert speedup >= floor, (
+        f"parallel grid search only {speedup:.2f}x faster at {WORKERS} "
+        f"workers on {cores} cores (floor {floor})"
+    )

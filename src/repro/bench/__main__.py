@@ -44,6 +44,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--epochs", type=int, default=25)
 
 
+def _add_workers(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for (A, B) candidate evaluation (grid "
+             "levels shard across them; results are bit-identical to "
+             "serial). Default: the REPRO_WORKERS environment variable, "
+             "else serial",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -61,6 +71,7 @@ def build_parser() -> argparse.ArgumentParser:
              "per-sample SGD; run once with 1 and once with e.g. 32 to "
              "compare per-sample vs batched training throughput)",
     )
+    _add_workers(p)
     _add_common(p)
 
     p = sub.add_parser("table2", help="storage reduction (Table 2, exact)")
@@ -70,6 +81,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dataset", default="CHAR", choices=list(dataset_keys()))
     p.add_argument("--divisions", type=int, default=5)
     p.add_argument("--reference-divisions", type=int, default=10)
+    _add_workers(p)
     _add_common(p)
 
     p = sub.add_parser("ablation-truncation", help="backward-window sweep")
@@ -106,6 +118,7 @@ def main(argv=None) -> int:
             max_divisions=args.max_divisions,
             epochs=args.epochs,
             batch_size=args.batch_size,
+            workers=args.workers,
         )
         print()
         print(format_table1(rows))
@@ -119,6 +132,7 @@ def main(argv=None) -> int:
             reference_divisions=args.reference_divisions,
             size_profile=args.size_profile,
             seed=args.seed,
+            workers=args.workers,
         )
         print()
         print(format_fig6(result))

@@ -57,15 +57,22 @@ def run_fig6(
     reference_divisions: int = 10,
     size_profile: str = "bench",
     seed: int = 0,
+    workers: Optional[int] = None,
     verbose: bool = True,
 ) -> Fig6Result:
-    """Run the two-level recursive zoom plus an exhaustive reference grid."""
+    """Run the two-level recursive zoom plus an exhaustive reference grid.
+
+    ``workers`` shards each grid level's candidates across processes
+    (bit-identical results; ``None`` defers to ``REPRO_WORKERS``) — the
+    ``reference_divisions**2``-point exhaustive grid benefits the most.
+    """
     data = load_dataset(dataset, size_profile=size_profile, seed=seed)
     if verbose:
         print(f"[fig6] {data.summary()}", flush=True)
     extractor = DFRFeatureExtractor(n_nodes=n_nodes, seed=seed).fit(data.u_train)
 
-    recursive = RecursiveGridSearch(extractor, divisions=divisions, seed=seed)
+    recursive = RecursiveGridSearch(extractor, divisions=divisions, seed=seed,
+                                    workers=workers)
     levels = recursive.run(
         data.u_train, data.y_train, data.u_test, data.y_test,
         n_levels=n_levels, n_classes=data.n_classes,
@@ -78,7 +85,7 @@ def run_fig6(
                 flush=True,
             )
 
-    reference = GridSearch(extractor, seed=seed + 1)
+    reference = GridSearch(extractor, seed=seed + 1, workers=workers)
     ref_level = reference.run_level(
         data.u_train, data.y_train, data.u_test, data.y_test,
         reference_divisions, n_classes=data.n_classes,

@@ -48,6 +48,11 @@ class Table1Row:
     #: per-sample SGD); lets one report compare per-sample vs batched
     #: training throughput
     batch_size: int = 1
+    #: worker-process count used for the grid-search phase (1 = serial)
+    workers: int = 1
+    #: summed per-candidate grid evaluation time across workers;
+    #: ``gs_seconds / gs_compute_seconds`` < 1 measures the parallel gain
+    gs_compute_seconds: float = 0.0
 
 
 def run_dataset(
@@ -59,12 +64,17 @@ def run_dataset(
     max_divisions: int = 20,
     epochs: int = 25,
     batch_size: int = 1,
+    workers: Optional[int] = None,
 ) -> Table1Row:
     """Run the full bp-vs-grid-search protocol on one dataset.
 
     ``batch_size=1`` reproduces the paper's per-sample SGD timing; larger
     values time the vectorized minibatch engine instead, so two runs of the
     harness report per-sample vs batched training throughput directly.
+
+    ``workers`` shards the grid-search candidates across processes through
+    the shared execution layer (results are bit-identical to serial; only
+    the reported wall-clock changes).  ``None`` defers to ``REPRO_WORKERS``.
     """
     data = load_dataset(key, size_profile=size_profile, seed=seed)
 
@@ -73,6 +83,7 @@ def run_dataset(
     clf = DFRClassifier(
         n_nodes=n_nodes,
         config=TrainerConfig(epochs=epochs, batch_size=batch_size),
+        workers=workers,
         seed=seed,
     )
     clf.fit(data.u_train, data.y_train)
@@ -83,7 +94,7 @@ def run_dataset(
     # a fresh extractor with the same seed gives the identical mask and
     # standardizer, so both methods see the same feature pipeline
     extractor = DFRFeatureExtractor(n_nodes=n_nodes, seed=seed).fit(data.u_train)
-    grid = GridSearch(extractor, seed=seed)
+    grid = GridSearch(extractor, seed=seed, workers=workers)
     outcome = grid.search_until(
         data.u_train,
         data.y_train,
@@ -103,6 +114,8 @@ def run_dataset(
         ratio=outcome.total_seconds / bp_seconds if bp_seconds > 0 else float("inf"),
         gs_reached_target=outcome.reached,
         batch_size=batch_size,
+        workers=grid.executor.workers,
+        gs_compute_seconds=outcome.total_compute_seconds,
     )
 
 
@@ -115,6 +128,7 @@ def run_table1(
     max_divisions: int = 20,
     epochs: int = 25,
     batch_size: int = 1,
+    workers: Optional[int] = None,
     verbose: bool = True,
 ) -> List[Table1Row]:
     """Run the Table 1 protocol over a set of datasets (default: all 12)."""
@@ -131,6 +145,7 @@ def run_table1(
             max_divisions=max_divisions,
             epochs=epochs,
             batch_size=batch_size,
+            workers=workers,
         )
         if verbose:
             print(
@@ -158,6 +173,7 @@ def format_table1(rows: Sequence[Table1Row]) -> str:
                 f"{row.batch_size}",
                 f"{row.gs_divisions}{'' if row.gs_reached_target else '+'}",
                 f"{row.gs_seconds:.1f}",
+                f"{row.workers}",
                 f"{row.ratio:.1f}",
                 f"{paper_divs}",
                 f"{paper_ratio}",
@@ -171,6 +187,7 @@ def format_table1(rows: Sequence[Table1Row]) -> str:
             "bp bs",
             "gs divs",
             "gs time (s)",
+            "gs wk",
             "(gs)/(bp)",
             "paper divs",
             "paper ratio",

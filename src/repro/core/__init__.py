@@ -26,9 +26,11 @@ from repro.core.optimizer import (
 from repro.core.pipeline import (
     DFRClassifier,
     DFRFeatureExtractor,
+    ExtractorConfig,
     FixedParamsEvaluation,
     evaluate_fixed_params,
 )
+from repro.core.selection import best_evaluation, better_evaluation, selection_key
 from repro.core.trainer import (
     BackpropTrainer,
     EpochStats,
@@ -62,8 +64,12 @@ __all__ = [
     "paper_reservoir_schedule",
     "DFRClassifier",
     "DFRFeatureExtractor",
+    "ExtractorConfig",
     "FixedParamsEvaluation",
     "evaluate_fixed_params",
+    "best_evaluation",
+    "better_evaluation",
+    "selection_key",
     "BackpropTrainer",
     "EpochStats",
     "TrainerConfig",

@@ -32,11 +32,9 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.pipeline import (
-    DFRFeatureExtractor,
-    FixedParamsEvaluation,
-    evaluate_fixed_params,
-)
+from repro.core.pipeline import DFRFeatureExtractor, FixedParamsEvaluation
+from repro.core.selection import best_evaluation, better_evaluation, selection_key
+from repro.exec import Candidate, CandidateExecutor, EvaluationContext, make_executor
 from repro.readout.ridge import PAPER_BETAS
 from repro.utils.rng import SeedLike, ensure_rng
 
@@ -73,12 +71,20 @@ def grid_values(lo_exp: float, hi_exp: float, divisions: int) -> np.ndarray:
 
 @dataclass
 class GridLevelResult:
-    """Outcome of one full grid at a fixed division count."""
+    """Outcome of one full grid at a fixed division count.
+
+    ``elapsed_seconds`` is the wall-clock of the whole level submission
+    (what a user waits for, including executor overhead);
+    ``compute_seconds`` sums the per-candidate evaluation times across
+    workers.  Serially the two nearly coincide; under a multiprocess
+    executor their ratio is the realized speedup.
+    """
 
     divisions: int
     evaluations: List[FixedParamsEvaluation]
     best: FixedParamsEvaluation
     elapsed_seconds: float
+    compute_seconds: float = 0.0
 
     @property
     def n_points(self) -> int:
@@ -101,9 +107,12 @@ class GridSearchOutcome:
     divisions: int                      # the paper's "gs divs" column
     achieved_accuracy: float
     best: FixedParamsEvaluation
-    total_seconds: float                # the paper's "gs time" column
+    total_seconds: float                # the paper's "gs time" column (wall)
     total_points: int
     levels: List[GridLevelResult] = field(default_factory=list)
+    #: summed per-candidate evaluation time across all levels and workers;
+    #: ``total_seconds / total_compute_seconds`` < 1 measures parallel gain
+    total_compute_seconds: float = 0.0
 
 
 class GridSearch:
@@ -120,6 +129,16 @@ class GridSearch:
         Ridge candidates per grid point.
     val_fraction, seed:
         Holdout protocol for the selection criterion.
+    feature_batch_size:
+        Chunk size for each candidate's reservoir sweeps (bounds per-worker
+        peak memory; no numerical effect).
+    workers:
+        Worker-process count for candidate evaluation; ``None`` defers to
+        the ``REPRO_WORKERS`` environment variable, 0/1 is serial.  Serial
+        and parallel runs are bit-identical.
+    executor:
+        A pre-built :class:`~repro.exec.CandidateExecutor`; overrides
+        ``workers`` when given.
     """
 
     def __init__(
@@ -130,6 +149,9 @@ class GridSearch:
         b_range: Tuple[float, float] = PAPER_B_RANGE,
         betas: Sequence[float] = PAPER_BETAS,
         val_fraction: float = 0.2,
+        feature_batch_size: Optional[int] = None,
+        workers: Optional[int] = None,
+        executor: Optional[CandidateExecutor] = None,
         seed: SeedLike = None,
     ):
         self.extractor = extractor
@@ -137,22 +159,19 @@ class GridSearch:
         self.b_range = tuple(b_range)
         self.betas = tuple(betas)
         self.val_fraction = float(val_fraction)
+        self.feature_batch_size = feature_batch_size
+        self.executor = executor if executor is not None else make_executor(workers)
         self._rng = ensure_rng(seed)
 
-    def _evaluate_point(self, data, a_val, b_val, n_classes, split_seed):
-        u_train, y_train, u_test, y_test = data
-        return evaluate_fixed_params(
-            self.extractor,
-            u_train,
-            y_train,
-            u_test,
-            y_test,
-            a_val,
-            b_val,
+    def _make_context(self, u_train, y_train, u_test, y_test,
+                      n_classes) -> EvaluationContext:
+        return EvaluationContext.from_data(
+            self.extractor.snapshot(),
+            u_train, y_train, u_test, y_test,
             betas=self.betas,
             val_fraction=self.val_fraction,
             n_classes=n_classes,
-            seed=split_seed,
+            feature_batch_size=self.feature_batch_size,
         )
 
     def run_level(
@@ -164,30 +183,39 @@ class GridSearch:
         divisions: int,
         *,
         n_classes: Optional[int] = None,
+        context: Optional[EvaluationContext] = None,
     ) -> GridLevelResult:
-        """Evaluate one complete ``divisions x divisions`` grid."""
+        """Evaluate one complete ``divisions x divisions`` grid.
+
+        All ``d^2`` candidates are submitted to the executor as one batch,
+        so a multiprocess executor shards the whole level across workers.
+        ``context`` lets a multi-level caller reuse one submission context
+        (and thereby one worker pool) across levels; it must describe the
+        same data arguments.
+        """
         start = time.perf_counter()
         a_vals = grid_values(*self.a_range, divisions)
         b_vals = grid_values(*self.b_range, divisions)
         # one fixed split per level keeps the criterion comparable across
         # points (same rule as the proposed method's beta selection)
         split_seed = int(self._rng.integers(2**31 - 1))
-        data = (u_train, y_train, u_test, y_test)
-        evaluations = []
-        for a_val in a_vals:
-            for b_val in b_vals:
-                evaluations.append(
-                    self._evaluate_point(data, a_val, b_val, n_classes, split_seed)
-                )
-        best = min(
-            evaluations,
-            key=lambda ev: (-ev.val_accuracy, ev.val_loss, ev.A, ev.B),
-        )
+        if context is None:
+            context = self._make_context(u_train, y_train, u_test, y_test,
+                                         n_classes)
+        candidates = [
+            Candidate(index=i * divisions + j, A=float(a_val), B=float(b_val),
+                      seed=split_seed)
+            for i, a_val in enumerate(a_vals)
+            for j, b_val in enumerate(b_vals)
+        ]
+        report = self.executor.run(context, candidates)
+        evaluations = report.evaluations()
         return GridLevelResult(
             divisions=divisions,
             evaluations=evaluations,
-            best=best,
+            best=best_evaluation(evaluations),
             elapsed_seconds=time.perf_counter() - start,
+            compute_seconds=report.compute_seconds,
         )
 
     def search_until(
@@ -212,19 +240,22 @@ class GridSearch:
             raise ValueError(f"max_divisions must be >= 1, got {max_divisions}")
         levels: List[GridLevelResult] = []
         total_seconds = 0.0
+        total_compute = 0.0
         total_points = 0
         best_overall: Optional[FixedParamsEvaluation] = None
+        # one context for all levels: a multiprocess executor keeps its
+        # worker pool (and the shipped data) alive across the whole search
+        context = self._make_context(u_train, y_train, u_test, y_test, n_classes)
         for divisions in range(1, max_divisions + 1):
             level = self.run_level(
-                u_train, y_train, u_test, y_test, divisions, n_classes=n_classes
+                u_train, y_train, u_test, y_test, divisions,
+                n_classes=n_classes, context=context,
             )
             levels.append(level)
             total_seconds += level.elapsed_seconds
+            total_compute += level.compute_seconds
             total_points += level.n_points
-            if best_overall is None or (
-                level.best.val_accuracy,
-                -level.best.val_loss,
-            ) > (best_overall.val_accuracy, -best_overall.val_loss):
+            if better_evaluation(level.best, best_overall):
                 best_overall = level.best
             if level.best.test_accuracy >= target_accuracy:
                 return GridSearchOutcome(
@@ -236,6 +267,7 @@ class GridSearch:
                     total_seconds=total_seconds,
                     total_points=total_points,
                     levels=levels,
+                    total_compute_seconds=total_compute,
                 )
         return GridSearchOutcome(
             target_accuracy=target_accuracy,
@@ -246,6 +278,7 @@ class GridSearch:
             total_seconds=total_seconds,
             total_points=total_points,
             levels=levels,
+            total_compute_seconds=total_compute,
         )
 
 
@@ -284,6 +317,9 @@ class RecursiveGridSearch:
         b_range: Tuple[float, float] = PAPER_B_RANGE,
         betas: Sequence[float] = PAPER_BETAS,
         val_fraction: float = 0.2,
+        feature_batch_size: Optional[int] = None,
+        workers: Optional[int] = None,
+        executor: Optional[CandidateExecutor] = None,
         seed: SeedLike = None,
     ):
         if divisions < 2:
@@ -297,6 +333,9 @@ class RecursiveGridSearch:
             b_range=b_range,
             betas=betas,
             val_fraction=val_fraction,
+            feature_batch_size=feature_batch_size,
+            workers=workers,
+            executor=executor,
             seed=seed,
         )
 
@@ -317,11 +356,16 @@ class RecursiveGridSearch:
         b_box = self.b_range
         levels = []
         d = self.divisions
+        # the context is range-independent, so all zoom levels share it
+        # (and, under a multiprocess executor, one worker pool)
+        context = self._grid._make_context(u_train, y_train, u_test, y_test,
+                                           n_classes)
         for _ in range(n_levels):
             self._grid.a_range = a_box
             self._grid.b_range = b_box
             level_result = self._grid.run_level(
-                u_train, y_train, u_test, y_test, d, n_classes=n_classes
+                u_train, y_train, u_test, y_test, d,
+                n_classes=n_classes, context=context,
             )
             val_mat = np.array(
                 [ev.val_loss for ev in level_result.evaluations]
@@ -330,9 +374,13 @@ class RecursiveGridSearch:
                 [ev.val_accuracy for ev in level_result.evaluations]
             ).reshape(d, d)
             acc_mat = level_result.accuracy_matrix()
-            # selection: highest validation accuracy, CE loss as tiebreak
-            order = np.lexsort((val_mat.ravel(), -val_acc.ravel()))
-            flat_best = int(order[0])
+            # selection: the shared rule (highest validation accuracy, CE
+            # loss then smallest (A, B) as tiebreaks); on a grid the (A, B)
+            # tiebreak equals the lowest flat index, matching the historical
+            # lexsort behaviour
+            evals = level_result.evaluations
+            flat_best = min(range(len(evals)),
+                            key=lambda i: selection_key(evals[i]))
             bi, bj = flat_best // d, flat_best % d
             a_vals = grid_values(*a_box, d)
             b_vals = grid_values(*b_box, d)

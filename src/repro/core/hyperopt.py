@@ -13,6 +13,14 @@ grid search and by the classifier, so results are directly comparable:
 * :class:`SimulatedAnnealing` — local log-space perturbations with a
   geometric temperature schedule; a cheap trajectory-based baseline that,
   unlike recursive grid zooming, can escape a misleading basin.
+
+Both submit their candidates through the shared execution layer
+(:mod:`repro.exec`).  Random search fans its whole sample budget out in one
+submission; annealing is inherently sequential, but its speculative mode
+(``speculative > 1``) proposes a batch of candidates from the current point
+each round, evaluates them concurrently, and accepts the first of them by
+Metropolis order — trading some wasted evaluations for wall-clock when
+workers are available.
 """
 
 from __future__ import annotations
@@ -24,34 +32,32 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.grid_search import PAPER_A_RANGE, PAPER_B_RANGE
-from repro.core.pipeline import (
-    DFRFeatureExtractor,
-    FixedParamsEvaluation,
-    evaluate_fixed_params,
-)
+from repro.core.pipeline import DFRFeatureExtractor, FixedParamsEvaluation
+from repro.core.selection import better_evaluation
+from repro.exec import Candidate, CandidateExecutor, EvaluationContext, make_executor
 from repro.readout.ridge import PAPER_BETAS
 from repro.utils.rng import SeedLike, ensure_rng
 
 __all__ = ["SearchOutcome", "RandomSearch", "SimulatedAnnealing"]
 
 
-def _better(candidate: FixedParamsEvaluation,
-            incumbent: Optional[FixedParamsEvaluation]) -> bool:
-    """Selection order shared with the grid search (val acc, then loss)."""
-    if incumbent is None:
-        return True
-    return (candidate.val_accuracy, -candidate.val_loss) > (
-        incumbent.val_accuracy, -incumbent.val_loss
-    )
-
-
 @dataclass
 class SearchOutcome:
-    """Result of a black-box (A, B, beta) search."""
+    """Result of a black-box (A, B, beta) search.
+
+    ``total_seconds`` is the wall-clock of the whole search (including
+    executor overhead); ``compute_seconds`` sums the per-candidate
+    evaluation times across workers, so speedup under parallel execution is
+    measurable.  ``n_wasted`` counts speculative annealing proposals that
+    were evaluated but discarded because an earlier proposal of the same
+    batch was accepted.
+    """
 
     best: FixedParamsEvaluation
     evaluations: List[FixedParamsEvaluation] = field(default_factory=list)
     total_seconds: float = 0.0
+    compute_seconds: float = 0.0
+    n_wasted: int = 0
 
     @property
     def n_evaluations(self) -> int:
@@ -59,7 +65,7 @@ class SearchOutcome:
 
 
 class _BlackBoxSearch:
-    """Shared plumbing: the evaluation closure and the search box."""
+    """Shared plumbing: the evaluation context, executor, and search box."""
 
     def __init__(
         self,
@@ -70,6 +76,8 @@ class _BlackBoxSearch:
         betas: Sequence[float] = PAPER_BETAS,
         val_fraction: float = 0.2,
         feature_batch_size: Optional[int] = None,
+        workers: Optional[int] = None,
+        executor: Optional[CandidateExecutor] = None,
         seed: SeedLike = None,
     ):
         self.extractor = extractor
@@ -80,17 +88,18 @@ class _BlackBoxSearch:
         #: chunk size for the per-candidate reservoir sweeps; bounds peak
         #: trace memory on large datasets without changing any score
         self.feature_batch_size = feature_batch_size
+        self.executor = executor if executor is not None else make_executor(workers)
         self._rng = ensure_rng(seed)
 
-    def _evaluate(self, data, log_a: float, log_b: float,
-                  split_seed: int) -> FixedParamsEvaluation:
-        u_train, y_train, u_test, y_test, n_classes = data
-        return evaluate_fixed_params(
-            self.extractor, u_train, y_train, u_test, y_test,
-            10.0**log_a, 10.0**log_b,
-            betas=self.betas, val_fraction=self.val_fraction,
-            n_classes=n_classes, feature_batch_size=self.feature_batch_size,
-            seed=split_seed,
+    def _make_context(self, u_train, y_train, u_test, y_test,
+                      n_classes) -> EvaluationContext:
+        return EvaluationContext.from_data(
+            self.extractor.snapshot(),
+            u_train, y_train, u_test, y_test,
+            betas=self.betas,
+            val_fraction=self.val_fraction,
+            n_classes=n_classes,
+            feature_batch_size=self.feature_batch_size,
         )
 
 
@@ -101,25 +110,36 @@ class RandomSearch(_BlackBoxSearch):
         self, u_train, y_train, u_test, y_test, *, n_samples: int = 25,
         n_classes: Optional[int] = None,
     ) -> SearchOutcome:
-        """Draw ``n_samples`` points and return the incumbent best."""
+        """Draw ``n_samples`` points and return the incumbent best.
+
+        All points are drawn up front (the draw order matches the historical
+        serial implementation) and submitted as one batch, so the whole
+        sample budget fans out across workers.
+        """
         if n_samples < 1:
             raise ValueError(f"n_samples must be >= 1, got {n_samples}")
         start = time.perf_counter()
         split_seed = int(self._rng.integers(2**31 - 1))
-        data = (u_train, y_train, u_test, y_test, n_classes)
-        evaluations = []
-        best = None
-        for _ in range(n_samples):
+        candidates = []
+        for i in range(n_samples):
             log_a = self._rng.uniform(*self.a_range)
             log_b = self._rng.uniform(*self.b_range)
-            ev = self._evaluate(data, log_a, log_b, split_seed)
-            evaluations.append(ev)
-            if _better(ev, best):
+            candidates.append(Candidate(
+                index=i, A=float(10.0**log_a), B=float(10.0**log_b),
+                seed=split_seed,
+            ))
+        context = self._make_context(u_train, y_train, u_test, y_test, n_classes)
+        report = self.executor.run(context, candidates)
+        evaluations = report.evaluations()
+        best = None
+        for ev in evaluations:
+            if better_evaluation(ev, best):
                 best = ev
         return SearchOutcome(
             best=best,
             evaluations=evaluations,
             total_seconds=time.perf_counter() - start,
+            compute_seconds=report.compute_seconds,
         )
 
 
@@ -135,46 +155,113 @@ class SimulatedAnnealing(_BlackBoxSearch):
     def search(
         self, u_train, y_train, u_test, y_test, *, n_steps: int = 30,
         initial_temperature: float = 0.5, cooling: float = 0.9,
-        step_scale: float = 0.5, n_classes: Optional[int] = None,
+        step_scale: float = 0.5, speculative: int = 1,
+        n_classes: Optional[int] = None,
     ) -> SearchOutcome:
-        """Run ``n_steps`` of annealing from the center of the box."""
+        """Run ``n_steps`` of annealing from the center of the box.
+
+        ``speculative`` proposes that many candidates per round, all from
+        the current point, with the step scale and Metropolis temperature
+        each proposal *would* have seen serially.  The batch is evaluated
+        concurrently, then scanned in proposal order: the first accepted
+        proposal ends the round and later (now invalid) evaluations of the
+        batch are discarded as waste.  ``speculative=1`` reproduces the
+        serial trajectory exactly; larger values change the trajectory only
+        through which proposals are drawn, never the acceptance rule.
+
+        With a serial executor up-front evaluation of the batch would be
+        pure waste (there is no concurrency to buy), so proposals are then
+        evaluated lazily one by one during the scan — same trajectory, no
+        discarded work.
+        """
         if n_steps < 1:
             raise ValueError(f"n_steps must be >= 1, got {n_steps}")
         if not 0.0 < cooling < 1.0:
             raise ValueError(f"cooling must lie in (0, 1), got {cooling}")
+        if speculative < 1:
+            raise ValueError(f"speculative must be >= 1, got {speculative}")
         start = time.perf_counter()
         split_seed = int(self._rng.integers(2**31 - 1))
-        data = (u_train, y_train, u_test, y_test, n_classes)
+        context = self._make_context(u_train, y_train, u_test, y_test, n_classes)
 
         log_a = 0.5 * (self.a_range[0] + self.a_range[1])
         log_b = 0.5 * (self.b_range[0] + self.b_range[1])
-        current = self._evaluate(data, log_a, log_b, split_seed)
+        report = self.executor.run(context, [
+            Candidate(index=0, A=float(10.0**log_a), B=float(10.0**log_b),
+                      seed=split_seed),
+        ])
+        compute_seconds = report.compute_seconds
+        current = report.evaluations()[0]
         evaluations = [current]
         best = current
         temperature = float(initial_temperature)
         scale = float(step_scale)
-        for _ in range(n_steps):
-            cand_a = np.clip(log_a + self._rng.normal(scale=scale),
-                             *self.a_range)
-            cand_b = np.clip(log_b + self._rng.normal(scale=scale),
-                             *self.b_range)
-            candidate = self._evaluate(data, float(cand_a), float(cand_b),
-                                       split_seed)
-            evaluations.append(candidate)
-            delta = candidate.val_loss - current.val_loss
-            accept = delta <= 0 or (
-                np.isfinite(delta)
-                and self._rng.random() < np.exp(-delta / max(temperature, 1e-12))
-            )
-            if accept:
-                log_a, log_b = float(cand_a), float(cand_b)
-                current = candidate
-            if _better(candidate, best):
-                best = candidate
-            temperature *= cooling
-            scale *= cooling
+        steps_done = 0
+        next_index = 1
+        n_wasted = 0
+        while steps_done < n_steps:
+            k = min(speculative, n_steps - steps_done)
+            # propose k candidates from the current point, each with the
+            # scale (and remembered temperature) of the serial step it
+            # speculates for
+            proposals = []
+            temps = []
+            scale_j, temp_j = scale, temperature
+            for _ in range(k):
+                cand_a = float(np.clip(log_a + self._rng.normal(scale=scale_j),
+                                       *self.a_range))
+                cand_b = float(np.clip(log_b + self._rng.normal(scale=scale_j),
+                                       *self.b_range))
+                proposals.append((cand_a, cand_b))
+                temps.append(temp_j)
+                scale_j *= cooling
+                temp_j *= cooling
+            candidates = [
+                Candidate(index=next_index + j, A=float(10.0**a), B=float(10.0**b),
+                          seed=split_seed)
+                for j, (a, b) in enumerate(proposals)
+            ]
+            next_index += k
+            # speculation only pays off when evaluations can overlap; a
+            # serial executor evaluates lazily during the scan instead, so
+            # proposals past an acceptance are never computed at all
+            lazy = self.executor.workers == 1
+            if lazy:
+                batch = None
+            else:
+                report = self.executor.run(context, candidates)
+                compute_seconds += report.compute_seconds
+                batch = report.evaluations()
+            # Metropolis scan in proposal order; the first acceptance
+            # invalidates the rest of the batch
+            for j in range(k):
+                if lazy:
+                    report = self.executor.run(context, [candidates[j]])
+                    compute_seconds += report.compute_seconds
+                    candidate = report.evaluations()[0]
+                else:
+                    candidate = batch[j]
+                evaluations.append(candidate)
+                steps_done += 1
+                delta = candidate.val_loss - current.val_loss
+                accept = delta <= 0 or (
+                    np.isfinite(delta)
+                    and self._rng.random() < np.exp(-delta / max(temps[j], 1e-12))
+                )
+                if better_evaluation(candidate, best):
+                    best = candidate
+                temperature *= cooling
+                scale *= cooling
+                if accept:
+                    log_a, log_b = proposals[j]
+                    current = candidate
+                    if not lazy:
+                        n_wasted += k - (j + 1)
+                    break
         return SearchOutcome(
             best=best,
             evaluations=evaluations,
             total_seconds=time.perf_counter() - start,
+            compute_seconds=compute_seconds,
+            n_wasted=n_wasted,
         )

@@ -21,7 +21,7 @@ the Table 1 comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -38,6 +38,7 @@ from repro.utils.validation import as_batch, ensure_1d_labels
 
 __all__ = [
     "DFRFeatureExtractor",
+    "ExtractorConfig",
     "DFRClassifier",
     "FixedParamsEvaluation",
     "evaluate_fixed_params",
@@ -134,11 +135,72 @@ class DFRFeatureExtractor:
             diverged[start:stop] = trace.diverged
         return feats, diverged
 
+    def snapshot(self) -> "ExtractorConfig":
+        """Freeze the fitted state into a cheaply picklable :class:`ExtractorConfig`.
+
+        The config carries only plain arrays and scalars (mask matrix,
+        standardizer statistics, nonlinearity, DPRR normalization) — no RNG
+        state, no live reservoir — so it is what the execution layer ships
+        to worker processes instead of the extractor itself.
+        """
+        if self.reservoir is None or self.standardizer.mean_ is None:
+            raise RuntimeError("extractor must be fitted before snapshot()")
+        return ExtractorConfig(
+            n_nodes=self.n_nodes,
+            nonlinearity=self.nonlinearity,
+            normalize=self.dprr.normalize,
+            mask_kind=self.mask_kind,
+            mask_gamma=self.mask_gamma,
+            feature_batch_size=self.feature_batch_size,
+            mask_matrix=np.array(self.reservoir.mask.matrix, copy=True),
+            mean=np.array(self.standardizer.mean_, copy=True),
+            std=np.array(self.standardizer.std_, copy=True),
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (
             f"DFRFeatureExtractor(n_nodes={self.n_nodes}, "
             f"nonlinearity={self.nonlinearity!r}, mask_kind={self.mask_kind!r})"
         )
+
+
+@dataclass
+class ExtractorConfig:
+    """Picklable snapshot of a fitted :class:`DFRFeatureExtractor`.
+
+    Rebuilding via :meth:`build` restores a functionally identical extractor
+    (same mask, same standardizer statistics, same nonlinearity and DPRR
+    settings) without re-fitting, so a worker process reconstructs the exact
+    feature pipeline of the parent from a few small arrays.
+    """
+
+    n_nodes: int
+    nonlinearity: object
+    normalize: Optional[str]
+    mask_kind: str
+    mask_gamma: float
+    feature_batch_size: Optional[int]
+    mask_matrix: np.ndarray
+    mean: np.ndarray
+    std: np.ndarray
+
+    def build(self) -> DFRFeatureExtractor:
+        """Reconstruct the fitted extractor this config was snapshot from."""
+        extractor = DFRFeatureExtractor(
+            self.n_nodes,
+            nonlinearity=self.nonlinearity,
+            normalize=self.normalize,
+            mask_kind=self.mask_kind,
+            mask_gamma=self.mask_gamma,
+            feature_batch_size=self.feature_batch_size,
+        )
+        extractor.standardizer.mean_ = np.array(self.mean, copy=True)
+        extractor.standardizer.std_ = np.array(self.std, copy=True)
+        extractor.reservoir = ModularDFR(
+            InputMask(np.array(self.mask_matrix, copy=True)),
+            nonlinearity=extractor.nonlinearity,
+        )
+        return extractor
 
 
 @dataclass
@@ -152,10 +214,46 @@ class FixedParamsEvaluation:
     val_accuracy: float
     test_accuracy: float
     diverged: bool
+    #: populated when the candidate failed outright (e.g. a worker raised)
+    #: rather than merely diverging numerically
+    error: Optional[str] = None
+
+    def __eq__(self, other) -> bool:
+        # field-wise equality with NaN == NaN: diverged/failed sentinels
+        # carry beta=nan, and the serial-vs-parallel bit-identity checks
+        # must treat two such identical sentinels as equal
+        if not isinstance(other, FixedParamsEvaluation):
+            return NotImplemented
+
+        def same(a, b):
+            if isinstance(a, float) and isinstance(b, float):
+                return a == b or (a != a and b != b)
+            return a == b
+
+        return all(
+            same(getattr(self, name), getattr(other, name))
+            for name in ("A", "B", "beta", "val_loss", "val_accuracy",
+                         "test_accuracy", "diverged", "error")
+        )
+
+    @classmethod
+    def failed(cls, A: float, B: float, error: Optional[str] = None
+               ) -> "FixedParamsEvaluation":
+        """A sentinel evaluation for a candidate that could not be scored.
+
+        Failed candidates carry infinite loss and zero accuracy so every
+        selection rule ranks them last, and ``diverged=True`` so existing
+        divergence handling treats them as unusable.
+        """
+        return cls(
+            A=float(A), B=float(B), beta=float("nan"),
+            val_loss=float("inf"), val_accuracy=0.0, test_accuracy=0.0,
+            diverged=True, error=error,
+        )
 
 
 def evaluate_fixed_params(
-    extractor: DFRFeatureExtractor,
+    extractor: Union[DFRFeatureExtractor, ExtractorConfig],
     u_train: np.ndarray,
     y_train: np.ndarray,
     u_test: np.ndarray,
@@ -178,7 +276,14 @@ def evaluate_fixed_params(
     ``feature_batch_size`` chunks the reservoir sweeps (identical features,
     bounded memory) — unrelated to the SGD minibatch size of
     :class:`~repro.core.trainer.TrainerConfig`.
+
+    ``extractor`` may be a live (fitted) :class:`DFRFeatureExtractor` or an
+    :class:`ExtractorConfig` snapshot; the two paths compute bit-identical
+    results, which is what lets worker processes receive the small config
+    instead of the live object.
     """
+    if isinstance(extractor, ExtractorConfig):
+        extractor = extractor.build()
     y_train = ensure_1d_labels(y_train)
     y_test = ensure_1d_labels(y_test)
     if n_classes is None:
@@ -232,6 +337,13 @@ class DFRClassifier:
         Holdout fraction for ``beta`` selection.
     mask_kind, mask_gamma:
         Input mask family and scale.
+    workers:
+        Worker-process count for candidate evaluation through the shared
+        execution layer (:meth:`candidate_executor`,
+        :meth:`evaluate_candidates`, and any search built on this
+        classifier's extractor).  ``None`` defers to the ``REPRO_WORKERS``
+        environment variable; 0/1 evaluates serially.  The backprop fit
+        itself is the paper's sequential algorithm and is unaffected.
     seed:
         Master seed (mask, shuffling, splits).
 
@@ -255,9 +367,12 @@ class DFRClassifier:
         normalize: Optional[str] = None,
         mask_kind: str = "binary",
         mask_gamma: float = 1.0,
+        workers: Optional[int] = None,
         seed: SeedLike = None,
     ):
         self._rng = ensure_rng(seed)
+        self.workers = workers
+        self._executor = None
         self.extractor = DFRFeatureExtractor(
             n_nodes,
             nonlinearity=nonlinearity,
@@ -316,6 +431,67 @@ class DFRClassifier:
         self.beta_ = self.selection_.best_beta
         self.ridge_ = self.selection_.best_model
         return self
+
+    def candidate_executor(self):
+        """The :class:`~repro.exec.CandidateExecutor` for this classifier.
+
+        Serial for ``workers in (None-without-env, 0, 1)``, multiprocess
+        otherwise; pass it to :class:`~repro.core.grid_search.GridSearch`
+        and friends via their ``executor`` argument to share the knob.
+        The executor is cached on the classifier until ``workers`` changes;
+        its worker pool persists across submissions that reuse one
+        evaluation context (as the searches do).
+        """
+        from repro.exec import make_executor, resolve_workers
+
+        n = resolve_workers(self.workers)
+        if self._executor is None or self._executor.workers != n:
+            if self._executor is not None:
+                self._executor.close()
+            self._executor = make_executor(n)
+        return self._executor
+
+    def evaluate_candidates(
+        self,
+        u_train: np.ndarray,
+        y_train: np.ndarray,
+        u_test: np.ndarray,
+        y_test: np.ndarray,
+        params: Sequence[Tuple[float, float]],
+        *,
+        seed: SeedLike = None,
+    ) -> List[FixedParamsEvaluation]:
+        """Score arbitrary ``(A, B)`` candidates through the execution layer.
+
+        Uses the classifier's fitted feature pipeline and ``workers``
+        setting; each candidate pays the same protocol as the grid-search
+        baseline (beta selection on a shared holdout, then a test score).
+        The result order matches ``params``.
+
+        Each call builds a fresh evaluation context, so with ``workers > 1``
+        it also pays one worker-pool spawn and one data shipment — batch
+        your candidates into one call rather than looping over many small
+        ones (or drive a :class:`~repro.core.grid_search.GridSearch`-style
+        search, which reuses a single context across submissions).
+        """
+        from repro.exec import Candidate, EvaluationContext
+
+        self._check_fitted()
+        split_seed = int(ensure_rng(seed).integers(2**31 - 1))
+        context = EvaluationContext.from_data(
+            self.extractor.snapshot(),
+            u_train, y_train, u_test, y_test,
+            betas=self.betas,
+            val_fraction=self.val_fraction,
+            n_classes=self.n_classes_,
+            feature_batch_size=self.extractor.feature_batch_size,
+        )
+        candidates = [
+            Candidate(index=i, A=float(a), B=float(b), seed=split_seed)
+            for i, (a, b) in enumerate(params)
+        ]
+        report = self.candidate_executor().run(context, candidates)
+        return report.evaluations()
 
     def _check_fitted(self) -> None:
         if self.ridge_ is None:

@@ -1,0 +1,45 @@
+"""The shared candidate-selection rule for all ``(A, B, beta)`` searches.
+
+The paper selects the winning configuration by highest *validation*
+accuracy with cross-entropy loss as the tiebreak — the same criterion the
+proposed method uses for ``beta``, with the test set playing no role.  This
+module is the single implementation of that rule; grid search, recursive
+zoom, random search, and simulated annealing all rank candidates through
+it, so "best" means the same thing everywhere.
+
+Ties on ``(accuracy, loss)`` break toward the smallest ``(A, B)``, which
+makes the winner deterministic regardless of evaluation order — a property
+the parallel execution layer relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from repro.core.pipeline import FixedParamsEvaluation
+
+__all__ = ["selection_key", "better_evaluation", "best_evaluation"]
+
+
+def selection_key(evaluation: FixedParamsEvaluation) -> Tuple[float, float, float, float]:
+    """Sort key under which the *minimum* is the selected candidate."""
+    return (
+        -evaluation.val_accuracy,
+        evaluation.val_loss,
+        evaluation.A,
+        evaluation.B,
+    )
+
+
+def better_evaluation(candidate: FixedParamsEvaluation,
+                      incumbent: Optional[FixedParamsEvaluation]) -> bool:
+    """Does ``candidate`` beat ``incumbent`` under the shared rule?"""
+    if incumbent is None:
+        return True
+    return selection_key(candidate) < selection_key(incumbent)
+
+
+def best_evaluation(evaluations: Iterable[FixedParamsEvaluation]
+                    ) -> FixedParamsEvaluation:
+    """The winner of a finished sweep (minimum :func:`selection_key`)."""
+    return min(evaluations, key=selection_key)

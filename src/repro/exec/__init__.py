@@ -1,0 +1,50 @@
+"""Unified candidate-execution layer for the ``(A, B)`` searches.
+
+Every baseline search in this repo (grid, random, annealing) scores
+independent ``(A, B)`` candidates through the identical
+:func:`~repro.core.pipeline.evaluate_fixed_params` protocol.  This package
+is the single seam those searches submit work through:
+
+* :class:`Candidate` / :class:`EvaluationContext` — a picklable description
+  of one point and of everything needed to score it;
+* :class:`SerialExecutor` / :class:`MultiprocessExecutor` — in-process and
+  process-pool execution with identical (bit-for-bit) results;
+* :func:`derive_candidate_seed` — spawn-key seed splitting, so per-candidate
+  randomness never depends on worker count or scheduling;
+* :func:`make_executor` / :func:`resolve_workers` — the ``workers`` /
+  ``REPRO_WORKERS`` knob shared by the classifier, the searches, and the
+  ``repro-bench`` CLI.
+"""
+
+from repro.exec.context import (
+    Candidate,
+    CandidateResult,
+    EvaluationContext,
+    SubmissionReport,
+    evaluate_candidate,
+)
+from repro.exec.executors import (
+    WORKERS_ENV_VAR,
+    CandidateExecutor,
+    MultiprocessExecutor,
+    SerialExecutor,
+    make_executor,
+    resolve_workers,
+)
+from repro.exec.seeding import derive_candidate_seed, derive_candidate_seeds
+
+__all__ = [
+    "Candidate",
+    "CandidateResult",
+    "EvaluationContext",
+    "SubmissionReport",
+    "evaluate_candidate",
+    "CandidateExecutor",
+    "SerialExecutor",
+    "MultiprocessExecutor",
+    "WORKERS_ENV_VAR",
+    "make_executor",
+    "resolve_workers",
+    "derive_candidate_seed",
+    "derive_candidate_seeds",
+]

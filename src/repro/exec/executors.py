@@ -1,0 +1,215 @@
+"""Pluggable candidate executors: serial and process-pool sharding.
+
+Every ``(A, B)`` candidate of the baseline searches (grid, random,
+annealing) is an independent reservoir sweep, so the natural scaling axis
+is candidate-level parallelism.  :class:`CandidateExecutor` is the seam all
+search layers submit through; two implementations ship today and the
+ROADMAP's multi-backend (GPU shim) step plugs in here later.
+
+Guarantees shared by all executors:
+
+* **determinism** — results are returned in candidate order, and each
+  candidate's evaluation depends only on the context and the candidate
+  (explicit or spawn-key-derived seed), never on worker count or schedule;
+* **fault isolation** — a candidate whose evaluation raises is returned as
+  a failed :class:`~repro.exec.context.CandidateResult` instead of killing
+  the submission;
+* **two timing views** — wall-clock of the whole submission plus summed
+  per-candidate compute seconds, so realized speedup is measurable.
+
+Worker selection: an explicit ``workers`` argument wins; ``None`` falls
+back to the ``REPRO_WORKERS`` environment variable; absent both, execution
+is serial.  The ``REPRO_WORKERS`` hook is how CI forces the multiprocess
+path through the whole test suite.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import List, Optional, Sequence
+
+from repro.exec.context import (
+    Candidate,
+    CandidateResult,
+    EvaluationContext,
+    SubmissionReport,
+    evaluate_candidate,
+)
+
+__all__ = [
+    "CandidateExecutor",
+    "SerialExecutor",
+    "MultiprocessExecutor",
+    "WORKERS_ENV_VAR",
+    "resolve_workers",
+    "make_executor",
+]
+
+#: environment variable consulted when no explicit worker count is given
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Resolve an effective worker count (>= 1).
+
+    Explicit ``workers`` wins; ``None`` consults ``REPRO_WORKERS``; an
+    unset/invalid variable means serial.  Values below 1 clamp to 1.
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV_VAR, "").strip()
+        try:
+            workers = int(raw) if raw else 1
+        except ValueError:
+            workers = 1
+    return max(1, int(workers))
+
+
+class CandidateExecutor:
+    """Protocol: map an :class:`EvaluationContext` over candidates.
+
+    Implementations must return one :class:`CandidateResult` per candidate,
+    in submission order, and must not propagate per-candidate exceptions.
+    """
+
+    #: effective worker count (1 for serial executors)
+    workers: int = 1
+
+    def run(self, context: EvaluationContext,
+            candidates: Sequence[Candidate]) -> SubmissionReport:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any held resources (worker processes); idempotent."""
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+def _run_serially(context: EvaluationContext,
+                  candidates: Sequence[Candidate]) -> List[CandidateResult]:
+    return [evaluate_candidate(context, c) for c in candidates]
+
+
+class SerialExecutor(CandidateExecutor):
+    """In-process sequential evaluation (the reference implementation)."""
+
+    workers = 1
+
+    def run(self, context: EvaluationContext,
+            candidates: Sequence[Candidate]) -> SubmissionReport:
+        start = time.perf_counter()
+        results = _run_serially(context, candidates)
+        return SubmissionReport(
+            results=results, wall_seconds=time.perf_counter() - start,
+        )
+
+
+# module-level worker state: the context is shipped once per worker via the
+# pool initializer instead of once per candidate
+_WORKER_CONTEXT: Optional[EvaluationContext] = None
+
+
+def _init_worker(context: EvaluationContext) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+
+
+def _worker_evaluate(candidate: Candidate) -> CandidateResult:
+    return evaluate_candidate(_WORKER_CONTEXT, candidate)
+
+
+class MultiprocessExecutor(CandidateExecutor):
+    """Shard candidates across a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+    Parameters
+    ----------
+    workers:
+        Process count; ``None`` resolves through ``REPRO_WORKERS``.
+    chunksize:
+        Candidates handed to a worker per dispatch; ``None`` picks
+        ``ceil(n / (4 * workers))`` — small enough to balance load, large
+        enough to amortize IPC.
+
+    The context (data arrays + extractor config) is pickled once per worker
+    through the pool initializer; each candidate then costs only a few
+    floats of IPC.  The pool persists across :meth:`run` calls that submit
+    the *same* context object (e.g. every speculative-annealing round, or
+    all levels of one ``search_until``), so repeated submissions pay the
+    process spawn and context transfer once.  Submitting a different
+    context replaces the pool.  Single-candidate submissions with no live
+    pool are evaluated in-process, and a broken pool (hard worker crash)
+    falls back to serial evaluation of the same candidates — results are
+    identical by construction, only slower.
+
+    An unreferenced executor's pool is torn down by the interpreter
+    (``ProcessPoolExecutor`` workers shut down once their executor is
+    garbage collected); call :meth:`close` to release the processes
+    deterministically.
+    """
+
+    def __init__(self, workers: Optional[int] = None,
+                 chunksize: Optional[int] = None):
+        self.workers = resolve_workers(workers)
+        if chunksize is not None and chunksize < 1:
+            raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+        self.chunksize = chunksize
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_context: Optional[EvaluationContext] = None
+
+    def _chunksize(self, n_candidates: int) -> int:
+        if self.chunksize is not None:
+            return self.chunksize
+        return max(1, -(-n_candidates // (4 * self.workers)))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_context = None
+
+    def _get_pool(self, context: EvaluationContext) -> ProcessPoolExecutor:
+        if self._pool is None or self._pool_context is not context:
+            self.close()
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker,
+                initargs=(context,),
+            )
+            self._pool_context = context
+        return self._pool
+
+    def run(self, context: EvaluationContext,
+            candidates: Sequence[Candidate]) -> SubmissionReport:
+        start = time.perf_counter()
+        reusable = self._pool is not None and self._pool_context is context
+        if len(candidates) < 2 and not reusable:
+            results = _run_serially(context, candidates)
+        else:
+            try:
+                results = list(self._get_pool(context).map(
+                    _worker_evaluate,
+                    candidates,
+                    chunksize=self._chunksize(len(candidates)),
+                ))
+            except BrokenProcessPool:
+                self.close()
+                results = _run_serially(context, candidates)
+        return SubmissionReport(
+            results=results, wall_seconds=time.perf_counter() - start,
+        )
+
+
+def make_executor(workers: Optional[int] = None,
+                  chunksize: Optional[int] = None) -> CandidateExecutor:
+    """Build the executor for an effective worker count.
+
+    ``resolve_workers(workers) == 1`` yields a :class:`SerialExecutor`,
+    anything larger a :class:`MultiprocessExecutor`.
+    """
+    n = resolve_workers(workers)
+    if n == 1:
+        return SerialExecutor()
+    return MultiprocessExecutor(n, chunksize=chunksize)

@@ -1,0 +1,43 @@
+"""Deterministic per-candidate seed derivation for sharded searches.
+
+Parallel candidate evaluation must not let the *scheduling* of work change
+any result: a candidate's holdout split (and any other stochastic choice
+inside :func:`~repro.core.pipeline.evaluate_fixed_params`) has to depend
+only on the search's base seed and the candidate's position in the
+submission — never on which worker picks it up, in what order, or how many
+workers exist.
+
+The derivation uses :class:`numpy.random.SeedSequence` with the candidate
+index as the ``spawn_key``, i.e. the same splitting mechanism
+``Generator.spawn`` uses internally: children are statistically independent
+of each other and of the parent stream, and the mapping
+``(base_seed, index) -> seed`` is a pure function.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+__all__ = ["derive_candidate_seed", "derive_candidate_seeds"]
+
+
+def derive_candidate_seed(base_seed: int, index: int) -> int:
+    """Derive the seed for candidate ``index`` from a search-level base seed.
+
+    Pure in ``(base_seed, index)``: the result does not depend on how many
+    candidates exist, how they are chunked across workers, or in which
+    order they are evaluated.
+    """
+    if index < 0:
+        raise ValueError(f"index must be non-negative, got {index}")
+    ss = np.random.SeedSequence(int(base_seed), spawn_key=(int(index),))
+    return int(ss.generate_state(1, dtype=np.uint64)[0])
+
+
+def derive_candidate_seeds(base_seed: int, n: int) -> List[int]:
+    """Vector form of :func:`derive_candidate_seed` for indices ``0..n-1``."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    return [derive_candidate_seed(base_seed, i) for i in range(n)]

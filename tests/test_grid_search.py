@@ -105,6 +105,63 @@ class TestGridSearch:
                             data.u_test, data.y_test, 0.9, max_divisions=0)
 
 
+class TestParallelGridSearch:
+    """Serial and multiprocess execution must be bit-identical."""
+
+    def test_run_level_bit_identical_at_4_workers(self, setup):
+        data, ext = setup
+        serial = GridSearch(ext, seed=0).run_level(
+            data.u_train, data.y_train, data.u_test, data.y_test, 3)
+        parallel = GridSearch(ext, seed=0, workers=4).run_level(
+            data.u_train, data.y_train, data.u_test, data.y_test, 3)
+        assert serial.evaluations == parallel.evaluations
+        assert serial.best == parallel.best
+
+    def test_search_until_bit_identical_outcome(self, setup):
+        data, ext = setup
+        kwargs = dict(target_accuracy=2.0, max_divisions=3)
+        s = GridSearch(ext, seed=4).search_until(
+            data.u_train, data.y_train, data.u_test, data.y_test, **kwargs)
+        p = GridSearch(ext, seed=4, workers=2).search_until(
+            data.u_train, data.y_train, data.u_test, data.y_test, **kwargs)
+        assert s.best == p.best
+        assert [l.evaluations for l in s.levels] == [l.evaluations for l in p.levels]
+
+    def test_level_records_both_timing_views(self, setup):
+        data, ext = setup
+        level = GridSearch(ext, seed=0, workers=2).run_level(
+            data.u_train, data.y_train, data.u_test, data.y_test, 2)
+        # elapsed is submission wall-clock, compute sums per-candidate work;
+        # both are positive and compute is the sum over 4 real evaluations
+        assert level.elapsed_seconds > 0
+        assert level.compute_seconds > 0
+
+    def test_search_until_accumulates_compute_seconds(self, setup):
+        data, ext = setup
+        # pinned serial: only there does wall-clock dominate summed compute
+        # (REPRO_WORKERS in CI would otherwise flip this to multiprocess,
+        # where pool-startup wall time vs per-worker compute is load-dependent)
+        out = GridSearch(ext, seed=0, workers=1).search_until(
+            data.u_train, data.y_train, data.u_test, data.y_test,
+            target_accuracy=2.0, max_divisions=2)
+        assert out.total_compute_seconds == pytest.approx(
+            sum(l.compute_seconds for l in out.levels))
+        # serially, wall-clock dominates summed compute
+        assert out.total_seconds >= out.total_compute_seconds * 0.99
+
+    def test_recursive_zoom_bit_identical(self, setup):
+        data, ext = setup
+        serial = RecursiveGridSearch(ext, divisions=3, seed=0).run(
+            data.u_train, data.y_train, data.u_test, data.y_test, n_levels=2)
+        parallel = RecursiveGridSearch(ext, divisions=3, seed=0, workers=2).run(
+            data.u_train, data.y_train, data.u_test, data.y_test, n_levels=2)
+        for lvl_s, lvl_p in zip(serial, parallel):
+            assert lvl_s.best == lvl_p.best
+            assert lvl_s.best_index == lvl_p.best_index
+            np.testing.assert_array_equal(lvl_s.accuracy_matrix,
+                                          lvl_p.accuracy_matrix)
+
+
 class TestRecursiveGridSearch:
     def test_levels_zoom_into_best_cell(self, setup):
         data, ext = setup

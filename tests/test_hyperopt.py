@@ -62,6 +62,29 @@ class TestRandomSearch:
                                      data.u_test, data.y_test, n_samples=0)
 
 
+class TestParallelRandomSearch:
+    def test_bit_identical_at_4_workers(self, setup):
+        data, ext = setup
+        kwargs = dict(n_samples=8, n_classes=3)
+        serial = RandomSearch(ext, seed=5).search(
+            data.u_train, data.y_train, data.u_test, data.y_test, **kwargs)
+        parallel = RandomSearch(ext, seed=5, workers=4).search(
+            data.u_train, data.y_train, data.u_test, data.y_test, **kwargs)
+        assert serial.evaluations == parallel.evaluations
+        assert serial.best == parallel.best
+
+    def test_compute_seconds_recorded(self, setup):
+        data, ext = setup
+        # pinned serial: the wall >= compute invariant only holds without
+        # worker parallelism (REPRO_WORKERS in CI would otherwise flip it)
+        out = RandomSearch(ext, seed=0, workers=1).search(
+            data.u_train, data.y_train, data.u_test, data.y_test,
+            n_samples=4, n_classes=3)
+        assert out.compute_seconds > 0
+        assert out.total_seconds >= out.compute_seconds * 0.99
+        assert out.n_wasted == 0
+
+
 class TestSimulatedAnnealing:
     def test_walk_improves_or_matches_start(self, setup):
         data, ext = setup
@@ -90,3 +113,55 @@ class TestSimulatedAnnealing:
         with pytest.raises(ValueError):
             sa.search(data.u_train, data.y_train, data.u_test, data.y_test,
                       n_steps=5, cooling=1.5)
+        with pytest.raises(ValueError):
+            sa.search(data.u_train, data.y_train, data.u_test, data.y_test,
+                      n_steps=5, speculative=0)
+
+
+class TestSpeculativeAnnealing:
+    def test_speculative_one_matches_serial_trajectory(self, setup):
+        data, ext = setup
+        kwargs = dict(n_steps=8, n_classes=3)
+        plain = SimulatedAnnealing(ext, seed=9).search(
+            data.u_train, data.y_train, data.u_test, data.y_test, **kwargs)
+        explicit = SimulatedAnnealing(ext, seed=9, workers=2).search(
+            data.u_train, data.y_train, data.u_test, data.y_test,
+            speculative=1, **kwargs)
+        assert plain.evaluations == explicit.evaluations
+        assert plain.best == explicit.best
+        assert explicit.n_wasted == 0
+
+    def test_speculative_batch_consumes_full_budget(self, setup):
+        data, ext = setup
+        out = SimulatedAnnealing(ext, seed=2).search(
+            data.u_train, data.y_train, data.u_test, data.y_test,
+            n_steps=10, speculative=4, n_classes=3)
+        # exactly 1 (start) + n_steps consumed decisions are recorded;
+        # wasted speculative evaluations are counted separately
+        assert out.n_evaluations == 11
+        assert out.n_wasted >= 0
+        assert out.best.val_accuracy >= out.evaluations[0].val_accuracy
+
+    def test_serial_executor_evaluates_speculation_lazily(self, setup):
+        data, ext = setup
+        # a serial executor has no concurrency to buy, so speculative mode
+        # must not discard any evaluations — and the consumed trajectory
+        # matches the eagerly-evaluated parallel run of the same seed
+        serial = SimulatedAnnealing(ext, seed=2, workers=1).search(
+            data.u_train, data.y_train, data.u_test, data.y_test,
+            n_steps=10, speculative=4, n_classes=3)
+        assert serial.n_wasted == 0
+        eager = SimulatedAnnealing(ext, seed=2, workers=2).search(
+            data.u_train, data.y_train, data.u_test, data.y_test,
+            n_steps=10, speculative=4, n_classes=3)
+        assert serial.evaluations == eager.evaluations
+        assert serial.best == eager.best
+
+    def test_speculative_proposals_respect_box(self, setup):
+        data, ext = setup
+        out = SimulatedAnnealing(ext, seed=4, workers=2).search(
+            data.u_train, data.y_train, data.u_test, data.y_test,
+            n_steps=9, speculative=3, n_classes=3)
+        for ev in out.evaluations:
+            assert 10**-3.76 <= ev.A <= 10**-0.24
+            assert 10**-2.76 <= ev.B <= 10**-0.24

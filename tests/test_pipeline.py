@@ -71,6 +71,39 @@ class TestDFRClassifier:
         assert len(clf.training_.history) == 2
 
 
+class TestClassifierCandidateEvaluation:
+    def test_evaluate_candidates_matches_protocol(self, toy, fitted):
+        params = [(0.05, 0.02), (0.1, 0.05)]
+        evs = fitted.evaluate_candidates(
+            toy.u_train, toy.y_train, toy.u_test, toy.y_test, params, seed=3,
+        )
+        assert [(ev.A, ev.B) for ev in evs] == params
+        reference = evaluate_fixed_params(
+            fitted.extractor, toy.u_train, toy.y_train, toy.u_test, toy.y_test,
+            0.05, 0.02, n_classes=fitted.n_classes_,
+            seed=int(np.random.default_rng(3).integers(2**31 - 1)),
+        )
+        assert evs[0] == reference
+
+    def test_workers_knob_is_bit_identical(self, toy, fitted):
+        params = [(0.05, 0.02), (0.1, 0.05), (0.02, 0.1)]
+        serial = fitted.evaluate_candidates(
+            toy.u_train, toy.y_train, toy.u_test, toy.y_test, params, seed=3)
+        fitted.workers = 2
+        try:
+            parallel = fitted.evaluate_candidates(
+                toy.u_train, toy.y_train, toy.u_test, toy.y_test, params, seed=3)
+        finally:
+            fitted.workers = None
+        assert serial == parallel
+
+    def test_requires_fit(self, toy):
+        clf = DFRClassifier(n_nodes=4, seed=0)
+        with pytest.raises(RuntimeError):
+            clf.evaluate_candidates(toy.u_train, toy.y_train,
+                                    toy.u_test, toy.y_test, [(0.1, 0.1)])
+
+
 class TestFeatureExtractor:
     def test_feature_shape(self, toy):
         ext = DFRFeatureExtractor(n_nodes=8, seed=0).fit(toy.u_train)
