@@ -11,6 +11,7 @@ import time
 import numpy as np
 import pytest
 
+from repro.backend import available_backends, resolve_backend
 from repro.core.backprop import BackpropEngine
 from repro.readout.ridge import PAPER_BETAS, fit_ridge_sweep
 from repro.readout.softmax import SoftmaxReadout, one_hot
@@ -155,6 +156,79 @@ def test_backward_batched_vs_per_sample(benchmark, jpvow_small, rng):
     # runners where wall-clock ratios are unreliable
     floor = float(os.environ.get("REPRO_SPEEDUP_FLOOR", "3.0"))
     assert speedup >= floor, f"batched backward only {speedup:.1f}x faster"
+
+
+def test_backward_batched_per_backend(benchmark, jpvow_small, rng):
+    """Per-backend timing of the batched backward pass at batch 32.
+
+    Runs ``batch_gradients`` once per array backend installed on this host
+    (NumPy is always present; torch/cupy join when their libraries import)
+    and records ``batched_seconds_<name>`` plus the speedup over NumPy in
+    the pytest-benchmark ``extra_info``, so the JSON report tracks how each
+    backend's hot path evolves across PRs.  No gate: relative backend
+    speed is hardware-dependent (a CPU-only torch build is expected to be
+    slower than NumPy+SciPy on small reservoirs).
+    """
+    data = jpvow_small
+    batch = 32
+    u = data.u_train[:batch]
+    dfr = ModularDFR(InputMask.binary(N_NODES, u.shape[2], seed=0))
+    trace32 = dfr.run(u, 0.2, 0.3)
+    t_len = trace32.n_steps
+    dprr = DPRR()
+    feats = dprr.features(trace32)
+    readout = SoftmaxReadout(feats.shape[1], data.n_classes)
+    readout.weights = rng.normal(scale=0.01, size=readout.weights.shape)
+    targets = one_hot(data.y_train[:batch], data.n_classes)
+    win = trace32.final_window(1)
+
+    def best_of(fn, rounds=5):
+        timings = []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            fn()
+            timings.append(time.perf_counter() - start)
+        return min(timings)
+
+    backends = available_backends()
+    timings = {}
+    grads = {}
+    for name in backends:
+        engine = BackpropEngine(window=1, dprr=dprr, backend=name)
+        xb = resolve_backend(name)
+        # pre-stage the window on the device so the timing covers compute,
+        # not the one-off host-to-device transfer
+        ws = xb.asarray(win.window_states)
+        wp = xb.asarray(win.window_pre_activations)
+        fx = xb.asarray(feats)
+
+        def backward(engine=engine, ws=ws, wp=wp, fx=fx):
+            out = engine.batch_gradients(ws, wp, fx, readout, targets,
+                                         0.2, 0.3, n_steps=t_len)
+            xb.synchronize()
+            return out
+
+        grads[name] = backward()  # warm-up (JIT/caches) + parity sample
+        timings[name] = best_of(backward)
+        benchmark.extra_info[f"batched_seconds_{name}"] = timings[name]
+    for name in backends[1:]:
+        benchmark.extra_info[f"speedup_{name}_vs_numpy"] = (
+            timings["numpy"] / timings[name]
+        )
+        np.testing.assert_allclose(grads[name].d_A, grads["numpy"].d_A,
+                                   rtol=1e-8, atol=1e-11)
+    benchmark.extra_info["backends"] = ",".join(backends)
+    benchmark.extra_info["batch_size"] = batch
+
+    engine = BackpropEngine(window=1, dprr=dprr, backend="numpy")
+    result = benchmark.pedantic(
+        lambda: engine.batch_gradients(
+            win.window_states, win.window_pre_activations, feats, readout,
+            targets, 0.2, 0.3, n_steps=t_len,
+        ),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+    assert result.n_samples == batch
 
 
 def test_ridge_sweep_cost(benchmark, trace, rng):

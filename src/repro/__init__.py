@@ -48,6 +48,12 @@ from repro.readout import (
     fit_ridge,
     select_beta,
 )
+from repro.backend import (
+    ArrayBackend,
+    BackendUnavailableError,
+    available_backends,
+    resolve_backend,
+)
 from repro.representation import DPRR, LastState, MeanState, SubsampledStates
 from repro.reservoir import (
     AnalogMGDFR,
@@ -94,5 +100,9 @@ __all__ = [
     "ModularDFR",
     "Tanh",
     "get_nonlinearity",
+    "ArrayBackend",
+    "BackendUnavailableError",
+    "available_backends",
+    "resolve_backend",
     "__version__",
 ]

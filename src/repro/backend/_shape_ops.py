@@ -1,0 +1,54 @@
+"""Backend-generic shape-function evaluation (Torch/CuPy helpers).
+
+The :class:`~repro.reservoir.nonlinearity.Nonlinearity` classes implement
+``phi``/``dphi`` with NumPy ufuncs; NumPy's registry names are enough to
+re-express every built-in shape with another array library's primitives
+(``tanh``, ``sin``, ``cos``, ``abs``, ``clip`` and plain arithmetic), which
+keeps the reservoir forward/backward device-resident.  An unknown (user-
+defined) nonlinearity falls back to a NumPy round trip through the
+backend's ``to_numpy``/``asarray`` — correct on any device, just not
+resident.
+
+``xp`` is the array module (``torch`` or ``cupy``); ``bool_to_float``
+adapts the one spelling difference between them (casting a boolean mask to
+the float dtype of ``s``).
+"""
+
+from __future__ import annotations
+
+__all__ = ["generic_phi", "generic_dphi"]
+
+
+def generic_phi(xp, nonlinearity, s):
+    """Evaluate ``nonlinearity.phi`` with ``xp`` primitives; None if unknown."""
+    name = getattr(nonlinearity, "name", None)
+    if name == "identity":
+        return s
+    if name == "tanh":
+        return xp.tanh(s)
+    if name == "sine":
+        return xp.sin(nonlinearity.omega * s)
+    if name == "mackey-glass":
+        return s / (1.0 + xp.abs(s) ** nonlinearity.p)
+    if name == "sat-linear":
+        return xp.clip(s, -nonlinearity.limit, nonlinearity.limit)
+    return None
+
+
+def generic_dphi(xp, nonlinearity, s, bool_to_float):
+    """Evaluate ``nonlinearity.dphi`` with ``xp`` primitives; None if unknown."""
+    name = getattr(nonlinearity, "name", None)
+    if name == "identity":
+        return xp.ones_like(s)
+    if name == "tanh":
+        t = xp.tanh(s)
+        return 1.0 - t * t
+    if name == "sine":
+        return nonlinearity.omega * xp.cos(nonlinearity.omega * s)
+    if name == "mackey-glass":
+        p = nonlinearity.p
+        a = xp.abs(s) ** p
+        return (1.0 + (1.0 - p) * a) / (1.0 + a) ** 2
+    if name == "sat-linear":
+        return bool_to_float(xp.abs(s) <= nonlinearity.limit, s)
+    return None

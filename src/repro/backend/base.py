@@ -1,0 +1,192 @@
+"""The :class:`ArrayBackend` protocol — one numerics seam for the hot path.
+
+PR 1 reduced the batched DFR forward/backward (paper Eqs. 13, 23, 30-32) to
+dense array operations: element-wise shape functions, ``einsum``
+contractions, and first-order IIR filters (``lfilter``) along the virtual-
+node axis.  Exactly this op set is what an accelerator array library
+provides, so the hot path talks to arrays only through the small protocol
+below and any conforming backend — NumPy (the reference), PyTorch, CuPy —
+can execute it.
+
+Design rules
+------------
+* **NumPy is the reference.**  :class:`~repro.backend.numpy_backend.NumpyBackend`
+  delegates every method to the very NumPy/SciPy call the pre-backend code
+  made, in the same order, so routing through the shim is *bit-identical*
+  to the historical implementation (pinned by ``tests/test_backend.py``).
+* **Arrays stay device-resident.**  A backend's methods accept and return
+  its native array type; conversion happens only at the seam boundaries
+  (:meth:`ArrayBackend.asarray` on the way in, :meth:`ArrayBackend.to_numpy`
+  on the way out).  Python operators (``+``, ``*``, ``@``, slicing,
+  ``None``-indexing) are shared across NumPy/Torch/CuPy and are used
+  directly; only the operations whose spelling differs between libraries
+  go through protocol methods.
+* **Missing libraries fail loudly, not silently.**  Resolving a backend
+  whose library is not importable raises
+  :class:`~repro.backend.BackendUnavailableError`; nothing silently falls
+  back to NumPy, so a mis-configured ``REPRO_BACKEND`` cannot masquerade
+  as an accelerated run.
+
+The one structurally interesting method is :meth:`first_order_filter`: the
+recursion ``y_n = x_n + c * y_{n-1}`` is the Eq.-13 node chain (forward)
+and the reversed Eq.-30 chain (backward).  SciPy and CuPy evaluate it with
+a C/CUDA ``lfilter``; backends without an ``lfilter`` may use the
+closed-form ``y = x @ T(c) + zi * c**k`` with a cached lower-triangular
+Toeplitz matrix of powers — exact for any first-order filter and fully
+parallel.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional, Sequence
+
+__all__ = ["ArrayBackend", "BackendUnavailableError"]
+
+
+class BackendUnavailableError(ImportError):
+    """Raised when a requested backend's library cannot be imported."""
+
+
+class ArrayBackend:
+    """Protocol for array numerics executed by the batched hot path.
+
+    Subclasses provide a ``name`` (registry key), a ``float64`` dtype
+    handle, a ``device`` description, and the operations below.  All array
+    arguments are the backend's native arrays unless stated otherwise;
+    ``shape`` arguments are plain tuples and ``axis`` arguments plain ints.
+    """
+
+    #: registry name ("numpy", "torch", "cupy")
+    name: str = "base"
+    #: the backend's double-precision dtype handle
+    float64: object = None
+    #: human-readable device the backend computes on (e.g. "cpu", "cuda:0")
+    device: Optional[str] = None
+    #: whether :meth:`lfilter_general` is implemented (an arbitrary-order
+    #: IIR filter; the identity-reservoir flat-chain fast path needs it)
+    has_general_lfilter: bool = False
+
+    # -------------------------------------------------------------- #
+    # construction / conversion
+    # -------------------------------------------------------------- #
+
+    def asarray(self, a, dtype=None):
+        """Convert ``a`` (any array-like) to this backend's array type."""
+        raise NotImplementedError
+
+    def to_numpy(self, a):
+        """Convert a backend array to ``numpy.ndarray`` (host transfer)."""
+        raise NotImplementedError
+
+    def zeros(self, shape):
+        raise NotImplementedError
+
+    def empty(self, shape):
+        raise NotImplementedError
+
+    def atleast_2d(self, a):
+        raise NotImplementedError
+
+    # -------------------------------------------------------------- #
+    # structural ops
+    # -------------------------------------------------------------- #
+
+    def flip(self, a, axis: int):
+        raise NotImplementedError
+
+    def roll(self, a, shift: int, axis: int):
+        raise NotImplementedError
+
+    def concatenate(self, arrays: Sequence, axis: int = 0):
+        raise NotImplementedError
+
+    def stack(self, arrays: Sequence, axis: int = 0):
+        raise NotImplementedError
+
+    def take(self, a, indices, axis: int = 0):
+        """Select rows/entries by integer index along ``axis``."""
+        raise NotImplementedError
+
+    # -------------------------------------------------------------- #
+    # math
+    # -------------------------------------------------------------- #
+
+    def einsum(self, subscripts: str, *operands):
+        raise NotImplementedError
+
+    def exp(self, a):
+        raise NotImplementedError
+
+    def log(self, a):
+        raise NotImplementedError
+
+    def abs(self, a):
+        raise NotImplementedError
+
+    def maximum_scalar(self, a, value: float):
+        """Element-wise ``max(a, value)`` against a scalar floor."""
+        raise NotImplementedError
+
+    def isfinite(self, a):
+        raise NotImplementedError
+
+    def any(self, a, axis: Optional[int] = None):
+        raise NotImplementedError
+
+    def sum(self, a, axis: Optional[int] = None, keepdims: bool = False):
+        raise NotImplementedError
+
+    def mean(self, a, axis: Optional[int] = None):
+        raise NotImplementedError
+
+    def max(self, a, axis: Optional[int] = None, keepdims: bool = False):
+        raise NotImplementedError
+
+    # -------------------------------------------------------------- #
+    # DFR-specific ops
+    # -------------------------------------------------------------- #
+
+    def phi(self, nonlinearity, s):
+        """Evaluate a reservoir shape function on a backend array."""
+        raise NotImplementedError
+
+    def dphi(self, nonlinearity, s):
+        """Evaluate a shape-function derivative on a backend array."""
+        raise NotImplementedError
+
+    def first_order_filter(self, x, coef: float, zi):
+        """Solve ``y_n = x_n + coef * y_{n-1}`` along the last axis.
+
+        ``zi`` is the SciPy ``lfilter`` initial condition with trailing axis
+        1 (i.e. ``y_0 = x_0 + zi``); this recursion is the Eq.-13 node chain
+        of the forward pass and the reversed Eq.-30 chain of the backward
+        pass.  Returns ``y`` with the shape of ``x``.
+        """
+        raise NotImplementedError
+
+    def lfilter_general(self, b, a, x, axis: int = -1):
+        """Arbitrary-order IIR filter (SciPy ``lfilter`` semantics).
+
+        Only required when :attr:`has_general_lfilter` is True; the
+        identity-reservoir flat-chain fast path uses it, every other hot-
+        path filter is first-order and goes through
+        :meth:`first_order_filter`.
+        """
+        raise NotImplementedError
+
+    # -------------------------------------------------------------- #
+    # misc
+    # -------------------------------------------------------------- #
+
+    def synchronize(self) -> None:
+        """Block until queued device work finishes (timing fairness)."""
+
+    @contextmanager
+    def errstate(self):
+        """Suppress overflow/invalid warnings during a divergent sweep."""
+        yield
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        dev = f", device={self.device!r}" if self.device else ""
+        return f"{type(self).__name__}(name={self.name!r}{dev})"

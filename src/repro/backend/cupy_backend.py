@@ -1,0 +1,178 @@
+"""CuPy backend: CUDA execution with NumPy-compatible semantics.
+
+Imported lazily by the registry; importing *this module* requires ``cupy``
+(and a working CUDA runtime) and raises ``ImportError`` otherwise, which
+the registry converts into a
+:class:`~repro.backend.base.BackendUnavailableError`.
+
+CuPy mirrors the NumPy API, so most methods are one-line delegations.  The
+IIR filters prefer ``cupyx.scipy.signal.lfilter`` (a true GPU ``lfilter``,
+including the arbitrary-order form the identity flat-chain fast path
+wants); on CuPy builds without it, first-order chains fall back to the
+same closed-form Toeplitz matmul the Torch backend uses and the reservoir
+takes its per-step path instead of the flat-chain one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import cupy as cp
+import numpy as np
+
+from repro.backend._shape_ops import generic_dphi, generic_phi
+from repro.backend.base import ArrayBackend
+
+try:  # pragma: no cover - depends on the installed CuPy build
+    from cupyx.scipy.signal import lfilter as _cupy_lfilter
+except ImportError:  # pragma: no cover
+    _cupy_lfilter = None
+
+__all__ = ["CupyBackend"]
+
+
+def _parse_device(device: Optional[str]) -> int:
+    """Parse a device suffix into a CUDA ordinal.
+
+    Accepts the same grammar the Torch backend documents — ``"cuda:1"``,
+    ``"cuda"`` (current device), a bare ordinal ``"1"`` — or ``None`` for
+    the current device, so ``REPRO_BACKEND=cupy:cuda:0`` and
+    ``REPRO_BACKEND=torch:cuda:0`` pin devices with one spelling.
+    """
+    if device is None or device == "" or device == "cuda":
+        return cp.cuda.runtime.getDevice()
+    text = device[len("cuda:"):] if device.startswith("cuda:") else device
+    try:
+        return int(text)
+    except ValueError:
+        raise ValueError(
+            f"cupy device spec must be 'cuda', 'cuda:<N>' or '<N>', "
+            f"got {device!r}"
+        ) from None
+
+
+class CupyBackend(ArrayBackend):
+    """Double-precision CuPy execution on the current CUDA device."""
+
+    name = "cupy"
+    float64 = cp.float64
+    has_general_lfilter = _cupy_lfilter is not None
+
+    def __init__(self, device: Optional[str] = None):
+        self._device_id = _parse_device(device)
+        self.device = f"cuda:{self._device_id}"
+        self._toeplitz_cache: Dict[Tuple[float, int], Tuple] = {}
+
+    def asarray(self, a, dtype=None):
+        with cp.cuda.Device(self._device_id):
+            return cp.asarray(a, dtype=dtype)
+
+    def to_numpy(self, a):
+        if isinstance(a, cp.ndarray):
+            return cp.asnumpy(a)
+        return np.asarray(a)
+
+    def zeros(self, shape):
+        with cp.cuda.Device(self._device_id):
+            return cp.zeros(shape)
+
+    def empty(self, shape):
+        with cp.cuda.Device(self._device_id):
+            return cp.empty(shape)
+
+    def atleast_2d(self, a):
+        return cp.atleast_2d(a)
+
+    def flip(self, a, axis: int):
+        index = [slice(None)] * a.ndim
+        index[axis] = slice(None, None, -1)
+        return a[tuple(index)]
+
+    def roll(self, a, shift: int, axis: int):
+        return cp.roll(a, shift, axis=axis)
+
+    def concatenate(self, arrays: Sequence, axis: int = 0):
+        return cp.concatenate(arrays, axis=axis)
+
+    def stack(self, arrays: Sequence, axis: int = 0):
+        return cp.stack(arrays, axis=axis)
+
+    def take(self, a, indices, axis: int = 0):
+        return cp.take(a, self.asarray(np.asarray(indices)), axis=axis)
+
+    def einsum(self, subscripts: str, *operands):
+        return cp.einsum(subscripts, *operands)
+
+    def exp(self, a):
+        return cp.exp(a)
+
+    def log(self, a):
+        return cp.log(a)
+
+    def abs(self, a):
+        return cp.abs(a)
+
+    def maximum_scalar(self, a, value: float):
+        return cp.maximum(a, value)
+
+    def isfinite(self, a):
+        return cp.isfinite(a)
+
+    def any(self, a, axis: Optional[int] = None):
+        return cp.any(a, axis=axis)
+
+    def sum(self, a, axis: Optional[int] = None, keepdims: bool = False):
+        return cp.sum(a, axis=axis, keepdims=keepdims)
+
+    def mean(self, a, axis: Optional[int] = None):
+        return cp.mean(a, axis=axis)
+
+    def max(self, a, axis: Optional[int] = None, keepdims: bool = False):
+        return cp.max(a, axis=axis, keepdims=keepdims)
+
+    def phi(self, nonlinearity, s):
+        out = generic_phi(cp, nonlinearity, s)
+        if out is None:
+            out = self.asarray(nonlinearity.phi(self.to_numpy(s)))
+        return out
+
+    def dphi(self, nonlinearity, s):
+        out = generic_dphi(cp, nonlinearity, s,
+                           lambda mask, ref: mask.astype(ref.dtype))
+        if out is None:
+            out = self.asarray(nonlinearity.dphi(self.to_numpy(s)))
+        return out
+
+    def _toeplitz(self, coef: float, n: int):
+        key = (float(coef), n)
+        cached = self._toeplitz_cache.get(key)
+        if cached is None:
+            idx = cp.arange(n, dtype=cp.float64)
+            diff = idx[None, :] - idx[:, None]  # diff[j, k] = k - j
+            mat = cp.where(diff >= 0, coef ** cp.maximum(diff, 0.0), 0.0)
+            powers = coef ** idx
+            cached = (mat, powers)
+            if len(self._toeplitz_cache) > 64:
+                self._toeplitz_cache.clear()
+            self._toeplitz_cache[key] = cached
+        return cached
+
+    def first_order_filter(self, x, coef: float, zi):
+        if _cupy_lfilter is not None:
+            y, _ = _cupy_lfilter(cp.asarray([1.0]),
+                                 cp.asarray([1.0, -coef]), x,
+                                 axis=-1, zi=zi)
+            return y
+        mat, powers = self._toeplitz(coef, x.shape[-1])
+        return x @ mat + zi * powers
+
+    def lfilter_general(self, b, a, x, axis: int = -1):
+        if _cupy_lfilter is None:  # pragma: no cover - build-dependent
+            raise NotImplementedError(
+                "this CuPy build lacks cupyx.scipy.signal.lfilter"
+            )
+        return _cupy_lfilter(cp.asarray(b, dtype=cp.float64),
+                             cp.asarray(a, dtype=cp.float64), x, axis=axis)
+
+    def synchronize(self) -> None:  # pragma: no cover - needs GPU
+        cp.cuda.get_current_stream().synchronize()

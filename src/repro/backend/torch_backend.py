@@ -1,0 +1,176 @@
+"""PyTorch backend: CPU or CUDA execution of the batched hot path.
+
+Imported lazily by the registry (:func:`repro.backend.resolve_backend`);
+importing *this module* requires ``torch`` and raises ``ImportError``
+otherwise, which the registry converts into a
+:class:`~repro.backend.base.BackendUnavailableError` with install guidance.
+
+Torch has no ``lfilter``, so the Eq.-13/Eq.-30 node-chain recursion
+``y_n = x_n + c * y_{n-1}`` is evaluated in closed form:
+
+.. math::
+
+    y_k = \\sum_{j \\le k} c^{k-j} x_j + c^k \\cdot zi
+        \\;\\Longleftrightarrow\\; y = x\\,T(c) + zi \\cdot c^{[0..n)}
+
+with :math:`T(c)` the lower-triangular Toeplitz matrix of powers of ``c``
+(cached per ``(c, n, device)``).  One ``(N, n) @ (n, n)`` matmul replaces
+the sequential scan — exact, and the shape accelerators are built for.
+The identity-reservoir *flat-chain* fast path needs an arbitrary-order
+filter, which Torch does not get (``has_general_lfilter = False``); the
+reservoir transparently falls back to its per-step path there, computing
+the same trajectory through first-order filters only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+import torch
+
+from repro.backend._shape_ops import generic_dphi, generic_phi
+from repro.backend.base import ArrayBackend
+
+__all__ = ["TorchBackend"]
+
+
+class TorchBackend(ArrayBackend):
+    """Double-precision Torch execution, on CPU or a CUDA device.
+
+    Parameters
+    ----------
+    device:
+        Torch device string (``"cpu"``, ``"cuda"``, ``"cuda:1"``); ``None``
+        auto-selects CUDA when available, else CPU.  Reachable from the
+        environment as ``REPRO_BACKEND=torch:cuda`` etc.
+    """
+
+    name = "torch"
+    float64 = torch.float64
+    has_general_lfilter = False
+
+    def __init__(self, device: Optional[str] = None):
+        if device is None:
+            device = "cuda" if torch.cuda.is_available() else "cpu"
+        self._device = torch.device(device)
+        self.device = str(self._device)
+        self._toeplitz_cache: Dict[Tuple[float, int], Tuple] = {}
+
+    def asarray(self, a, dtype=None):
+        if isinstance(a, np.ndarray) and not a.flags.writeable:
+            # torch.as_tensor warns on (and would alias) read-only views,
+            # e.g. the trainer's no-copy final_window slices
+            a = np.array(a)
+        if dtype is None and not isinstance(a, torch.Tensor):
+            # float64 end to end: NumPy inputs keep their dtype, Python
+            # scalars/lists promote to the backend's double precision
+            dtype = None if isinstance(a, np.ndarray) else self.float64
+        return torch.as_tensor(a, dtype=dtype, device=self._device)
+
+    def to_numpy(self, a):
+        if isinstance(a, torch.Tensor):
+            return a.detach().cpu().numpy()
+        return np.asarray(a)
+
+    def zeros(self, shape):
+        return torch.zeros(shape, dtype=self.float64, device=self._device)
+
+    def empty(self, shape):
+        return torch.empty(shape, dtype=self.float64, device=self._device)
+
+    def atleast_2d(self, a):
+        return torch.atleast_2d(a)
+
+    def flip(self, a, axis: int):
+        return torch.flip(a, dims=(axis,))
+
+    def roll(self, a, shift: int, axis: int):
+        return torch.roll(a, shifts=shift, dims=axis)
+
+    def concatenate(self, arrays: Sequence, axis: int = 0):
+        return torch.cat(tuple(arrays), dim=axis)
+
+    def stack(self, arrays: Sequence, axis: int = 0):
+        return torch.stack(tuple(arrays), dim=axis)
+
+    def take(self, a, indices, axis: int = 0):
+        index = torch.as_tensor(np.asarray(indices), dtype=torch.long,
+                                device=self._device)
+        return torch.index_select(a, axis, index)
+
+    def einsum(self, subscripts: str, *operands):
+        return torch.einsum(subscripts, *operands)
+
+    def exp(self, a):
+        return torch.exp(a)
+
+    def log(self, a):
+        return torch.log(a)
+
+    def abs(self, a):
+        return torch.abs(a)
+
+    def maximum_scalar(self, a, value: float):
+        return torch.clamp(a, min=value)
+
+    def isfinite(self, a):
+        return torch.isfinite(a)
+
+    def any(self, a, axis: Optional[int] = None):
+        if axis is None:
+            return torch.any(a)
+        return torch.any(a, dim=axis)
+
+    def sum(self, a, axis: Optional[int] = None, keepdims: bool = False):
+        if axis is None:
+            return torch.sum(a)
+        return torch.sum(a, dim=axis, keepdim=keepdims)
+
+    def mean(self, a, axis: Optional[int] = None):
+        if axis is None:
+            return torch.mean(a)
+        return torch.mean(a, dim=axis)
+
+    def max(self, a, axis: Optional[int] = None, keepdims: bool = False):
+        if axis is None:
+            return torch.max(a)
+        return torch.amax(a, dim=axis, keepdim=keepdims)
+
+    def phi(self, nonlinearity, s):
+        out = generic_phi(torch, nonlinearity, s)
+        if out is None:  # unknown shape: NumPy round trip (host evaluation)
+            out = self.asarray(nonlinearity.phi(self.to_numpy(s)))
+        return out
+
+    def dphi(self, nonlinearity, s):
+        out = generic_dphi(torch, nonlinearity, s,
+                           lambda mask, ref: mask.to(ref.dtype))
+        if out is None:
+            out = self.asarray(nonlinearity.dphi(self.to_numpy(s)))
+        return out
+
+    def _toeplitz(self, coef: float, n: int, dtype):
+        key = (float(coef), n)
+        cached = self._toeplitz_cache.get(key)
+        if cached is None:
+            idx = torch.arange(n, dtype=dtype, device=self._device)
+            diff = idx.view(1, -1) - idx.view(-1, 1)  # diff[j, k] = k - j
+            zero = torch.zeros((), dtype=dtype, device=self._device)
+            # clamp the exponent before pow so masked entries never overflow
+            mat = torch.where(diff >= 0,
+                              coef ** torch.clamp(diff, min=0.0), zero)
+            powers = coef ** idx
+            cached = (mat, powers)
+            if len(self._toeplitz_cache) > 64:  # bound the per-(A, B) cache
+                self._toeplitz_cache.clear()
+            self._toeplitz_cache[key] = cached
+        return cached
+
+    def first_order_filter(self, x, coef: float, zi):
+        mat, powers = self._toeplitz(coef, x.shape[-1], x.dtype)
+        return x @ mat + zi * powers
+
+    def synchronize(self) -> None:
+        if self._device.type == "cuda":  # pragma: no cover - needs GPU
+            torch.cuda.synchronize(self._device)

@@ -28,6 +28,20 @@ recursion* in ``n`` with drive
 ``e(k)_n = bpv(k)_n + A phi'(s(k+1)_n) g(k+1)_n`` and boundary
 ``B * g(k+1)_1`` — one reversed :func:`scipy.signal.lfilter` call per step,
 mirroring the forward pass.
+
+Array backends
+--------------
+The batched pass (:func:`batch_reservoir_backward`,
+:meth:`BackpropEngine.batch_gradients`) is pure dense array work — einsum
+contractions, element-wise shape functions, and first-order filter chains —
+so it routes every array op through an
+:class:`~repro.backend.ArrayBackend`.  The engine resolves its backend from
+its ``backend`` argument, falling back to the ``REPRO_BACKEND`` environment
+variable (NumPy when unset); engine outputs always come back as NumPy
+arrays, so optimizer updates and telemetry are backend-agnostic.  The
+per-sample pass (:func:`reservoir_backward`, the paper's reference SGD
+protocol) deliberately stays on NumPy — it is the bit-pinned baseline every
+backend is validated against.
 """
 
 from __future__ import annotations
@@ -38,6 +52,7 @@ from typing import Optional
 import numpy as np
 from scipy.signal import lfilter
 
+from repro.backend import default_backend, resolve_backend
 from repro.readout.softmax import SoftmaxReadout
 from repro.representation.dprr import DPRR
 from repro.reservoir.nonlinearity import Identity, Nonlinearity, get_nonlinearity
@@ -191,12 +206,13 @@ def batch_reservoir_backward(
     *,
     n_steps: int,
     nonlinearity: Nonlinearity,
+    backend=None,
 ) -> tuple:
     """Vectorized :func:`reservoir_backward` over a minibatch.
 
     Identical mathematics, one batch axis in front of every array: the
     per-step backward recursion is a first-order IIR filter in ``n`` (the
-    reversed Eq.-30 chain), so :func:`scipy.signal.lfilter` evaluates it for
+    reversed Eq.-30 chain), so the backend's filter kernel evaluates it for
     all samples at once exactly like the forward pass in
     :mod:`repro.reservoir.modular` — the Python loop is only over the
     ``window`` time steps, not over samples.
@@ -214,6 +230,11 @@ def batch_reservoir_backward(
         Shared reservoir parameters (one candidate point for the batch).
     n_steps:
         Total series length ``T``.
+    backend:
+        :class:`~repro.backend.ArrayBackend` executing the pass; ``None``
+        is the NumPy reference (bit-identical to the historical
+        implementation).  Inputs are converted in; outputs are returned as
+        that backend's arrays (the engine converts back to NumPy).
 
     Returns
     -------
@@ -221,22 +242,23 @@ def batch_reservoir_backward(
         ``(N,)`` parameter-gradient vectors and the ``(N, window, N_x)``
         array of dL/dx(k)_n.
     """
-    window_states = np.asarray(window_states, dtype=np.float64)
-    window_pre = np.asarray(window_pre, dtype=np.float64)
+    xb = resolve_backend(backend)
+    window_states = xb.asarray(window_states, dtype=xb.float64)
+    window_pre = xb.asarray(window_pre, dtype=xb.float64)
     if window_pre.ndim != 3:
         raise ValueError(
             f"window_pre must be (N, window, N_x), got shape {window_pre.shape}"
         )
     n, window, nx = window_pre.shape
-    if window_states.shape != (n, window + 1, nx):
+    if tuple(window_states.shape) != (n, window + 1, nx):
         raise ValueError(
             f"window_states must be (N, window+1, N_x) = {(n, window + 1, nx)}, "
             f"got {window_states.shape}"
         )
     if window > n_steps:
         raise ValueError(f"window {window} exceeds series length {n_steps}")
-    d_repr = np.asarray(d_repr, dtype=np.float64)
-    if d_repr.shape != (n, nx * (nx + 1)):
+    d_repr = xb.asarray(d_repr, dtype=xb.float64)
+    if tuple(d_repr.shape) != (n, nx * (nx + 1)):
         raise ValueError(
             f"d_repr must be (N, N_x(N_x+1)) = {(n, nx * (nx + 1))}, "
             f"got {d_repr.shape}"
@@ -244,34 +266,31 @@ def batch_reservoir_backward(
     g_mat = d_repr[:, : nx * nx].reshape(n, nx, nx)
     g_sum = d_repr[:, nx * nx:]
 
-    b_poly = np.array([1.0, -B])
-    g_next = np.zeros((n, nx))   # g(k+1); zero beyond the final step
-    d_a = np.zeros(n)
-    d_b = np.zeros(n)
-    state_grads = np.zeros((n, window, nx))
-    dphi = nonlinearity.dphi
-    phi = nonlinearity.phi
+    g_next = xb.zeros((n, nx))   # g(k+1); zero beyond the final step
+    d_a = xb.zeros(n)
+    d_b = xb.zeros(n)
+    state_grads = xb.zeros((n, window, nx))
 
     for idx in range(window - 1, -1, -1):
         k_is_last = idx == window - 1
         x_prev = window_states[:, idx]
         x_here = window_states[:, idx + 1]
         # Eq. 23, batched: bpv(k) = G x(k-1) + g_sum (+ G^T x(k+1))
-        drive = np.einsum("nij,nj->ni", g_mat, x_prev) + g_sum
+        drive = xb.einsum("nij,nj->ni", g_mat, x_prev) + g_sum
         if not k_is_last:
             x_next = window_states[:, idx + 2]
-            drive = drive + np.einsum("nji,nj->ni", g_mat, x_next)
+            drive = drive + xb.einsum("nji,nj->ni", g_mat, x_next)
             # Eq. 30, cross-step term A * phi'(s(k+1)) * g(k+1)
-            drive = drive + A * dphi(window_pre[:, idx + 1]) * g_next
+            drive = drive + A * xb.dphi(nonlinearity, window_pre[:, idx + 1]) * g_next
         # Eq. 30, B-chain within the step, boundary B * g(k+1)_1 per sample
         zi = B * g_next[:, :1]
-        rev, _ = lfilter([1.0], b_poly, drive[:, ::-1], axis=-1, zi=zi)
-        g_here = rev[:, ::-1]
+        rev = xb.first_order_filter(xb.flip(drive, -1), B, zi)
+        g_here = xb.flip(rev, -1)
         state_grads[:, idx] = g_here
         # Eqs. 31-32 restricted to the window, one dot product per sample
-        d_a += np.einsum("ni,ni->n", phi(window_pre[:, idx]), g_here)
-        x_left = np.concatenate([x_prev[:, -1:], x_here[:, :-1]], axis=1)
-        d_b += np.einsum("ni,ni->n", x_left, g_here)
+        d_a += xb.einsum("ni,ni->n", xb.phi(nonlinearity, window_pre[:, idx]), g_here)
+        x_left = xb.concatenate([x_prev[:, -1:], x_here[:, :-1]], axis=1)
+        d_b += xb.einsum("ni,ni->n", x_left, g_here)
         g_next = g_here
     return d_a, d_b, state_grads
 
@@ -293,6 +312,11 @@ class BackpropEngine:
     window:
         Number of final time steps kept in the backward pass; ``1`` is the
         paper's truncated method, ``None`` means full BPTT.
+    backend:
+        :class:`~repro.backend.ArrayBackend` (or spec string) executing the
+        *batched* path; ``None`` defers to the ``REPRO_BACKEND``
+        environment variable (NumPy when unset).  The per-sample path is
+        always NumPy — it is the pinned reference.
     """
 
     def __init__(
@@ -300,6 +324,7 @@ class BackpropEngine:
         nonlinearity=None,
         dprr: Optional[DPRR] = None,
         window: Optional[int] = 1,
+        backend=None,
     ):
         self.nonlinearity = (
             Identity() if nonlinearity is None else get_nonlinearity(nonlinearity)
@@ -308,6 +333,7 @@ class BackpropEngine:
         if window is not None and window < 1:
             raise ValueError(f"window must be None or >= 1, got {window}")
         self.window = window
+        self.backend = default_backend() if backend is None else resolve_backend(backend)
 
     def effective_window(self, n_steps: int) -> int:
         """The realized window for a series of length ``n_steps``."""
@@ -380,9 +406,16 @@ class BackpropEngine:
         Output-layer gradients come back averaged over the batch; ``d_A``,
         ``d_B`` and ``losses`` stay per-row so callers can mask diverged
         samples before reducing.
+
+        The whole pass runs on the engine's array backend (inputs are
+        converted in, device-resident inputs are consumed as-is), and every
+        returned array is NumPy — gradients are tiny next to activations,
+        so the transfer cost is negligible and downstream optimizer code
+        stays backend-agnostic.
         """
-        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
-        out = readout.batch_loss_and_grads(features, targets_onehot)
+        xb = self.backend
+        features = xb.atleast_2d(xb.asarray(features, dtype=xb.float64))
+        out = readout.batch_loss_and_grads(features, targets_onehot, backend=xb)
         # undo the DPRR normalization so d_repr is w.r.t. the raw sums
         d_repr = out.d_features * self.dprr.scale(n_steps)
         d_a, d_b, state_grads = batch_reservoir_backward(
@@ -393,16 +426,17 @@ class BackpropEngine:
             B,
             n_steps=n_steps,
             nonlinearity=self.nonlinearity,
+            backend=xb,
         )
         n = features.shape[0]
         return BatchGradients(
-            losses=out.losses,
-            probs=out.probs,
-            d_A=d_a,
-            d_B=d_b,
-            d_weights=out.deltas.T @ features / n,
-            d_bias=out.deltas.mean(axis=0),
-            state_grads=state_grads if keep_state_grads else None,
+            losses=xb.to_numpy(out.losses),
+            probs=xb.to_numpy(out.probs),
+            d_A=xb.to_numpy(d_a),
+            d_B=xb.to_numpy(d_b),
+            d_weights=xb.to_numpy(out.deltas.T @ features / n),
+            d_bias=xb.to_numpy(xb.mean(out.deltas, axis=0)),
+            state_grads=xb.to_numpy(state_grads) if keep_state_grads else None,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - trivial

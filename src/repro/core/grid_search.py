@@ -136,9 +136,14 @@ class GridSearch:
         Worker-process count for candidate evaluation; ``None`` defers to
         the ``REPRO_WORKERS`` environment variable, 0/1 is serial.  Serial
         and parallel runs are bit-identical.
+    backend:
+        Array-backend spec for candidate evaluation (e.g. ``"torch"``,
+        ``"cupy"``); routes the sweep through a
+        :class:`~repro.exec.BackendExecutor` (or stamps the spec onto the
+        worker contexts when combined with ``workers``).
     executor:
         A pre-built :class:`~repro.exec.CandidateExecutor`; overrides
-        ``workers`` when given.
+        ``workers``/``backend`` when given.
     """
 
     def __init__(
@@ -151,6 +156,7 @@ class GridSearch:
         val_fraction: float = 0.2,
         feature_batch_size: Optional[int] = None,
         workers: Optional[int] = None,
+        backend: Optional[str] = None,
         executor: Optional[CandidateExecutor] = None,
         seed: SeedLike = None,
     ):
@@ -160,7 +166,8 @@ class GridSearch:
         self.betas = tuple(betas)
         self.val_fraction = float(val_fraction)
         self.feature_batch_size = feature_batch_size
-        self.executor = executor if executor is not None else make_executor(workers)
+        self.executor = (executor if executor is not None
+                         else make_executor(workers, backend=backend))
         self._rng = ensure_rng(seed)
 
     def _make_context(self, u_train, y_train, u_test, y_test,
@@ -319,6 +326,7 @@ class RecursiveGridSearch:
         val_fraction: float = 0.2,
         feature_batch_size: Optional[int] = None,
         workers: Optional[int] = None,
+        backend: Optional[str] = None,
         executor: Optional[CandidateExecutor] = None,
         seed: SeedLike = None,
     ):
@@ -335,6 +343,7 @@ class RecursiveGridSearch:
             val_fraction=val_fraction,
             feature_batch_size=feature_batch_size,
             workers=workers,
+            backend=backend,
             executor=executor,
             seed=seed,
         )

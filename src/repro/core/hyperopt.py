@@ -77,6 +77,7 @@ class _BlackBoxSearch:
         val_fraction: float = 0.2,
         feature_batch_size: Optional[int] = None,
         workers: Optional[int] = None,
+        backend: Optional[str] = None,
         executor: Optional[CandidateExecutor] = None,
         seed: SeedLike = None,
     ):
@@ -88,7 +89,8 @@ class _BlackBoxSearch:
         #: chunk size for the per-candidate reservoir sweeps; bounds peak
         #: trace memory on large datasets without changing any score
         self.feature_batch_size = feature_batch_size
-        self.executor = executor if executor is not None else make_executor(workers)
+        self.executor = (executor if executor is not None
+                         else make_executor(workers, backend=backend))
         self._rng = ensure_rng(seed)
 
     def _make_context(self, u_train, y_train, u_test, y_test,

@@ -25,6 +25,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.backend import default_backend, resolve_backend
 from repro.core.trainer import BackpropTrainer, TrainerConfig, TrainingResult
 from repro.data.preprocessing import ChannelStandardizer
 from repro.readout.metrics import accuracy_score
@@ -65,6 +66,7 @@ class DFRFeatureExtractor:
         mask_kind: str = "binary",
         mask_gamma: float = 1.0,
         feature_batch_size: Optional[int] = None,
+        backend: Optional[str] = None,
         seed: SeedLike = None,
     ):
         if n_nodes < 1:
@@ -84,6 +86,10 @@ class DFRFeatureExtractor:
         #: many samples so the peak trace storage is bounded at
         #: ``feature_batch_size * (T+1) * N_x`` regardless of the batch size
         self.feature_batch_size = feature_batch_size
+        #: array backend spec for the reservoir/DPRR sweeps; None defers to
+        #: the REPRO_BACKEND environment variable (NumPy when unset).  The
+        #: spec string (not the resolved object) is what snapshots carry.
+        self.set_backend(backend)
         self._rng = ensure_rng(seed)
         self.standardizer = ChannelStandardizer()
         self.reservoir: Optional[ModularDFR] = None
@@ -92,6 +98,20 @@ class DFRFeatureExtractor:
     def n_features(self) -> int:
         """DPRR width ``N_x (N_x + 1)``."""
         return self.dprr.n_features(self.n_nodes)
+
+    def set_backend(self, backend: Optional[str]) -> None:
+        """(Re)bind the array backend executing the feature sweeps.
+
+        ``backend`` is a spec string (``"numpy"``, ``"torch:cuda:0"``, ...)
+        or ``None`` for the ``REPRO_BACKEND`` environment default; the
+        resolved :class:`~repro.backend.ArrayBackend` is cached on the
+        extractor.  Used by the execution layer to re-target a rebuilt
+        extractor inside a :class:`~repro.exec.BackendExecutor`.
+        """
+        self.backend_spec = backend
+        self.backend = (
+            default_backend() if backend is None else resolve_backend(backend)
+        )
 
     def fit(self, u_train: np.ndarray) -> "DFRFeatureExtractor":
         """Fit the standardizer and draw the mask from the training inputs."""
@@ -116,22 +136,28 @@ class DFRFeatureExtractor:
         ``batch_size`` (default: the extractor's ``feature_batch_size``)
         chunks the reservoir sweep over samples, bounding peak memory; the
         features are identical either way since samples are independent.
+
+        The sweep runs on the extractor's array backend; the returned
+        arrays are always NumPy (the ridge solver downstream is NumPy), so
+        the device boundary sits exactly here.
         """
         if self.reservoir is None:
             raise RuntimeError("extractor must be fitted before use")
+        xb = self.backend
         u_std = as_batch(self.standardizer.transform(u))
         if batch_size is None:
             batch_size = self.feature_batch_size
         n = u_std.shape[0]
         if batch_size is None or n <= batch_size:
-            trace = self.reservoir.run(u_std, A, B)
-            return self.dprr.features(trace), trace.diverged
+            trace = self.reservoir.run(u_std, A, B, backend=xb)
+            feats = xb.to_numpy(self.dprr.features(trace, backend=xb))
+            return feats, trace.diverged
         feats = np.empty((n, self.n_features))
         diverged = np.empty(n, dtype=bool)
         for start in range(0, n, batch_size):
             stop = min(start + batch_size, n)
-            trace = self.reservoir.run(u_std[start:stop], A, B)
-            feats[start:stop] = self.dprr.features(trace)
+            trace = self.reservoir.run(u_std[start:stop], A, B, backend=xb)
+            feats[start:stop] = xb.to_numpy(self.dprr.features(trace, backend=xb))
             diverged[start:stop] = trace.diverged
         return feats, diverged
 
@@ -155,6 +181,7 @@ class DFRFeatureExtractor:
             mask_matrix=np.array(self.reservoir.mask.matrix, copy=True),
             mean=np.array(self.standardizer.mean_, copy=True),
             std=np.array(self.standardizer.std_, copy=True),
+            backend=self.backend_spec,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
@@ -183,6 +210,10 @@ class ExtractorConfig:
     mask_matrix: np.ndarray
     mean: np.ndarray
     std: np.ndarray
+    #: array-backend *spec string* (never a live backend — specs pickle,
+    #: device handles do not); None re-resolves REPRO_BACKEND on build,
+    #: so worker processes honour their own environment
+    backend: Optional[str] = None
 
     def build(self) -> DFRFeatureExtractor:
         """Reconstruct the fitted extractor this config was snapshot from."""
@@ -193,6 +224,7 @@ class ExtractorConfig:
             mask_kind=self.mask_kind,
             mask_gamma=self.mask_gamma,
             feature_batch_size=self.feature_batch_size,
+            backend=self.backend,
         )
         extractor.standardizer.mean_ = np.array(self.mean, copy=True)
         extractor.standardizer.std_ = np.array(self.std, copy=True)
@@ -344,6 +376,13 @@ class DFRClassifier:
         classifier's extractor).  ``None`` defers to the ``REPRO_WORKERS``
         environment variable; 0/1 evaluates serially.  The backprop fit
         itself is the paper's sequential algorithm and is unaffected.
+    backend:
+        Array backend spec (``"numpy"``, ``"torch"``, ``"torch:cuda:0"``,
+        ``"cupy"``) executing the reservoir/DPRR sweeps and — when
+        ``batch_size > 1`` — the batched training engine.  ``None`` defers
+        to the ``REPRO_BACKEND`` environment variable (NumPy when unset);
+        the per-sample SGD of ``batch_size=1`` always runs the pinned
+        NumPy reference.
     seed:
         Master seed (mask, shuffling, splits).
 
@@ -368,10 +407,12 @@ class DFRClassifier:
         mask_kind: str = "binary",
         mask_gamma: float = 1.0,
         workers: Optional[int] = None,
+        backend: Optional[str] = None,
         seed: SeedLike = None,
     ):
         self._rng = ensure_rng(seed)
         self.workers = workers
+        self.backend = backend
         self._executor = None
         self.extractor = DFRFeatureExtractor(
             n_nodes,
@@ -379,11 +420,14 @@ class DFRClassifier:
             normalize=normalize,
             mask_kind=mask_kind,
             mask_gamma=mask_gamma,
+            backend=backend,
             seed=self._rng,
         )
         self.config = config if config is not None else TrainerConfig()
         if batch_size is not None:
             self.config = replace(self.config, batch_size=int(batch_size))
+        if backend is not None and self.config.backend is None:
+            self.config = replace(self.config, backend=backend)
         self.betas = tuple(betas)
         self.val_fraction = float(val_fraction)
         # fitted attributes

@@ -3,13 +3,31 @@
 The paper selects the winning configuration by highest *validation*
 accuracy with cross-entropy loss as the tiebreak — the same criterion the
 proposed method uses for ``beta``, with the test set playing no role.  This
-module is the single implementation of that rule; grid search, recursive
-zoom, random search, and simulated annealing all rank candidates through
-it, so "best" means the same thing everywhere.
+module is the single implementation of that rule; grid search
+(:mod:`repro.core.grid_search`), recursive zoom, random search, and
+simulated annealing (:mod:`repro.core.hyperopt`) all rank candidates
+through it, so "best" means the same thing everywhere.
 
-Ties on ``(accuracy, loss)`` break toward the smallest ``(A, B)``, which
-makes the winner deterministic regardless of evaluation order — a property
-the parallel execution layer relies on.
+Mechanics worth knowing:
+
+* :func:`selection_key` is a *minimizing* sort key
+  ``(-val_accuracy, val_loss, A, B)``; ties on ``(accuracy, loss)`` break
+  toward the smallest ``(A, B)``, which makes the winner deterministic
+  regardless of evaluation order — the property that lets the parallel
+  execution layer (:mod:`repro.exec`) return bit-identical winners under
+  any worker count or schedule.
+* Diverged and failed candidates
+  (:meth:`~repro.core.pipeline.FixedParamsEvaluation.failed`) carry
+  ``val_accuracy = 0`` and ``val_loss = inf``, so every rule here ranks
+  them strictly last without special-casing; a search over an unstable
+  corner of the box therefore degrades gracefully instead of crashing or
+  winning with garbage.
+* :func:`better_evaluation` implements the strict "beats the incumbent"
+  comparison used by incremental searches (annealing's best-so-far,
+  random search's running winner); :func:`best_evaluation` is the batch
+  form for finished sweeps.  Both are thin wrappers over
+  :func:`selection_key` — keep any future criterion change inside that
+  one function.
 """
 
 from __future__ import annotations

@@ -28,6 +28,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.backend import resolve_backend
 from repro.core.backprop import BackpropEngine
 from repro.core.optimizer import StepSchedule, clip_gradients, get_optimizer
 from repro.readout.softmax import SoftmaxReadout, one_hot
@@ -73,6 +74,12 @@ class TrainerConfig:
     divergence_shrink: float = 0.7
     shuffle: bool = True
     optimizer: str = "sgd"
+    #: array backend for the *batched* engine (``batch_size > 1``): a name
+    #: such as "numpy" / "torch" / "torch:cuda:0" / "cupy", or None to
+    #: defer to the ``REPRO_BACKEND`` environment variable (NumPy when
+    #: unset).  The ``batch_size=1`` per-sample path is the paper's pinned
+    #: NumPy reference and ignores this knob.
+    backend: Optional[str] = None
 
     def __post_init__(self):
         if self.epochs < 1:
@@ -151,8 +158,13 @@ class BackpropTrainer:
         self.config = config if config is not None else TrainerConfig()
         self.rng = ensure_rng(seed)
         self.engine = BackpropEngine(
-            reservoir.nonlinearity, dprr=self.dprr, window=self.config.window
+            reservoir.nonlinearity, dprr=self.dprr, window=self.config.window,
+            backend=self.config.backend,
         )
+        #: backend executing the batched forward/backward (the per-sample
+        #: path always runs the NumPy reference)
+        self.backend = self.engine.backend
+        self._numpy = resolve_backend(None)
 
     def _pull_back(self, params, count: int = 1) -> None:
         """Shrink A and B after divergent forward passes (recovery guard).
@@ -280,8 +292,11 @@ class BackpropTrainer:
             # admits a single-filter forward); the backward pass then
             # consumes only the truncation window, so the *mathematics*
             # is identical to the memory-bounded streaming execution
-            # (ModularDFR.run_streaming), as pinned by tests.
-            trace = self.reservoir.run(sample, a_val, b_val)
+            # (ModularDFR.run_streaming), as pinned by tests.  The NumPy
+            # backend is forced here: this loop is the paper's reference
+            # protocol, pinned bit-for-bit regardless of REPRO_BACKEND.
+            trace = self.reservoir.run(sample, a_val, b_val,
+                                       backend=self._numpy)
             if trace.diverged[0]:
                 n_skipped += 1
                 self._pull_back(params)
@@ -318,8 +333,14 @@ class BackpropTrainer:
         backward pass; gradients are averaged over the batch's non-diverged
         rows, and each diverged row triggers the same pull-back the
         per-sample loop would have applied for that sample.
+
+        Forward states, DPRR features and the backward pass all run on the
+        trainer's array backend (``TrainerConfig.backend``); the engine
+        hands back NumPy gradients, so the update step below is
+        backend-agnostic.
         """
         batch_size = self.config.batch_size
+        xb = self.backend
         losses = []
         n_correct = 0
         n_skipped = 0
@@ -327,7 +348,7 @@ class BackpropTrainer:
             sel = order[start: start + batch_size]
             a_val = float(params["A"])
             b_val = float(params["B"])
-            trace = self.reservoir.run(u[sel], a_val, b_val)
+            trace = self.reservoir.run(u[sel], a_val, b_val, backend=xb)
             diverged = trace.diverged
             n_div = int(diverged.sum())
             win = trace.final_window(backward_window, copy=False)
@@ -338,14 +359,16 @@ class BackpropTrainer:
                     continue
                 # drop the diverged rows (this copies; the common all-valid
                 # case below stays on the no-copy views)
-                valid = ~diverged
-                kept = sel[valid]
-                feats = self.dprr.features(trace.states[valid])
-                window_states = win.window_states[valid]
-                window_pre = win.window_pre_activations[valid]
+                valid = np.flatnonzero(~diverged)
+                kept = sel[~diverged]
+                feats = self.dprr.features(
+                    xb.take(trace.states, valid, axis=0), backend=xb
+                )
+                window_states = xb.take(win.window_states, valid, axis=0)
+                window_pre = xb.take(win.window_pre_activations, valid, axis=0)
             else:
                 kept = sel
-                feats = self.dprr.features(trace)
+                feats = self.dprr.features(trace, backend=xb)
                 window_states = win.window_states
                 window_pre = win.window_pre_activations
             grads_out = self.engine.batch_gradients(

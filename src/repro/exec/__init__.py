@@ -9,11 +9,18 @@ is the single seam those searches submit work through:
   of one point and of everything needed to score it;
 * :class:`SerialExecutor` / :class:`MultiprocessExecutor` — in-process and
   process-pool execution with identical (bit-for-bit) results;
+* :class:`BackendExecutor` — in-process, device-resident evaluation on a
+  :mod:`repro.backend` array backend (GPU-scale sweeps through the same
+  context/candidate protocol; ``backend="numpy"`` is bit-identical to
+  :class:`SerialExecutor`);
 * :func:`derive_candidate_seed` — spawn-key seed splitting, so per-candidate
   randomness never depends on worker count or scheduling;
 * :func:`make_executor` / :func:`resolve_workers` — the ``workers`` /
-  ``REPRO_WORKERS`` knob shared by the classifier, the searches, and the
-  ``repro-bench`` CLI.
+  ``REPRO_WORKERS`` knob (plus the ``backend`` spec) shared by the
+  classifier, the searches, and the ``repro-bench`` CLI.
+
+See ``docs/ARCHITECTURE.md`` for how this seam relates to the
+:class:`~repro.backend.ArrayBackend` seam one layer below it.
 """
 
 from repro.exec.context import (
@@ -25,6 +32,7 @@ from repro.exec.context import (
 )
 from repro.exec.executors import (
     WORKERS_ENV_VAR,
+    BackendExecutor,
     CandidateExecutor,
     MultiprocessExecutor,
     SerialExecutor,
@@ -41,6 +49,7 @@ __all__ = [
     "evaluate_candidate",
     "CandidateExecutor",
     "SerialExecutor",
+    "BackendExecutor",
     "MultiprocessExecutor",
     "WORKERS_ENV_VAR",
     "make_executor",

@@ -3,11 +3,20 @@
 The execution layer separates *what* a search evaluates from *where* it
 runs.  A search builds one :class:`EvaluationContext` per submission — the
 dataset arrays, an :class:`~repro.core.pipeline.ExtractorConfig` snapshot of
-the feature pipeline, and the scoring protocol — plus a list of lightweight
-:class:`Candidate` records.  Executors (serial or multiprocess) then map
+the feature pipeline, the scoring protocol, and optionally an array-backend
+spec — plus a list of lightweight :class:`Candidate` records.  Executors
+(serial, multiprocess, or array-backend) then map
 :func:`evaluate_candidate` over the candidates; because the context is a
 plain picklable bundle and the per-candidate seed is a pure function of the
 candidate, the results are bit-identical no matter how the work is sharded.
+
+Failure semantics: :func:`evaluate_candidate` never raises — a candidate
+whose evaluation throws becomes a failed :class:`CandidateResult` whose
+traceback rides along in ``error``, and
+:meth:`SubmissionReport.evaluations` maps it to the
+:meth:`~repro.core.pipeline.FixedParamsEvaluation.failed` sentinel that the
+shared selection rule (:mod:`repro.core.selection`) ranks strictly last.
+One bad ``(A, B)`` point therefore never kills a sweep.
 """
 
 from __future__ import annotations
@@ -129,6 +138,10 @@ class EvaluationContext:
     feature_batch_size: Optional[int] = None
     #: fallback entropy for candidates submitted without an explicit seed
     base_seed: Optional[int] = None
+    #: array-backend spec overriding the extractor's own for this
+    #: submission (how :class:`~repro.exec.BackendExecutor` re-targets
+    #: evaluation); None keeps the snapshot's backend
+    backend: Optional[str] = None
 
     def __post_init__(self):
         if isinstance(self.extractor, DFRFeatureExtractor):
@@ -149,6 +162,7 @@ class EvaluationContext:
         n_classes: Optional[int] = None,
         feature_batch_size: Optional[int] = None,
         base_seed: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> "EvaluationContext":
         """Build a context from raw search inputs (the one canonical path).
 
@@ -166,6 +180,7 @@ class EvaluationContext:
             n_classes=n_classes,
             feature_batch_size=feature_batch_size,
             base_seed=base_seed,
+            backend=backend,
         )
 
     def __getstate__(self):
@@ -176,6 +191,8 @@ class EvaluationContext:
     def _get_extractor(self) -> DFRFeatureExtractor:
         if self._built is None:
             self._built = self.extractor.build()
+            if self.backend is not None:
+                self._built.set_backend(self.backend)
         return self._built
 
     def candidate_seed(self, candidate: Candidate) -> Optional[int]:

@@ -1,10 +1,12 @@
-"""Pluggable candidate executors: serial and process-pool sharding.
+"""Pluggable candidate executors: serial, process-pool, and array-backend.
 
 Every ``(A, B)`` candidate of the baseline searches (grid, random,
-annealing) is an independent reservoir sweep, so the natural scaling axis
-is candidate-level parallelism.  :class:`CandidateExecutor` is the seam all
-search layers submit through; two implementations ship today and the
-ROADMAP's multi-backend (GPU shim) step plugs in here later.
+annealing) is an independent reservoir sweep, so there are two natural
+scaling axes: candidate-level parallelism across *processes*
+(:class:`MultiprocessExecutor`) and device-resident evaluation on an
+accelerator *array backend* (:class:`BackendExecutor`, backed by
+:mod:`repro.backend`).  :class:`CandidateExecutor` is the seam all search
+layers submit through, so the axes compose with the searches unchanged.
 
 Guarantees shared by all executors:
 
@@ -29,6 +31,7 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import replace
 from typing import List, Optional, Sequence
 
 from repro.exec.context import (
@@ -42,6 +45,7 @@ from repro.exec.context import (
 __all__ = [
     "CandidateExecutor",
     "SerialExecutor",
+    "BackendExecutor",
     "MultiprocessExecutor",
     "WORKERS_ENV_VAR",
     "resolve_workers",
@@ -76,6 +80,23 @@ class CandidateExecutor:
 
     #: effective worker count (1 for serial executors)
     workers: int = 1
+    #: array-backend spec stamped onto submitted contexts (None: untouched)
+    backend_spec: Optional[str] = None
+
+    def _apply_backend(self, context: EvaluationContext) -> EvaluationContext:
+        """Stamp :attr:`backend_spec` onto ``context`` (cached per source).
+
+        The retargeted copy is cached by source-context identity so that
+        repeated submissions of one context — annealing rounds, the levels
+        of a recursive grid — keep hitting the same object (extractor reuse
+        in-process, pool reuse across processes).
+        """
+        if self.backend_spec is None or context.backend == self.backend_spec:
+            return context
+        if getattr(self, "_retarget_source", None) is not context:
+            self._retargeted = replace(context, backend=self.backend_spec)
+            self._retarget_source = context
+        return self._retargeted
 
     def run(self, context: EvaluationContext,
             candidates: Sequence[Candidate]) -> SubmissionReport:
@@ -105,6 +126,53 @@ class SerialExecutor(CandidateExecutor):
         return SubmissionReport(
             results=results, wall_seconds=time.perf_counter() - start,
         )
+
+
+class BackendExecutor(CandidateExecutor):
+    """In-process evaluation on a chosen array backend (device-resident).
+
+    Candidates are scored sequentially in this process, but every reservoir
+    sweep and DPRR contraction of every candidate runs on the given
+    :mod:`repro.backend` backend — this is the execution mode for a single
+    accelerator, where one GPU evaluating dense batched sweeps replaces a
+    pool of CPU workers.  The override travels as a *spec string* on the
+    submission context, so it composes with the searches unchanged and
+    (being picklable) also survives a trip into worker processes.
+
+    Parameters
+    ----------
+    backend:
+        Backend spec (``"torch"``, ``"torch:cuda:1"``, ``"cupy"``,
+        ``"numpy"``); ``None`` defers to ``REPRO_BACKEND``.  The spec is
+        resolved eagerly, so requesting an uninstalled backend fails at
+        construction time, not mid-search.
+
+    With ``backend="numpy"`` this is bit-identical to
+    :class:`SerialExecutor` (pinned by ``tests/test_backend.py``).
+    """
+
+    workers = 1
+
+    def __init__(self, backend: Optional[str] = None):
+        from repro.backend import BACKEND_ENV_VAR, resolve_backend
+
+        if backend is None:
+            backend = os.environ.get(BACKEND_ENV_VAR, "").strip() or None
+        #: spec applied to submitted contexts; None means no override
+        self.backend_spec = backend
+        #: resolved backend (eager, so a missing library fails here)
+        self.backend = resolve_backend(backend)
+
+    def run(self, context: EvaluationContext,
+            candidates: Sequence[Candidate]) -> SubmissionReport:
+        start = time.perf_counter()
+        results = _run_serially(self._apply_backend(context), candidates)
+        return SubmissionReport(
+            results=results, wall_seconds=time.perf_counter() - start,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"BackendExecutor(backend={self.backend.name!r})"
 
 
 # module-level worker state: the context is shipped once per worker via the
@@ -184,6 +252,7 @@ class MultiprocessExecutor(CandidateExecutor):
     def run(self, context: EvaluationContext,
             candidates: Sequence[Candidate]) -> SubmissionReport:
         start = time.perf_counter()
+        context = self._apply_backend(context)
         reusable = self._pool is not None and self._pool_context is context
         if len(candidates) < 2 and not reusable:
             results = _run_serially(context, candidates)
@@ -203,13 +272,24 @@ class MultiprocessExecutor(CandidateExecutor):
 
 
 def make_executor(workers: Optional[int] = None,
-                  chunksize: Optional[int] = None) -> CandidateExecutor:
-    """Build the executor for an effective worker count.
+                  chunksize: Optional[int] = None,
+                  backend: Optional[str] = None) -> CandidateExecutor:
+    """Build the executor for an effective worker count (and backend).
 
-    ``resolve_workers(workers) == 1`` yields a :class:`SerialExecutor`,
-    anything larger a :class:`MultiprocessExecutor`.
+    ``resolve_workers(workers) == 1`` yields a :class:`SerialExecutor` —
+    or a :class:`BackendExecutor` when an explicit ``backend`` spec is
+    given; anything larger a :class:`MultiprocessExecutor` (workers then
+    inherit the backend override through the pickled context).
     """
     n = resolve_workers(workers)
     if n == 1:
+        if backend is not None:
+            return BackendExecutor(backend)
         return SerialExecutor()
-    return MultiprocessExecutor(n, chunksize=chunksize)
+    executor = MultiprocessExecutor(n, chunksize=chunksize)
+    if backend is not None:
+        from repro.backend import resolve_backend
+
+        resolve_backend(backend)  # fail fast on an uninstalled backend
+        executor.backend_spec = backend
+    return executor

@@ -14,6 +14,12 @@ All gradients of Eq. 17 are implemented in closed form:
     \\frac{\\partial L}{\\partial W} = \\delta r^T,\\qquad
     \\frac{\\partial L}{\\partial r} = W^T \\delta,
     \\qquad \\delta = y - d.
+
+The batched path (:meth:`SoftmaxReadout.batch_loss_and_grads`) routes its
+array ops through an :class:`~repro.backend.ArrayBackend` — inferred from
+the feature matrix by default — so device-resident features produce
+device-resident gradients; the layer's parameters stay NumPy (they are
+tiny and updated by the NumPy optimizer).
 """
 
 from __future__ import annotations
@@ -21,6 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.backend import infer_backend, resolve_backend
 
 __all__ = [
     "softmax",
@@ -178,7 +186,8 @@ class SoftmaxReadout:
         )
 
     def batch_loss_and_grads(
-        self, features: np.ndarray, targets_onehot: np.ndarray
+        self, features: np.ndarray, targets_onehot: np.ndarray,
+        *, backend=None,
     ) -> BatchOutputGradients:
         """Vectorized Eq.-17 gradients for a minibatch.
 
@@ -188,25 +197,36 @@ class SoftmaxReadout:
             ``(N, N_r)`` representation matrix (one row per sample).
         targets_onehot:
             ``(N, N_y)`` one-hot target matrix.
+        backend:
+            :class:`~repro.backend.ArrayBackend` executing the batch;
+            ``None`` infers it from ``features``.  All returned arrays are
+            that backend's arrays (NumPy in the default case).
         """
-        r = np.atleast_2d(np.asarray(features, dtype=np.float64))
-        d = np.atleast_2d(np.asarray(targets_onehot, dtype=np.float64))
+        xb = infer_backend(features) if backend is None else resolve_backend(backend)
+        r = xb.atleast_2d(xb.asarray(features, dtype=xb.float64))
+        d = xb.atleast_2d(xb.asarray(targets_onehot, dtype=xb.float64))
         if r.shape[1] != self.n_features:
             raise ValueError(
                 f"feature size {r.shape[1]} != readout width {self.n_features}"
             )
-        if d.shape != (r.shape[0], self.n_classes):
+        if tuple(d.shape) != (r.shape[0], self.n_classes):
             raise ValueError(
                 f"targets must be {(r.shape[0], self.n_classes)}, got {d.shape}"
             )
-        z = r @ self.weights.T + self.bias
-        probs = softmax(z)
+        weights = xb.asarray(self.weights)
+        z = r @ weights.T + xb.asarray(self.bias)
+        # inline backend form of softmax()/cross_entropy(): same ops in the
+        # same order, so the NumPy backend is bit-identical to those helpers
+        shifted = z - xb.max(z, axis=-1, keepdims=True)
+        e = xb.exp(shifted)
+        probs = e / xb.sum(e, axis=-1, keepdims=True)
+        losses = -xb.sum(d * xb.log(xb.maximum_scalar(probs, _EPS)), axis=-1)
         deltas = probs - d
         return BatchOutputGradients(
-            losses=cross_entropy(probs, d),
+            losses=losses,
             probs=probs,
             deltas=deltas,
-            d_features=deltas @ self.weights,
+            d_features=deltas @ weights,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - trivial

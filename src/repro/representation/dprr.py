@@ -20,6 +20,11 @@ scale, and experiments with a ``1/T`` normalization destabilized training
 on long-series datasets.  ``normalize="length"`` divides by ``T``; the
 constant is carried through the analytic backward pass, so gradients are
 exact either way.
+
+The contraction is a single ``einsum`` plus a sum, so :meth:`DPRR.features`
+routes through an :class:`~repro.backend.ArrayBackend` — inferred from the
+source arrays by default, so a device-resident reservoir trace stays on its
+device all the way to the feature matrix.
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.backend import infer_backend, resolve_backend
 from repro.reservoir.modular import ReservoirTrace, StreamingResult
 
 __all__ = ["DPRR"]
@@ -64,7 +70,8 @@ class DPRR:
         return 1.0 / n_steps if self.normalize == "length" else 1.0
 
     def features(
-        self, source: Union[ReservoirTrace, StreamingResult, np.ndarray]
+        self, source: Union[ReservoirTrace, StreamingResult, np.ndarray],
+        *, backend=None,
     ) -> np.ndarray:
         """Compute DPRR features ``(N, N_x (N_x + 1))``.
 
@@ -75,6 +82,10 @@ class DPRR:
             array including the zero initial row), or a
             :class:`StreamingResult` whose online accumulators are reused
             directly.
+        backend:
+            :class:`~repro.backend.ArrayBackend` running the contraction;
+            ``None`` infers it from the source arrays, so a device-resident
+            trace yields device-resident features with no extra threading.
         """
         if isinstance(source, StreamingResult):
             if source.dprr_sums is None:
@@ -83,11 +94,14 @@ class DPRR:
                     "from a full trace); pass the trace instead"
                 )
             p_acc, s_acc = source.dprr_sums
+            xb = infer_backend(p_acc) if backend is None else resolve_backend(backend)
             n = p_acc.shape[0]
-            raw = np.concatenate([p_acc.reshape(n, -1), s_acc], axis=1)
+            raw = xb.concatenate([p_acc.reshape(n, -1), s_acc], axis=1)
             return raw * self.scale(source.n_steps)
 
-        states = source.states if isinstance(source, ReservoirTrace) else np.asarray(source)
+        states = source.states if isinstance(source, ReservoirTrace) else source
+        xb = infer_backend(states) if backend is None else resolve_backend(backend)
+        states = xb.asarray(states)
         if states.ndim != 3:
             raise ValueError(
                 f"states must be (N, T+1, N_x) including the initial row, got {states.shape}"
@@ -98,9 +112,9 @@ class DPRR:
             raise ValueError("need at least one time step")
         x_k = states[:, 1:, :]   # x(1) .. x(T)
         x_prev = states[:, :-1, :]  # x(0) .. x(T-1)
-        p_mat = np.einsum("nti,ntj->nij", x_k, x_prev)
-        s_vec = x_k.sum(axis=1)
-        raw = np.concatenate([p_mat.reshape(n, -1), s_vec], axis=1)
+        p_mat = xb.einsum("nti,ntj->nij", x_k, x_prev)
+        s_vec = xb.sum(x_k, axis=1)
+        raw = xb.concatenate([p_mat.reshape(n, -1), s_vec], axis=1)
         return raw * self.scale(t_len)
 
     def __repr__(self) -> str:  # pragma: no cover - trivial

@@ -32,6 +32,18 @@ Two execution modes are provided:
 * :meth:`ModularDFR.run_streaming` accumulates the DPRR representation online
   and retains only the last ``window + 1`` states, exactly the storage regime
   of the paper's truncated backpropagation (Sec. 3.4).
+
+Array backends
+--------------
+Both sweeps are pure dense array programs, so they route every array op
+through an :class:`~repro.backend.ArrayBackend` (constructor argument or a
+per-call ``backend=`` override).  The default is the NumPy reference —
+bit-identical to the historical implementation; the environment variable
+``REPRO_BACKEND`` is deliberately *not* consulted here so that directly
+constructed reservoirs keep the paper-pinned numerics (pipeline entry
+points thread their backend in explicitly).  Backends without an
+arbitrary-order ``lfilter`` (Torch) skip the identity flat-chain fast path
+and compute the same trajectory through the per-step first-order chain.
 """
 
 from __future__ import annotations
@@ -40,8 +52,8 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
-from scipy.signal import lfilter
 
+from repro.backend import ArrayBackend, resolve_backend
 from repro.reservoir.masking import InputMask
 from repro.reservoir.nonlinearity import Identity, Nonlinearity, get_nonlinearity
 from repro.utils.validation import as_batch
@@ -67,6 +79,10 @@ class ReservoirTrace:
     diverged:
         ``(N,)`` boolean array flagging samples whose state left the finite
         range (possible for unbounded nonlinearities at large ``A, B``).
+
+    ``states``/``pre_activations`` are arrays of whichever
+    :class:`~repro.backend.ArrayBackend` ran the sweep (NumPy by default);
+    ``diverged`` is always a NumPy array — it is control flow, not data.
     """
 
     states: np.ndarray
@@ -103,10 +119,11 @@ class ReservoirTrace:
         window_pre = self.pre_activations[:, -window:]
         diverged = self.diverged
         if copy:
-            window_states = window_states.copy()
-            window_pre = window_pre.copy()
+            window_states = _copy_array(window_states)
+            window_pre = _copy_array(window_pre)
             diverged = diverged.copy()
-        else:
+        elif isinstance(window_states, np.ndarray):
+            # NumPy views can be locked; device tensors have no such flag
             window_states.setflags(write=False)
             window_pre.setflags(write=False)
         return StreamingResult(
@@ -151,6 +168,13 @@ class StreamingResult:
         return self.window_pre_activations.shape[1]
 
 
+def _copy_array(a):
+    """Same-device deep copy: NumPy/CuPy spell it ``copy()``, Torch ``clone()``."""
+    if hasattr(a, "copy"):
+        return a.copy()
+    return a.clone()
+
+
 def _check_window(window: int, n_steps: int) -> int:
     window = int(window)
     if window < 1:
@@ -169,6 +193,10 @@ class ModularDFR:
     nonlinearity:
         Shape function :math:`\\varphi` (name or instance); the paper's
         evaluation uses the identity.
+    backend:
+        :class:`~repro.backend.ArrayBackend` (or spec string) executing the
+        sweeps; ``None`` is the NumPy reference.  Overridable per call via
+        ``run(..., backend=...)``.
 
     Examples
     --------
@@ -180,13 +208,14 @@ class ModularDFR:
     (8, 51, 30)
     """
 
-    def __init__(self, mask: InputMask, nonlinearity=None):
+    def __init__(self, mask: InputMask, nonlinearity=None, *, backend=None):
         if not isinstance(mask, InputMask):
             mask = InputMask(mask)
         self.mask = mask
         self.nonlinearity: Nonlinearity = (
             Identity() if nonlinearity is None else get_nonlinearity(nonlinearity)
         )
+        self.backend: ArrayBackend = resolve_backend(backend)
 
     @property
     def n_nodes(self) -> int:
@@ -202,7 +231,8 @@ class ModularDFR:
     # forward passes
     # ------------------------------------------------------------------ #
 
-    def run(self, u: np.ndarray, A: float, B: float) -> ReservoirTrace:
+    def run(self, u: np.ndarray, A: float, B: float,
+            *, backend=None) -> ReservoirTrace:
         """Run the reservoir over a batch, keeping the full state trace.
 
         Parameters
@@ -212,6 +242,9 @@ class ModularDFR:
             accepted).
         A, B:
             The two reservoir parameters of the modular DFR.
+        backend:
+            Per-call override of the reservoir's array backend; the trace
+            arrays come back device-resident on that backend.
 
         Returns
         -------
@@ -219,14 +252,15 @@ class ModularDFR:
         """
         u = as_batch(u)
         A, B = _check_params(A, B)
-        j = self.mask.apply(u)  # (N, T, N_x)
+        xb = self.backend if backend is None else resolve_backend(backend)
+        j = xb.asarray(self.mask.apply(u))  # (N, T, N_x)
         n, t_len, nx = j.shape
-        phi = self.nonlinearity.phi
+        nonlinearity = self.nonlinearity
 
-        states = np.zeros((n, t_len + 1, nx))
-        pre = np.empty((n, t_len, nx))
-        with np.errstate(over="ignore", invalid="ignore"):
-            if isinstance(self.nonlinearity, Identity):
+        states = xb.zeros((n, t_len + 1, nx))
+        pre = xb.empty((n, t_len, nx))
+        with xb.errstate():
+            if isinstance(nonlinearity, Identity) and xb.has_general_lfilter:
                 # Identity fast path: on the flat chain t = (k-1) N_x + n the
                 # whole trajectory solves ONE linear recurrence
                 #   x_t = A j_t + B x_{t-1} + A x_{t-N_x},
@@ -235,24 +269,24 @@ class ModularDFR:
                 a_poly[0] = 1.0
                 a_poly[1] -= B
                 a_poly[nx] -= A
-                x_flat = lfilter([A], a_poly, j.reshape(n, t_len * nx), axis=-1)
+                x_flat = xb.lfilter_general(
+                    [A], a_poly, j.reshape(n, t_len * nx), axis=-1
+                )
                 states[:, 1:, :] = x_flat.reshape(n, t_len, nx)
                 pre[:] = j + states[:, :-1, :]
             else:
-                b_poly = np.array([1.0, -B])
                 for k in range(t_len):
                     s = j[:, k, :] + states[:, k, :]
                     pre[:, k, :] = s
-                    c = A * phi(s)
+                    c = A * xb.phi(nonlinearity, s)
                     zi = (B * states[:, k, -1])[:, np.newaxis]
-                    states[:, k + 1, :], _ = lfilter(
-                        [1.0], b_poly, c, axis=-1, zi=zi
-                    )
-        diverged = _divergence_flags(states.reshape(n, -1))
+                    states[:, k + 1, :] = xb.first_order_filter(c, B, zi)
+        diverged = _divergence_flags(states.reshape(n, -1), xb)
         return ReservoirTrace(states=states, pre_activations=pre, diverged=diverged)
 
     def run_streaming(
-        self, u: np.ndarray, A: float, B: float, *, window: int = 1
+        self, u: np.ndarray, A: float, B: float, *, window: int = 1,
+        backend=None,
     ) -> StreamingResult:
         """Run the reservoir keeping only the last ``window + 1`` states.
 
@@ -268,33 +302,33 @@ class ModularDFR:
         """
         u = as_batch(u)
         A, B = _check_params(A, B)
-        j = self.mask.apply(u)
+        xb = self.backend if backend is None else resolve_backend(backend)
+        j = xb.asarray(self.mask.apply(u))
         n, t_len, nx = j.shape
         window = _check_window(window, t_len)
-        phi = self.nonlinearity.phi
+        nonlinearity = self.nonlinearity
 
         # ring buffer of the last (window + 1) states, logically ordered
-        ring = np.zeros((n, window + 1, nx))
-        pre_ring = np.zeros((n, window, nx))
-        p_acc = np.zeros((n, nx, nx))
-        s_acc = np.zeros((n, nx))
-        b_poly = np.array([1.0, -B])
-        with np.errstate(over="ignore", invalid="ignore"):
+        ring = xb.zeros((n, window + 1, nx))
+        pre_ring = xb.zeros((n, window, nx))
+        p_acc = xb.zeros((n, nx, nx))
+        s_acc = xb.zeros((n, nx))
+        with xb.errstate():
             for k in range(t_len):
                 x_prev = ring[:, -1, :]
                 s = j[:, k, :] + x_prev
-                c = A * phi(s)
+                c = A * xb.phi(nonlinearity, s)
                 zi = (B * x_prev[:, -1])[:, np.newaxis]
-                x_new, _ = lfilter([1.0], b_poly, c, axis=-1, zi=zi)
+                x_new = xb.first_order_filter(c, B, zi)
                 # DPRR accumulation: P += x(k) x(k-1)^T, s += x(k)
                 p_acc += x_new[:, :, np.newaxis] * x_prev[:, np.newaxis, :]
                 s_acc += x_new
-                ring = np.roll(ring, -1, axis=1)
+                ring = xb.roll(ring, -1, axis=1)
                 ring[:, -1, :] = x_new
-                pre_ring = np.roll(pre_ring, -1, axis=1)
+                pre_ring = xb.roll(pre_ring, -1, axis=1)
                 pre_ring[:, -1, :] = s
-        diverged = _divergence_flags(ring.reshape(n, -1)) | _divergence_flags(
-            p_acc.reshape(n, -1)
+        diverged = _divergence_flags(ring.reshape(n, -1), xb) | _divergence_flags(
+            p_acc.reshape(n, -1), xb
         )
         return StreamingResult(
             window_states=ring,
@@ -319,10 +353,15 @@ def _check_params(A: float, B: float) -> tuple:
     return A, B
 
 
-def _divergence_flags(flat_per_sample: np.ndarray) -> np.ndarray:
-    """Per-sample flag: any non-finite or astronomically large value."""
+def _divergence_flags(flat_per_sample, backend=None) -> np.ndarray:
+    """Per-sample flag: any non-finite or astronomically large value.
+
+    Always returns a NumPy boolean array, whatever backend produced the
+    states — divergence flags are control flow, not hot-path data.
+    """
+    xb = resolve_backend(backend)
     with np.errstate(invalid="ignore"):
-        bad = ~np.isfinite(flat_per_sample) | (
-            np.abs(flat_per_sample) > _DIVERGENCE_LIMIT
+        bad = ~xb.isfinite(flat_per_sample) | (
+            xb.abs(flat_per_sample) > _DIVERGENCE_LIMIT
         )
-    return bad.any(axis=1)
+    return xb.to_numpy(xb.any(bad, axis=1)).astype(bool, copy=False)

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Documentation checker: executable snippets + local-link integrity.
+
+Two checks, both cheap enough to gate CI (the ``docs`` job runs this):
+
+1. **Snippet execution.**  Every fenced ``python`` code block immediately
+   preceded by an ``<!-- check:exec -->`` marker is executed in a fresh
+   namespace, in repo-root working directory, with ``src/`` importable.
+   The README quickstart carries the marker, so the front-door example can
+   never silently rot.
+2. **Link integrity.**  Every relative markdown link/image target in the
+   checked files must exist on disk (anchors are stripped; external
+   ``http(s)``/``mailto`` links are not fetched).
+
+Usage::
+
+    python tools/check_docs.py [files...]   # default: README.md,
+                                            # EXPERIMENTS.md, ROADMAP.md,
+                                            # docs/ARCHITECTURE.md
+
+Exit code 0 when everything passes; 1 with a per-failure report otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_FILES = [
+    "README.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "docs/ARCHITECTURE.md",
+]
+
+EXEC_MARKER = "<!-- check:exec -->"
+FENCE_RE = re.compile(
+    r"(?P<marker><!-- check:exec -->\s*\n)?```python\n(?P<code>.*?)```",
+    re.DOTALL,
+)
+# [text](target) and ![alt](target); ignores external schemes below
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def iter_exec_blocks(text: str):
+    """Yield the code of every ``check:exec``-marked python fence."""
+    for match in FENCE_RE.finditer(text):
+        if match.group("marker"):
+            yield match.group("code")
+
+
+def check_links(path: Path, text: str) -> list:
+    failures = []
+    base = path.parent
+    for target in LINK_RE.findall(text):
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        resolved = (base / target.split("#")[0]).resolve()
+        if not resolved.exists():
+            failures.append(f"{path}: broken link -> {target}")
+    return failures
+
+
+def run_snippet(source_name: str, code: str) -> list:
+    namespace = {"__name__": "__main__"}
+    start = time.perf_counter()
+    try:
+        exec(compile(code, f"<{source_name} snippet>", "exec"), namespace)
+    except Exception as exc:  # report, don't crash the checker
+        return [f"{source_name}: snippet raised {type(exc).__name__}: {exc}"]
+    print(f"  executed snippet from {source_name} "
+          f"({time.perf_counter() - start:.1f}s)")
+    return []
+
+
+def main(argv=None) -> int:
+    args = (argv if argv is not None else sys.argv[1:]) or DEFAULT_FILES
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    failures = []
+    for name in args:
+        path = REPO_ROOT / name
+        if not path.exists():
+            failures.append(f"{name}: file not found")
+            continue
+        text = path.read_text(encoding="utf-8")
+        failures.extend(check_links(path, text))
+        for code in iter_exec_blocks(text):
+            failures.extend(run_snippet(name, code))
+    if failures:
+        print("\nDOCS CHECK FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("docs check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
