@@ -108,6 +108,10 @@ class ArrayBackend:
         """Select rows/entries by integer index along ``axis``."""
         raise NotImplementedError
 
+    def swapaxes(self, a, axis1: int, axis2: int):
+        """Exchange two axes (a view where the library supports one)."""
+        raise NotImplementedError
+
     # -------------------------------------------------------------- #
     # math
     # -------------------------------------------------------------- #
@@ -162,6 +166,24 @@ class ArrayBackend:
         1 (i.e. ``y_0 = x_0 + zi``); this recursion is the Eq.-13 node chain
         of the forward pass and the reversed Eq.-30 chain of the backward
         pass.  Returns ``y`` with the shape of ``x``.
+        """
+        raise NotImplementedError
+
+    def first_order_filter_stacked(self, x, coefs, zi):
+        """Per-candidate :meth:`first_order_filter` along a leading axis.
+
+        ``x`` is ``(K, ..., n)`` and candidate ``k`` solves
+        ``y_n = x_n + coefs[k] * y_{n-1}`` along the last axis with its own
+        initial condition ``zi[k]`` (trailing axis 1).  ``coefs`` is host
+        control data — a plain 1-D NumPy array of K filter coefficients,
+        exactly like the scalar ``coef`` of :meth:`first_order_filter`.
+
+        This is the candidate-axis analogue of the Eq.-13/Eq.-30 node
+        chain: one call sweeps K ``(A, B)`` candidates.  The NumPy
+        reference loops candidates over the identical SciPy ``lfilter``
+        call, so each row is bit-identical to a scalar sweep of that
+        candidate; Torch extends the cached Toeplitz-of-powers closed form
+        to a ``(K, n, n)`` stack evaluated by one batched matmul.
         """
         raise NotImplementedError
 

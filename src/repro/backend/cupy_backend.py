@@ -62,6 +62,10 @@ class CupyBackend(ArrayBackend):
         self._device_id = _parse_device(device)
         self.device = f"cuda:{self._device_id}"
         self._toeplitz_cache: Dict[Tuple[float, int], Tuple] = {}
+        #: single-entry cache for the stacked (K, n, n) Toeplitz pile (a
+        #: fused sweep reuses one coefficient tuple per time step; tuples
+        #: rarely recur across blocks)
+        self._stacked_cache: Optional[Tuple] = None
 
     def asarray(self, a, dtype=None):
         with cp.cuda.Device(self._device_id):
@@ -99,6 +103,9 @@ class CupyBackend(ArrayBackend):
 
     def take(self, a, indices, axis: int = 0):
         return cp.take(a, self.asarray(np.asarray(indices)), axis=axis)
+
+    def swapaxes(self, a, axis1: int, axis2: int):
+        return cp.swapaxes(a, axis1, axis2)
 
     def einsum(self, subscripts: str, *operands):
         return cp.einsum(subscripts, *operands)
@@ -165,6 +172,35 @@ class CupyBackend(ArrayBackend):
             return y
         mat, powers = self._toeplitz(coef, x.shape[-1])
         return x @ mat + zi * powers
+
+    def first_order_filter_stacked(self, x, coefs, zi):
+        if _cupy_lfilter is not None:
+            out = cp.empty_like(x)
+            for k, coef in enumerate(coefs):
+                out[k], _ = _cupy_lfilter(cp.asarray([1.0]),
+                                          cp.asarray([1.0, -float(coef)]),
+                                          x[k], axis=-1, zi=zi[k])
+            return out
+        n = x.shape[-1]
+        k = len(coefs)
+        key = (tuple(float(c) for c in coefs), n)
+        if self._stacked_cache is not None and self._stacked_cache[0] == key:
+            _, mats, powers = self._stacked_cache
+        else:
+            per = [self._toeplitz(float(c), n) for c in coefs]
+            mats = cp.stack([m for m, _ in per])
+            powers = cp.stack([p for _, p in per])
+            self._stacked_cache = (key, mats, powers)
+        # a bare (K, n) input becomes a one-sample batch first — matmul
+        # would otherwise read it as ONE matrix against the whole stack
+        squeeze = x.ndim == 2
+        if squeeze:
+            x = x[:, None, :]
+            zi = zi[:, None, :]
+        mats = mats.reshape((k,) + (1,) * (x.ndim - 3) + (n, n))
+        powers = powers.reshape((k,) + (1,) * (x.ndim - 2) + (n,))
+        out = cp.matmul(x, mats) + zi * powers
+        return out[:, 0, :] if squeeze else out
 
     def lfilter_general(self, b, a, x, axis: int = -1):
         if _cupy_lfilter is None:  # pragma: no cover - build-dependent

@@ -61,6 +61,9 @@ class NumpyBackend(ArrayBackend):
     def take(self, a, indices, axis: int = 0):
         return np.take(a, indices, axis=axis)
 
+    def swapaxes(self, a, axis1: int, axis2: int):
+        return np.swapaxes(a, axis1, axis2)
+
     def einsum(self, subscripts: str, *operands):
         return np.einsum(subscripts, *operands)
 
@@ -100,6 +103,15 @@ class NumpyBackend(ArrayBackend):
     def first_order_filter(self, x, coef: float, zi):
         y, _ = lfilter([1.0], np.array([1.0, -coef]), x, axis=-1, zi=zi)
         return y
+
+    def first_order_filter_stacked(self, x, coefs, zi):
+        # candidate rows are swept by the very lfilter call the scalar path
+        # makes, so row k is bit-identical to a scalar sweep with coefs[k]
+        out = np.empty_like(x)
+        for k, coef in enumerate(coefs):
+            out[k], _ = lfilter([1.0], np.array([1.0, -coef]), x[k],
+                                axis=-1, zi=zi[k])
+        return out
 
     def lfilter_general(self, b, a, x, axis: int = -1):
         return lfilter(b, a, x, axis=axis)

@@ -56,6 +56,11 @@ class TorchBackend(ArrayBackend):
         self._device = torch.device(device)
         self.device = str(self._device)
         self._toeplitz_cache: Dict[Tuple[float, int], Tuple] = {}
+        #: single-entry cache for the stacked (K, n, n) Toeplitz pile: a
+        #: fused sweep reuses one coefficient tuple for every time step,
+        #: but tuples rarely recur across blocks, so holding more than the
+        #: most recent stack would only pin dead device memory
+        self._stacked_cache: Optional[Tuple] = None
 
     def asarray(self, a, dtype=None):
         if isinstance(a, np.ndarray) and not a.flags.writeable:
@@ -98,6 +103,9 @@ class TorchBackend(ArrayBackend):
         index = torch.as_tensor(np.asarray(indices), dtype=torch.long,
                                 device=self._device)
         return torch.index_select(a, axis, index)
+
+    def swapaxes(self, a, axis1: int, axis2: int):
+        return torch.transpose(a, axis1, axis2)
 
     def einsum(self, subscripts: str, *operands):
         return torch.einsum(subscripts, *operands)
@@ -170,6 +178,30 @@ class TorchBackend(ArrayBackend):
     def first_order_filter(self, x, coef: float, zi):
         mat, powers = self._toeplitz(coef, x.shape[-1], x.dtype)
         return x @ mat + zi * powers
+
+    def first_order_filter_stacked(self, x, coefs, zi):
+        n = x.shape[-1]
+        key = (tuple(float(c) for c in coefs), n)
+        if self._stacked_cache is not None and self._stacked_cache[0] == key:
+            _, mats, powers = self._stacked_cache
+        else:
+            per = [self._toeplitz(float(c), n, x.dtype) for c in coefs]
+            mats = torch.stack([m for m, _ in per])
+            powers = torch.stack([p for _, p in per])
+            self._stacked_cache = (key, mats, powers)
+        # x (K, ..., n) @ mats (K, n, n): one batched matmul sweeps every
+        # candidate's chain; zi (K, ..., 1) scales each candidate's powers.
+        # A bare (K, n) input becomes a one-sample batch first — matmul
+        # would otherwise read it as ONE matrix against the whole stack
+        squeeze = x.ndim == 2
+        if squeeze:
+            x = x[:, None, :]
+            zi = zi[:, None, :]
+        k = len(coefs)
+        mats = mats.reshape((k,) + (1,) * (x.ndim - 3) + (n, n))
+        powers = powers.reshape((k,) + (1,) * (x.ndim - 2) + (n,))
+        out = torch.matmul(x, mats) + zi * powers
+        return out[:, 0, :] if squeeze else out
 
     def synchronize(self) -> None:
         if self._device.type == "cuda":  # pragma: no cover - needs GPU

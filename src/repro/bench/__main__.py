@@ -5,8 +5,10 @@ Usage (installed as ``repro-bench``, or ``python -m repro.bench``):
 .. code-block:: console
 
     repro-bench table1 [--datasets JPVOW LIB ...] [--size-profile bench]
+                       [--workers 4] [--backend torch]
     repro-bench table2
-    repro-bench fig6 [--dataset CHAR] [--divisions 5]
+    repro-bench fig6 [--dataset CHAR] [--divisions 5] [--workers 4]
+                     [--backend torch]
     repro-bench ablation-truncation [--dataset LIB]
     repro-bench ablation-nonlinearity [--datasets JPVOW LIB]
     repro-bench ablation-bitwidth [--dataset JPVOW]
@@ -54,6 +56,17 @@ def _add_workers(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backend(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend", default=None,
+        help="array backend executing the reservoir/DPRR sweeps: 'numpy', "
+             "'torch', 'torch:cuda:0', 'cupy'. Default: the REPRO_BACKEND "
+             "environment variable, else numpy. The vectorized candidate "
+             "executor (REPRO_EXECUTOR=vectorized) composes with any of "
+             "them",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -72,6 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
              "compare per-sample vs batched training throughput)",
     )
     _add_workers(p)
+    _add_backend(p)
     _add_common(p)
 
     p = sub.add_parser("table2", help="storage reduction (Table 2, exact)")
@@ -82,6 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--divisions", type=int, default=5)
     p.add_argument("--reference-divisions", type=int, default=10)
     _add_workers(p)
+    _add_backend(p)
     _add_common(p)
 
     p = sub.add_parser("ablation-truncation", help="backward-window sweep")
@@ -119,6 +134,7 @@ def main(argv=None) -> int:
             epochs=args.epochs,
             batch_size=args.batch_size,
             workers=args.workers,
+            backend=args.backend,
         )
         print()
         print(format_table1(rows))
@@ -133,6 +149,7 @@ def main(argv=None) -> int:
             size_profile=args.size_profile,
             seed=args.seed,
             workers=args.workers,
+            backend=args.backend,
         )
         print()
         print(format_fig6(result))

@@ -58,6 +58,7 @@ def run_fig6(
     size_profile: str = "bench",
     seed: int = 0,
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
     verbose: bool = True,
 ) -> Fig6Result:
     """Run the two-level recursive zoom plus an exhaustive reference grid.
@@ -65,14 +66,21 @@ def run_fig6(
     ``workers`` shards each grid level's candidates across processes
     (bit-identical results; ``None`` defers to ``REPRO_WORKERS``) — the
     ``reference_divisions**2``-point exhaustive grid benefits the most.
+
+    ``backend`` selects the array backend executing every candidate's
+    reservoir/DPRR sweeps (``"numpy"``, ``"torch[:device]"``, ``"cupy"``);
+    ``None`` defers to ``REPRO_BACKEND``.  It threads through both the
+    feature extractor and the search executors, exactly like
+    ``repro-bench table1 --backend``.
     """
     data = load_dataset(dataset, size_profile=size_profile, seed=seed)
     if verbose:
         print(f"[fig6] {data.summary()}", flush=True)
-    extractor = DFRFeatureExtractor(n_nodes=n_nodes, seed=seed).fit(data.u_train)
+    extractor = DFRFeatureExtractor(n_nodes=n_nodes, seed=seed,
+                                    backend=backend).fit(data.u_train)
 
     recursive = RecursiveGridSearch(extractor, divisions=divisions, seed=seed,
-                                    workers=workers)
+                                    workers=workers, backend=backend)
     levels = recursive.run(
         data.u_train, data.y_train, data.u_test, data.y_test,
         n_levels=n_levels, n_classes=data.n_classes,
@@ -85,7 +93,8 @@ def run_fig6(
                 flush=True,
             )
 
-    reference = GridSearch(extractor, seed=seed + 1, workers=workers)
+    reference = GridSearch(extractor, seed=seed + 1, workers=workers,
+                           backend=backend)
     ref_level = reference.run_level(
         data.u_train, data.y_train, data.u_test, data.y_test,
         reference_divisions, n_classes=data.n_classes,

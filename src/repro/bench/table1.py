@@ -65,6 +65,7 @@ def run_dataset(
     epochs: int = 25,
     batch_size: int = 1,
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Table1Row:
     """Run the full bp-vs-grid-search protocol on one dataset.
 
@@ -75,6 +76,10 @@ def run_dataset(
     ``workers`` shards the grid-search candidates across processes through
     the shared execution layer (results are bit-identical to serial; only
     the reported wall-clock changes).  ``None`` defers to ``REPRO_WORKERS``.
+
+    ``backend`` selects the array backend for both phases — the batched
+    training engine (when ``batch_size > 1``) and every grid candidate's
+    reservoir/DPRR sweeps; ``None`` defers to ``REPRO_BACKEND``.
     """
     data = load_dataset(key, size_profile=size_profile, seed=seed)
 
@@ -84,6 +89,7 @@ def run_dataset(
         n_nodes=n_nodes,
         config=TrainerConfig(epochs=epochs, batch_size=batch_size),
         workers=workers,
+        backend=backend,
         seed=seed,
     )
     clf.fit(data.u_train, data.y_train)
@@ -93,8 +99,9 @@ def run_dataset(
     # --- baseline: cumulative grid search until parity ----------------------
     # a fresh extractor with the same seed gives the identical mask and
     # standardizer, so both methods see the same feature pipeline
-    extractor = DFRFeatureExtractor(n_nodes=n_nodes, seed=seed).fit(data.u_train)
-    grid = GridSearch(extractor, seed=seed, workers=workers)
+    extractor = DFRFeatureExtractor(n_nodes=n_nodes, seed=seed,
+                                    backend=backend).fit(data.u_train)
+    grid = GridSearch(extractor, seed=seed, workers=workers, backend=backend)
     outcome = grid.search_until(
         data.u_train,
         data.y_train,
@@ -129,6 +136,7 @@ def run_table1(
     epochs: int = 25,
     batch_size: int = 1,
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
     verbose: bool = True,
 ) -> List[Table1Row]:
     """Run the Table 1 protocol over a set of datasets (default: all 12)."""
@@ -146,6 +154,7 @@ def run_table1(
             epochs=epochs,
             batch_size=batch_size,
             workers=workers,
+            backend=backend,
         )
         if verbose:
             print(

@@ -90,6 +90,10 @@ class BatchGradients:
     rows); the dense output-layer gradients are already averaged over the
     batch, since per-sample ``(N_y, N_r)`` matrices are rank-1 and never
     needed individually.
+
+    A candidate-stacked pass (K ``(A, B)`` candidates trained in one fused
+    call) prepends a ``K`` axis to every array: ``losses`` is ``(K, N)``,
+    ``d_weights`` a ``(K, N_y, N_r)`` stack, and so on.
     """
 
     losses: np.ndarray       # (N,) per-sample cross-entropy
@@ -102,8 +106,13 @@ class BatchGradients:
     state_grads: Optional[np.ndarray] = None
 
     @property
+    def stacked(self) -> bool:
+        """Whether a leading candidate axis is present."""
+        return self.losses.ndim == 2
+
+    @property
     def n_samples(self) -> int:
-        return self.losses.shape[0]
+        return self.losses.shape[-1] if self.stacked else self.losses.shape[0]
 
 
 def reservoir_backward(
@@ -201,8 +210,8 @@ def batch_reservoir_backward(
     window_states: np.ndarray,
     window_pre: np.ndarray,
     d_repr: np.ndarray,
-    A: float,
-    B: float,
+    A,
+    B,
     *,
     n_steps: int,
     nonlinearity: Nonlinearity,
@@ -217,17 +226,27 @@ def batch_reservoir_backward(
     :mod:`repro.reservoir.modular` — the Python loop is only over the
     ``window`` time steps, not over samples.
 
+    A *candidate* axis stacks in front of the batch axis the same way:
+    4-D inputs ``(K, N, window+1, N_x)`` with length-``K`` parameter
+    vectors run the backward for K ``(A, B)`` candidates in one fused
+    pass (the per-candidate ``B``-chain goes through the backend's stacked
+    first-order filter; every einsum simply carries the extra leading
+    axis).
+
     Parameters
     ----------
     window_states:
-        ``(N, window + 1, N_x)`` states ``x(T-window) .. x(T)`` per sample.
+        ``(N, window + 1, N_x)`` states ``x(T-window) .. x(T)`` per sample
+        — or ``(K, N, window+1, N_x)`` per candidate and sample.
     window_pre:
-        ``(N, window, N_x)`` pre-activations ``s(T-window+1) .. s(T)``.
+        ``(N, window, N_x)`` (or ``(K, N, window, N_x)``) pre-activations
+        ``s(T-window+1) .. s(T)``.
     d_repr:
-        ``(N, N_x (N_x+1))`` per-sample gradients w.r.t. the *unnormalized*
-        DPRR sums.
+        ``(N, N_x (N_x+1))`` (or ``(K, N, N_x (N_x+1))``) per-sample
+        gradients w.r.t. the *unnormalized* DPRR sums.
     A, B:
-        Shared reservoir parameters (one candidate point for the batch).
+        Reservoir parameters: scalars for one shared candidate point, or
+        length-``K`` vectors matching a candidate-stacked input.
     n_steps:
         Total series length ``T``.
     backend:
@@ -240,57 +259,87 @@ def batch_reservoir_backward(
     -------
     (d_A, d_B, state_grads):
         ``(N,)`` parameter-gradient vectors and the ``(N, window, N_x)``
-        array of dL/dx(k)_n.
+        array of dL/dx(k)_n — with a leading ``K`` axis on each for a
+        candidate-stacked pass.
     """
     xb = resolve_backend(backend)
     window_states = xb.asarray(window_states, dtype=xb.float64)
     window_pre = xb.asarray(window_pre, dtype=xb.float64)
-    if window_pre.ndim != 3:
+    if window_pre.ndim not in (3, 4):
         raise ValueError(
-            f"window_pre must be (N, window, N_x), got shape {window_pre.shape}"
+            f"window_pre must be (N, window, N_x) or (K, N, window, N_x), "
+            f"got shape {window_pre.shape}"
         )
-    n, window, nx = window_pre.shape
-    if tuple(window_states.shape) != (n, window + 1, nx):
+    stacked = window_pre.ndim == 4
+    lead = tuple(window_pre.shape[:-2])
+    window, nx = window_pre.shape[-2:]
+    if tuple(window_states.shape) != lead + (window + 1, nx):
         raise ValueError(
-            f"window_states must be (N, window+1, N_x) = {(n, window + 1, nx)}, "
-            f"got {window_states.shape}"
+            f"window_states must be {lead + (window + 1, nx)}, "
+            f"got {tuple(window_states.shape)}"
         )
     if window > n_steps:
         raise ValueError(f"window {window} exceeds series length {n_steps}")
     d_repr = xb.asarray(d_repr, dtype=xb.float64)
-    if tuple(d_repr.shape) != (n, nx * (nx + 1)):
+    if tuple(d_repr.shape) != lead + (nx * (nx + 1),):
         raise ValueError(
-            f"d_repr must be (N, N_x(N_x+1)) = {(n, nx * (nx + 1))}, "
-            f"got {d_repr.shape}"
+            f"d_repr must be {lead + (nx * (nx + 1),)}, "
+            f"got {tuple(d_repr.shape)}"
         )
-    g_mat = d_repr[:, : nx * nx].reshape(n, nx, nx)
-    g_sum = d_repr[:, nx * nx:]
+    if stacked:
+        # scalars broadcast against the candidate axis, mirroring the
+        # mixed scalar/vector (A, B) the forward pass accepts
+        try:
+            a_vec = np.ascontiguousarray(np.broadcast_to(
+                np.asarray(A, dtype=np.float64), (lead[0],)))
+            b_vec = np.ascontiguousarray(np.broadcast_to(
+                np.asarray(B, dtype=np.float64), (lead[0],)))
+        except ValueError:
+            raise ValueError(
+                f"candidate-stacked inputs need (K,) = ({lead[0]},) parameter "
+                f"vectors (or scalars), got A {np.shape(A)} and B {np.shape(B)}"
+            ) from None
+        a_mul = xb.asarray(a_vec)[:, None, None]
+        b_mul = xb.asarray(b_vec)[:, None, None]
+    else:
+        A = float(A)
+        B = float(B)
+        a_mul, b_mul = A, B
+    g_mat = d_repr[..., : nx * nx].reshape(lead + (nx, nx))
+    g_sum = d_repr[..., nx * nx:]
 
-    g_next = xb.zeros((n, nx))   # g(k+1); zero beyond the final step
-    d_a = xb.zeros(n)
-    d_b = xb.zeros(n)
-    state_grads = xb.zeros((n, window, nx))
+    g_next = xb.zeros(lead + (nx,))   # g(k+1); zero beyond the final step
+    d_a = xb.zeros(lead)
+    d_b = xb.zeros(lead)
+    state_grads = xb.zeros(lead + (window, nx))
 
     for idx in range(window - 1, -1, -1):
         k_is_last = idx == window - 1
-        x_prev = window_states[:, idx]
-        x_here = window_states[:, idx + 1]
-        # Eq. 23, batched: bpv(k) = G x(k-1) + g_sum (+ G^T x(k+1))
-        drive = xb.einsum("nij,nj->ni", g_mat, x_prev) + g_sum
+        x_prev = window_states[..., idx, :]
+        x_here = window_states[..., idx + 1, :]
+        # Eq. 23, batched: bpv(k) = G x(k-1) + g_sum (+ G^T x(k+1)); the
+        # ellipsis carries the batch axis — plus, when stacked, the
+        # candidate axis in front of it
+        drive = xb.einsum("...ij,...j->...i", g_mat, x_prev) + g_sum
         if not k_is_last:
-            x_next = window_states[:, idx + 2]
-            drive = drive + xb.einsum("nji,nj->ni", g_mat, x_next)
+            x_next = window_states[..., idx + 2, :]
+            drive = drive + xb.einsum("...ji,...j->...i", g_mat, x_next)
             # Eq. 30, cross-step term A * phi'(s(k+1)) * g(k+1)
-            drive = drive + A * xb.dphi(nonlinearity, window_pre[:, idx + 1]) * g_next
+            drive = drive + a_mul * xb.dphi(
+                nonlinearity, window_pre[..., idx + 1, :]) * g_next
         # Eq. 30, B-chain within the step, boundary B * g(k+1)_1 per sample
-        zi = B * g_next[:, :1]
-        rev = xb.first_order_filter(xb.flip(drive, -1), B, zi)
+        zi = b_mul * g_next[..., :1]
+        if stacked:
+            rev = xb.first_order_filter_stacked(xb.flip(drive, -1), b_vec, zi)
+        else:
+            rev = xb.first_order_filter(xb.flip(drive, -1), B, zi)
         g_here = xb.flip(rev, -1)
-        state_grads[:, idx] = g_here
+        state_grads[..., idx, :] = g_here
         # Eqs. 31-32 restricted to the window, one dot product per sample
-        d_a += xb.einsum("ni,ni->n", xb.phi(nonlinearity, window_pre[:, idx]), g_here)
-        x_left = xb.concatenate([x_prev[:, -1:], x_here[:, :-1]], axis=1)
-        d_b += xb.einsum("ni,ni->n", x_left, g_here)
+        d_a += xb.einsum("...i,...i->...",
+                         xb.phi(nonlinearity, window_pre[..., idx, :]), g_here)
+        x_left = xb.concatenate([x_prev[..., -1:], x_here[..., :-1]], axis=-1)
+        d_b += xb.einsum("...i,...i->...", x_left, g_here)
         g_next = g_here
     return d_a, d_b, state_grads
 
@@ -392,11 +441,13 @@ class BackpropEngine:
         features: np.ndarray,
         readout: SoftmaxReadout,
         targets_onehot: np.ndarray,
-        A: float,
-        B: float,
+        A,
+        B,
         *,
         n_steps: int,
         keep_state_grads: bool = False,
+        weights=None,
+        bias=None,
     ) -> BatchGradients:
         """Full gradient set for a minibatch sharing one ``(A, B)`` point.
 
@@ -407,6 +458,15 @@ class BackpropEngine:
         ``d_B`` and ``losses`` stay per-row so callers can mask diverged
         samples before reducing.
 
+        K ``(A, B)`` candidates train in one fused call by stacking a
+        candidate axis in front of the batch axis — 4-D
+        ``window_states``/``window_pre`` (as produced by a vector-``(A, B)``
+        reservoir run), ``(K, N, N_r)`` features, length-``K`` parameter
+        vectors, and per-candidate output layers passed as a
+        ``(K, N_y, N_r)``/``(K, N_y)`` ``weights``/``bias`` stack (the
+        ``readout`` argument then only fixes the layer geometry).  Every
+        returned array gains the leading ``K`` axis.
+
         The whole pass runs on the engine's array backend (inputs are
         converted in, device-resident inputs are consumed as-is), and every
         returned array is NumPy — gradients are tiny next to activations,
@@ -414,8 +474,13 @@ class BackpropEngine:
         stays backend-agnostic.
         """
         xb = self.backend
-        features = xb.atleast_2d(xb.asarray(features, dtype=xb.float64))
-        out = readout.batch_loss_and_grads(features, targets_onehot, backend=xb)
+        features = xb.asarray(features, dtype=xb.float64)
+        if features.ndim < 2:
+            features = xb.atleast_2d(features)
+        stacked = features.ndim == 3
+        out = readout.batch_loss_and_grads(
+            features, targets_onehot, backend=xb, weights=weights, bias=bias,
+        )
         # undo the DPRR normalization so d_repr is w.r.t. the raw sums
         d_repr = out.d_features * self.dprr.scale(n_steps)
         d_a, d_b, state_grads = batch_reservoir_backward(
@@ -428,14 +493,20 @@ class BackpropEngine:
             nonlinearity=self.nonlinearity,
             backend=xb,
         )
-        n = features.shape[0]
+        n = features.shape[-2]
+        if stacked:
+            # per-candidate reduction: (K, N_y, N) @ (K, N, N_r) — the same
+            # BLAS reduction as the 2-D path, once per candidate
+            d_weights = xb.swapaxes(out.deltas, -1, -2) @ features / n
+        else:
+            d_weights = out.deltas.T @ features / n
         return BatchGradients(
             losses=xb.to_numpy(out.losses),
             probs=xb.to_numpy(out.probs),
             d_A=xb.to_numpy(d_a),
             d_B=xb.to_numpy(d_b),
-            d_weights=xb.to_numpy(out.deltas.T @ features / n),
-            d_bias=xb.to_numpy(xb.mean(out.deltas, axis=0)),
+            d_weights=xb.to_numpy(d_weights),
+            d_bias=xb.to_numpy(xb.mean(out.deltas, axis=-2)),
             state_grads=xb.to_numpy(state_grads) if keep_state_grads else None,
         )
 

@@ -141,9 +141,18 @@ class GridSearch:
         ``"cupy"``); routes the sweep through a
         :class:`~repro.exec.BackendExecutor` (or stamps the spec onto the
         worker contexts when combined with ``workers``).
+    executor_kind:
+        Force an executor kind (``"serial"``, ``"vectorized"``,
+        ``"multiprocess"``); ``None`` defers to the ``REPRO_EXECUTOR``
+        environment variable, then to the ``workers``/``backend``
+        resolution.  ``"vectorized"`` fuses each level's candidates into
+        stacked ``(K, N, ...)`` sweeps — bit-identical to serial on NumPy.
+    candidate_block_size:
+        Candidates fused per sweep by a vectorized executor; ``None``
+        defers to ``REPRO_CANDIDATE_BLOCK_SIZE`` (default 16).
     executor:
         A pre-built :class:`~repro.exec.CandidateExecutor`; overrides
-        ``workers``/``backend`` when given.
+        ``workers``/``backend``/``executor_kind`` when given.
     """
 
     def __init__(
@@ -157,6 +166,8 @@ class GridSearch:
         feature_batch_size: Optional[int] = None,
         workers: Optional[int] = None,
         backend: Optional[str] = None,
+        executor_kind: Optional[str] = None,
+        candidate_block_size: Optional[int] = None,
         executor: Optional[CandidateExecutor] = None,
         seed: SeedLike = None,
     ):
@@ -167,7 +178,9 @@ class GridSearch:
         self.val_fraction = float(val_fraction)
         self.feature_batch_size = feature_batch_size
         self.executor = (executor if executor is not None
-                         else make_executor(workers, backend=backend))
+                         else make_executor(workers, backend=backend,
+                                            kind=executor_kind,
+                                            candidate_block_size=candidate_block_size))
         self._rng = ensure_rng(seed)
 
     def _make_context(self, u_train, y_train, u_test, y_test,
@@ -327,6 +340,8 @@ class RecursiveGridSearch:
         feature_batch_size: Optional[int] = None,
         workers: Optional[int] = None,
         backend: Optional[str] = None,
+        executor_kind: Optional[str] = None,
+        candidate_block_size: Optional[int] = None,
         executor: Optional[CandidateExecutor] = None,
         seed: SeedLike = None,
     ):
@@ -344,6 +359,8 @@ class RecursiveGridSearch:
             feature_batch_size=feature_batch_size,
             workers=workers,
             backend=backend,
+            executor_kind=executor_kind,
+            candidate_block_size=candidate_block_size,
             executor=executor,
             seed=seed,
         )

@@ -50,7 +50,9 @@ class SearchOutcome:
     evaluation times across workers, so speedup under parallel execution is
     measurable.  ``n_wasted`` counts speculative annealing proposals that
     were evaluated but discarded because an earlier proposal of the same
-    batch was accepted.
+    batch was accepted — real evaluations paid for, so it is per-executor:
+    lazily-fed executors (serial) never waste any, eagerly-fed ones
+    (multiprocess, vectorized) report the actual discarded count.
     """
 
     best: FixedParamsEvaluation
@@ -78,6 +80,8 @@ class _BlackBoxSearch:
         feature_batch_size: Optional[int] = None,
         workers: Optional[int] = None,
         backend: Optional[str] = None,
+        executor_kind: Optional[str] = None,
+        candidate_block_size: Optional[int] = None,
         executor: Optional[CandidateExecutor] = None,
         seed: SeedLike = None,
     ):
@@ -90,7 +94,9 @@ class _BlackBoxSearch:
         #: trace memory on large datasets without changing any score
         self.feature_batch_size = feature_batch_size
         self.executor = (executor if executor is not None
-                         else make_executor(workers, backend=backend))
+                         else make_executor(workers, backend=backend,
+                                            kind=executor_kind,
+                                            candidate_block_size=candidate_block_size))
         self._rng = ensure_rng(seed)
 
     def _make_context(self, u_train, y_train, u_test, y_test,
@@ -171,10 +177,15 @@ class SimulatedAnnealing(_BlackBoxSearch):
         serial trajectory exactly; larger values change the trajectory only
         through which proposals are drawn, never the acceptance rule.
 
-        With a serial executor up-front evaluation of the batch would be
-        pure waste (there is no concurrency to buy), so proposals are then
-        evaluated lazily one by one during the scan — same trajectory, no
-        discarded work.
+        With an executor that evaluates candidates one at a time anyway
+        (serial, or a single-worker pool) up-front evaluation of the batch
+        would be pure waste, so proposals are then evaluated lazily one by
+        one during the scan — same trajectory, no discarded work, and
+        ``n_wasted`` stays 0.  Batch-preferring executors (multiprocess
+        with real workers, vectorized candidate fusion) evaluate the whole
+        batch eagerly; the proposals invalidated by an earlier acceptance
+        were then genuinely computed, and ``n_wasted`` counts exactly
+        those.
         """
         if n_steps < 1:
             raise ValueError(f"n_steps must be >= 1, got {n_steps}")
@@ -224,10 +235,15 @@ class SimulatedAnnealing(_BlackBoxSearch):
                 for j, (a, b) in enumerate(proposals)
             ]
             next_index += k
-            # speculation only pays off when evaluations can overlap; a
-            # serial executor evaluates lazily during the scan instead, so
-            # proposals past an acceptance are never computed at all
-            lazy = self.executor.workers == 1
+            # speculation only pays off when a batch submission buys the
+            # executor something — process-level overlap (multiprocess) or
+            # candidate-axis fusion (vectorized).  Executors that evaluate
+            # one candidate at a time anyway (serial, backend) are handed
+            # proposals lazily during the scan instead, so proposals past
+            # an acceptance are never computed at all and n_wasted stays
+            # zero; batch-preferring executors evaluate the whole batch
+            # eagerly and the discarded tail counts as real waste.
+            lazy = not getattr(self.executor, "prefers_batch", False)
             if lazy:
                 batch = None
             else:

@@ -20,6 +20,7 @@ the Table 1 comparison.
 
 from __future__ import annotations
 
+import traceback
 from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -43,6 +44,7 @@ __all__ = [
     "DFRClassifier",
     "FixedParamsEvaluation",
     "evaluate_fixed_params",
+    "evaluate_fixed_params_block",
 ]
 
 #: the paper's reservoir size
@@ -124,7 +126,7 @@ class DFRFeatureExtractor:
         return self
 
     def features(
-        self, u: np.ndarray, A: float, B: float,
+        self, u: np.ndarray, A, B,
         *, batch_size: Optional[int] = None,
     ) -> tuple:
         """DPRR features for a batch under candidate parameters.
@@ -132,6 +134,13 @@ class DFRFeatureExtractor:
         Returns ``(features, diverged)`` where ``diverged`` is the per-sample
         flag from the reservoir run; rows flagged as diverged contain
         non-finite values and must not reach the ridge solver.
+
+        Vector-valued ``A``/``B`` (length ``K``) sweep K candidates over
+        the batch in one fused reservoir program — standardization and the
+        mask drive are computed once for the whole block — returning
+        ``(K, N, N_r)`` features and ``(K, N)`` divergence flags.  On the
+        NumPy backend each candidate row is bit-identical to a scalar call
+        with that candidate (pinned by tests).
 
         ``batch_size`` (default: the extractor's ``feature_batch_size``)
         chunks the reservoir sweep over samples, bounding peak memory; the
@@ -152,13 +161,16 @@ class DFRFeatureExtractor:
             trace = self.reservoir.run(u_std, A, B, backend=xb)
             feats = xb.to_numpy(self.dprr.features(trace, backend=xb))
             return feats, trace.diverged
-        feats = np.empty((n, self.n_features))
-        diverged = np.empty(n, dtype=bool)
+        stacked = not (np.ndim(A) == 0 and np.ndim(B) == 0)
+        lead = (np.broadcast(np.atleast_1d(A), np.atleast_1d(B)).size,) if stacked else ()
+        feats = np.empty(lead + (n, self.n_features))
+        diverged = np.empty(lead + (n,), dtype=bool)
         for start in range(0, n, batch_size):
             stop = min(start + batch_size, n)
             trace = self.reservoir.run(u_std[start:stop], A, B, backend=xb)
-            feats[start:stop] = xb.to_numpy(self.dprr.features(trace, backend=xb))
-            diverged[start:stop] = trace.diverged
+            feats[..., start:stop, :] = xb.to_numpy(
+                self.dprr.features(trace, backend=xb))
+            diverged[..., start:stop] = trace.diverged
         return feats, diverged
 
     def snapshot(self) -> "ExtractorConfig":
@@ -326,7 +338,36 @@ def evaluate_fixed_params(
     f_test, div_test = extractor.features(
         u_test, A, B, batch_size=feature_batch_size
     )
-    if div_train.any() or div_test.any():
+    return _score_fixed_params(
+        f_train, f_test, y_train, y_test, A, B,
+        diverged=bool(div_train.any() or div_test.any()),
+        betas=betas, val_fraction=val_fraction, n_classes=n_classes,
+        seed=seed,
+    )
+
+
+def _score_fixed_params(
+    f_train: np.ndarray,
+    f_test: np.ndarray,
+    y_train: np.ndarray,
+    y_test: np.ndarray,
+    A: float,
+    B: float,
+    *,
+    diverged: bool,
+    betas: Sequence[float],
+    val_fraction: float,
+    n_classes: int,
+    seed: SeedLike,
+) -> FixedParamsEvaluation:
+    """Score one candidate's feature matrices (the shared protocol tail).
+
+    This single function builds the evaluation record for both the serial
+    path (:func:`evaluate_fixed_params`) and each row of the fused block
+    path (:func:`evaluate_fixed_params_block`) — which is what keeps the
+    two bit-identical by construction.
+    """
+    if diverged:
         return FixedParamsEvaluation(
             A=A, B=B, beta=float("nan"), val_loss=float("inf"),
             val_accuracy=0.0, test_accuracy=0.0, diverged=True,
@@ -345,6 +386,87 @@ def evaluate_fixed_params(
         test_accuracy=test_acc,
         diverged=False,
     )
+
+
+def evaluate_fixed_params_block(
+    extractor: Union[DFRFeatureExtractor, ExtractorConfig],
+    u_train: np.ndarray,
+    y_train: np.ndarray,
+    u_test: np.ndarray,
+    y_test: np.ndarray,
+    A_values: Sequence[float],
+    B_values: Sequence[float],
+    *,
+    betas: Sequence[float] = PAPER_BETAS,
+    val_fraction: float = 0.2,
+    n_classes: Optional[int] = None,
+    feature_batch_size: Optional[int] = None,
+    seeds: Optional[Sequence] = None,
+) -> List[FixedParamsEvaluation]:
+    """Evaluate a block of K ``(A, B)`` candidates in one fused sweep.
+
+    The reservoir/DPRR phase — the expensive part of
+    :func:`evaluate_fixed_params` — runs *once* for the whole block with a
+    candidate axis stacked in front of the batch axis (standardization and
+    the mask drive are shared, the per-candidate node chains go through the
+    backend's stacked filter), then each candidate's ridge/beta selection
+    scores its feature slice through the identical protocol.  On the NumPy
+    backend every returned evaluation is bit-identical to the serial
+    :func:`evaluate_fixed_params` of that candidate (pinned by tests).
+
+    ``seeds`` carries one holdout-split seed per candidate (``None``
+    entries mean an unseeded split, exactly like the serial path).
+
+    Failure semantics are row-wise: a candidate that diverges numerically
+    gets the usual diverged record, and one whose *scoring* raises gets the
+    :meth:`FixedParamsEvaluation.failed` sentinel (traceback in
+    ``error``) — the rest of the block is unaffected.  Non-finite
+    ``A``/``B`` entries raise up front, as they would serially; callers
+    that need per-row isolation for those (the vectorized executor) filter
+    them before building the block.
+    """
+    if isinstance(extractor, ExtractorConfig):
+        extractor = extractor.build()
+    y_train = ensure_1d_labels(y_train)
+    y_test = ensure_1d_labels(y_test)
+    if n_classes is None:
+        n_classes = int(max(y_train.max(), y_test.max())) + 1
+    A_values = np.atleast_1d(np.asarray(A_values, dtype=np.float64))
+    B_values = np.atleast_1d(np.asarray(B_values, dtype=np.float64))
+    if A_values.shape != B_values.shape or A_values.ndim != 1:
+        raise ValueError(
+            f"A_values and B_values must be matching 1-D candidate vectors, "
+            f"got shapes {A_values.shape} and {B_values.shape}"
+        )
+    n_cand = A_values.shape[0]
+    if seeds is None:
+        seeds = [None] * n_cand
+    elif len(seeds) != n_cand:
+        raise ValueError(
+            f"need one seed per candidate ({n_cand}), got {len(seeds)}"
+        )
+    f_train, div_train = extractor.features(
+        u_train, A_values, B_values, batch_size=feature_batch_size
+    )
+    f_test, div_test = extractor.features(
+        u_test, A_values, B_values, batch_size=feature_batch_size
+    )
+    out: List[FixedParamsEvaluation] = []
+    for k in range(n_cand):
+        a_k = float(A_values[k])
+        b_k = float(B_values[k])
+        try:
+            out.append(_score_fixed_params(
+                f_train[k], f_test[k], y_train, y_test, a_k, b_k,
+                diverged=bool(div_train[k].any() or div_test[k].any()),
+                betas=betas, val_fraction=val_fraction, n_classes=n_classes,
+                seed=seeds[k],
+            ))
+        except Exception:
+            out.append(FixedParamsEvaluation.failed(
+                a_k, b_k, error=traceback.format_exc(limit=10),
+            ))
+    return out
 
 
 class DFRClassifier:
@@ -414,6 +536,7 @@ class DFRClassifier:
         self.workers = workers
         self.backend = backend
         self._executor = None
+        self._executor_workers = None
         self.extractor = DFRFeatureExtractor(
             n_nodes,
             nonlinearity=nonlinearity,
@@ -489,10 +612,15 @@ class DFRClassifier:
         from repro.exec import make_executor, resolve_workers
 
         n = resolve_workers(self.workers)
-        if self._executor is None or self._executor.workers != n:
+        # the cache keys on the *requested* worker count, not the built
+        # executor's own (a REPRO_EXECUTOR kind override may build an
+        # executor whose workers differ — e.g. vectorized is always 1 —
+        # and comparing against that would rebuild on every call)
+        if self._executor is None or self._executor_workers != n:
             if self._executor is not None:
                 self._executor.close()
             self._executor = make_executor(n)
+            self._executor_workers = n
         return self._executor
 
     def evaluate_candidates(

@@ -13,11 +13,17 @@ is the single seam those searches submit work through:
   :mod:`repro.backend` array backend (GPU-scale sweeps through the same
   context/candidate protocol; ``backend="numpy"`` is bit-identical to
   :class:`SerialExecutor`);
+* :class:`VectorizedExecutor` — candidate-axis fusion: blocks of K
+  candidates run as ONE stacked ``(K, N, ...)`` array program instead of K
+  dispatches, bit-identical to :class:`SerialExecutor` on NumPy and fully
+  device-resident on an accelerator backend;
 * :func:`derive_candidate_seed` — spawn-key seed splitting, so per-candidate
   randomness never depends on worker count or scheduling;
 * :func:`make_executor` / :func:`resolve_workers` — the ``workers`` /
-  ``REPRO_WORKERS`` knob (plus the ``backend`` spec) shared by the
-  classifier, the searches, and the ``repro-bench`` CLI.
+  ``REPRO_WORKERS`` knob (plus the ``backend`` spec, the ``REPRO_EXECUTOR``
+  kind override, and the ``candidate_block_size`` /
+  ``REPRO_CANDIDATE_BLOCK_SIZE`` fusion knob) shared by the classifier,
+  the searches, and the ``repro-bench`` CLI.
 
 See ``docs/ARCHITECTURE.md`` for how this seam relates to the
 :class:`~repro.backend.ArrayBackend` seam one layer below it.
@@ -31,12 +37,18 @@ from repro.exec.context import (
     evaluate_candidate,
 )
 from repro.exec.executors import (
+    BLOCK_SIZE_ENV_VAR,
+    DEFAULT_CANDIDATE_BLOCK_SIZE,
+    EXECUTOR_ENV_VAR,
     WORKERS_ENV_VAR,
     BackendExecutor,
     CandidateExecutor,
     MultiprocessExecutor,
     SerialExecutor,
+    VectorizedExecutor,
     make_executor,
+    resolve_candidate_block_size,
+    resolve_executor_kind,
     resolve_workers,
 )
 from repro.exec.seeding import derive_candidate_seed, derive_candidate_seeds
@@ -51,8 +63,14 @@ __all__ = [
     "SerialExecutor",
     "BackendExecutor",
     "MultiprocessExecutor",
+    "VectorizedExecutor",
     "WORKERS_ENV_VAR",
+    "EXECUTOR_ENV_VAR",
+    "BLOCK_SIZE_ENV_VAR",
+    "DEFAULT_CANDIDATE_BLOCK_SIZE",
     "make_executor",
+    "resolve_executor_kind",
+    "resolve_candidate_block_size",
     "resolve_workers",
     "derive_candidate_seed",
     "derive_candidate_seeds",

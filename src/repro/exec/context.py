@@ -33,6 +33,7 @@ from repro.core.pipeline import (
     ExtractorConfig,
     FixedParamsEvaluation,
     evaluate_fixed_params,
+    evaluate_fixed_params_block,
 )
 from repro.exec.seeding import derive_candidate_seed
 from repro.readout.ridge import PAPER_BETAS
@@ -214,6 +215,31 @@ class EvaluationContext:
             n_classes=self.n_classes,
             feature_batch_size=self.feature_batch_size,
             seed=self.candidate_seed(candidate),
+        )
+
+    def evaluate_block(
+        self, candidates: Sequence[Candidate]
+    ) -> List[FixedParamsEvaluation]:
+        """Score a block of candidates through ONE fused reservoir sweep.
+
+        The candidate axis is stacked in front of the sample axis, so the
+        whole block pays a single standardize/mask/reservoir/DPRR program
+        (see :func:`~repro.core.pipeline.evaluate_fixed_params_block`);
+        per-candidate seeds follow the same explicit/derived precedence as
+        :meth:`evaluate`.  Results come back in candidate order; a
+        candidate whose scoring fails yields the
+        :meth:`~repro.core.pipeline.FixedParamsEvaluation.failed` sentinel
+        for its row only.
+        """
+        return evaluate_fixed_params_block(
+            self._get_extractor(),
+            self.u_train, self.y_train, self.u_test, self.y_test,
+            [c.A for c in candidates], [c.B for c in candidates],
+            betas=self.betas,
+            val_fraction=self.val_fraction,
+            n_classes=self.n_classes,
+            feature_batch_size=self.feature_batch_size,
+            seeds=[self.candidate_seed(c) for c in candidates],
         )
 
 

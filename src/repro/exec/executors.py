@@ -1,32 +1,41 @@
-"""Pluggable candidate executors: serial, process-pool, and array-backend.
+"""Pluggable candidate executors: serial, process-pool, backend, vectorized.
 
 Every ``(A, B)`` candidate of the baseline searches (grid, random,
-annealing) is an independent reservoir sweep, so there are two natural
+annealing) is an independent reservoir sweep, so there are three natural
 scaling axes: candidate-level parallelism across *processes*
-(:class:`MultiprocessExecutor`) and device-resident evaluation on an
+(:class:`MultiprocessExecutor`), device-resident evaluation on an
 accelerator *array backend* (:class:`BackendExecutor`, backed by
-:mod:`repro.backend`).  :class:`CandidateExecutor` is the seam all search
-layers submit through, so the axes compose with the searches unchanged.
+:mod:`repro.backend`), and candidate-axis *vectorization*
+(:class:`VectorizedExecutor`), which packs a block of K candidates into
+one fused array program — the candidate axis stacked next to the sample
+axis — instead of K independent dispatches.
+:class:`CandidateExecutor` is the seam all search layers submit through,
+so the axes compose with the searches unchanged.
 
 Guarantees shared by all executors:
 
 * **determinism** — results are returned in candidate order, and each
   candidate's evaluation depends only on the context and the candidate
-  (explicit or spawn-key-derived seed), never on worker count or schedule;
+  (explicit or spawn-key-derived seed), never on worker count, block size,
+  or schedule;
 * **fault isolation** — a candidate whose evaluation raises is returned as
   a failed :class:`~repro.exec.context.CandidateResult` instead of killing
-  the submission;
+  the submission (row-wise inside a vectorized block);
 * **two timing views** — wall-clock of the whole submission plus summed
   per-candidate compute seconds, so realized speedup is measurable.
 
 Worker selection: an explicit ``workers`` argument wins; ``None`` falls
 back to the ``REPRO_WORKERS`` environment variable; absent both, execution
-is serial.  The ``REPRO_WORKERS`` hook is how CI forces the multiprocess
-path through the whole test suite.
+is serial.  The ``REPRO_EXECUTOR`` variable force-selects an executor
+*kind* (``serial`` / ``vectorized`` / ``multiprocess``) the same way —
+this is how CI routes the whole test suite through the multiprocess and
+vectorized paths — and ``REPRO_CANDIDATE_BLOCK_SIZE`` tunes the fused
+block size of the vectorized executor.
 """
 
 from __future__ import annotations
 
+import math
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -47,13 +56,33 @@ __all__ = [
     "SerialExecutor",
     "BackendExecutor",
     "MultiprocessExecutor",
+    "VectorizedExecutor",
     "WORKERS_ENV_VAR",
+    "EXECUTOR_ENV_VAR",
+    "BLOCK_SIZE_ENV_VAR",
+    "DEFAULT_CANDIDATE_BLOCK_SIZE",
     "resolve_workers",
+    "resolve_executor_kind",
+    "resolve_candidate_block_size",
     "make_executor",
 ]
 
 #: environment variable consulted when no explicit worker count is given
 WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+#: environment variable force-selecting an executor kind for
+#: default-constructed searches ("serial", "vectorized", "multiprocess")
+EXECUTOR_ENV_VAR = "REPRO_EXECUTOR"
+
+#: environment variable tuning the vectorized executor's fused block size
+BLOCK_SIZE_ENV_VAR = "REPRO_CANDIDATE_BLOCK_SIZE"
+
+#: default candidates per fused block: large enough to amortize the shared
+#: standardize/mask phase, small enough that a block's stacked trace
+#: (K x N x (T+1) x N_x doubles) stays comfortably in memory
+DEFAULT_CANDIDATE_BLOCK_SIZE = 16
+
+_EXECUTOR_KINDS = ("serial", "vectorized", "multiprocess")
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
@@ -71,6 +100,48 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     return max(1, int(workers))
 
 
+def resolve_executor_kind(kind: Optional[str] = None) -> Optional[str]:
+    """Resolve an executor-kind override (explicit wins over the env).
+
+    ``None`` consults ``REPRO_EXECUTOR``; unset/empty means no override
+    (the default ``workers``/``backend`` resolution applies).  Anything
+    other than ``serial``, ``vectorized`` or ``multiprocess`` raises.
+    """
+    if kind is None:
+        kind = os.environ.get(EXECUTOR_ENV_VAR, "").strip() or None
+        if kind is None:
+            return None
+    kind = str(kind).strip().lower()
+    if kind not in _EXECUTOR_KINDS:
+        raise ValueError(
+            f"executor kind must be one of {_EXECUTOR_KINDS}, got {kind!r}"
+        )
+    return kind
+
+
+def resolve_candidate_block_size(block_size: Optional[int] = None) -> int:
+    """Resolve the vectorized executor's fused block size (>= 1).
+
+    Explicit ``block_size`` wins; ``None`` consults
+    ``REPRO_CANDIDATE_BLOCK_SIZE``; absent/invalid both, the default of
+    ``DEFAULT_CANDIDATE_BLOCK_SIZE`` applies.
+    """
+    if block_size is None:
+        raw = os.environ.get(BLOCK_SIZE_ENV_VAR, "").strip()
+        try:
+            block_size = int(raw) if raw else DEFAULT_CANDIDATE_BLOCK_SIZE
+        except ValueError:
+            block_size = DEFAULT_CANDIDATE_BLOCK_SIZE
+        # env values are best-effort fleet-wide hints: anything invalid
+        # (non-numeric or < 1) falls back to the default rather than
+        # raising in every default-constructed search
+        return block_size if block_size >= 1 else DEFAULT_CANDIDATE_BLOCK_SIZE
+    block_size = int(block_size)
+    if block_size < 1:
+        raise ValueError(f"candidate block size must be >= 1, got {block_size}")
+    return block_size
+
+
 class CandidateExecutor:
     """Protocol: map an :class:`EvaluationContext` over candidates.
 
@@ -82,6 +153,14 @@ class CandidateExecutor:
     workers: int = 1
     #: array-backend spec stamped onto submitted contexts (None: untouched)
     backend_spec: Optional[str] = None
+    #: whether submitting a whole batch at once buys this executor anything
+    #: (process-level overlap, or candidate-axis fusion).  Speculative
+    #: annealing keys its lazy-vs-eager decision on this: executors that
+    #: evaluate candidates one by one anyway (serial, backend) are handed
+    #: proposals lazily so nothing is wasted, while batch-preferring
+    #: executors receive the whole speculative batch eagerly and the
+    #: discarded tail is counted as real (wasted) evaluations.
+    prefers_batch: bool = False
 
     def _apply_backend(self, context: EvaluationContext) -> EvaluationContext:
         """Stamp :attr:`backend_spec` onto ``context`` (cached per source).
@@ -175,6 +254,102 @@ class BackendExecutor(CandidateExecutor):
         return f"BackendExecutor(backend={self.backend.name!r})"
 
 
+class VectorizedExecutor(CandidateExecutor):
+    """Fuse blocks of K candidates into one stacked array program.
+
+    Candidates are chunked into blocks of ``block_size`` and each block is
+    evaluated by a *single* reservoir/DPRR sweep with the candidate axis
+    stacked in front of the sample axis
+    (:meth:`~repro.exec.context.EvaluationContext.evaluate_block`): the
+    standardizer, the mask drive, and every batched contraction are shared
+    by the whole block instead of being redone per candidate, and on an
+    accelerator backend the block is one resident ``(K, N, ...)`` program
+    instead of K kernel dispatches.  On the NumPy backend results are
+    bit-identical to :class:`SerialExecutor` (pinned by tests).
+
+    Fault isolation is row-wise, and every failure funnels through the
+    ordinary serial path so failure *records* match serial execution bit
+    for bit: a candidate with non-finite parameters is scored serially up
+    front, a candidate whose per-candidate scoring raises inside the block
+    is re-scored serially (its row only — a deterministic failure
+    reproduces the exact serial record, a transient one recovers), and a
+    block whose fused sweep fails outright falls back to serial evaluation
+    of all its candidates.
+
+    Parameters
+    ----------
+    block_size:
+        Candidates fused per sweep; ``None`` resolves through
+        ``REPRO_CANDIDATE_BLOCK_SIZE`` (default
+        ``DEFAULT_CANDIDATE_BLOCK_SIZE``).  Peak trace memory scales
+        linearly with the block size.
+    backend:
+        Optional array-backend spec stamped onto submitted contexts
+        (resolved eagerly, so an uninstalled backend fails at construction
+        time); ``None`` leaves the context's own backend in place.
+    """
+
+    workers = 1
+    prefers_batch = True
+
+    def __init__(self, block_size: Optional[int] = None,
+                 backend: Optional[str] = None):
+        self.block_size = resolve_candidate_block_size(block_size)
+        self.backend_spec = backend
+        if backend is not None:
+            from repro.backend import resolve_backend
+
+            resolve_backend(backend)
+
+    def run(self, context: EvaluationContext,
+            candidates: Sequence[Candidate]) -> SubmissionReport:
+        start = time.perf_counter()
+        context = self._apply_backend(context)
+        results: List[Optional[CandidateResult]] = [None] * len(candidates)
+        fusable = []
+        for pos, candidate in enumerate(candidates):
+            if math.isfinite(candidate.A) and math.isfinite(candidate.B):
+                fusable.append((pos, candidate))
+            else:
+                # non-finite parameters would poison the whole stacked
+                # sweep; score them serially so they fail exactly as they
+                # would under the serial executor
+                results[pos] = evaluate_candidate(context, candidate)
+        for lo in range(0, len(fusable), self.block_size):
+            chunk = fusable[lo:lo + self.block_size]
+            block = [candidate for _, candidate in chunk]
+            t0 = time.perf_counter()
+            try:
+                evaluations = context.evaluate_block(block)
+            except Exception:
+                # a failed fused sweep must not cost any results: evaluate
+                # the block's candidates the ordinary serial way instead
+                for pos, candidate in chunk:
+                    results[pos] = evaluate_candidate(context, candidate)
+                continue
+            per_candidate = (time.perf_counter() - t0) / len(chunk)
+            for (pos, candidate), evaluation in zip(chunk, evaluations):
+                if evaluation.error is not None:
+                    # a row whose scoring raised inside the block is
+                    # re-scored through the ordinary serial path: a
+                    # deterministic failure reproduces the exact serial
+                    # failure record (traceback and all, keeping the
+                    # bit-parity invariant for failures too), a transient
+                    # one simply recovers
+                    results[pos] = evaluate_candidate(context, candidate)
+                else:
+                    results[pos] = CandidateResult(
+                        candidate=candidate, evaluation=evaluation,
+                        compute_seconds=per_candidate,
+                    )
+        return SubmissionReport(
+            results=results, wall_seconds=time.perf_counter() - start,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"VectorizedExecutor(block_size={self.block_size})"
+
+
 # module-level worker state: the context is shipped once per worker via the
 # pool initializer instead of once per candidate
 _WORKER_CONTEXT: Optional[EvaluationContext] = None
@@ -227,6 +402,12 @@ class MultiprocessExecutor(CandidateExecutor):
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_context: Optional[EvaluationContext] = None
 
+    @property
+    def prefers_batch(self) -> bool:
+        # with a single worker there is no overlap to buy, so speculative
+        # callers should hand candidates over lazily, exactly like serial
+        return self.workers > 1
+
     def _chunksize(self, n_candidates: int) -> int:
         if self.chunksize is not None:
             return self.chunksize
@@ -273,16 +454,28 @@ class MultiprocessExecutor(CandidateExecutor):
 
 def make_executor(workers: Optional[int] = None,
                   chunksize: Optional[int] = None,
-                  backend: Optional[str] = None) -> CandidateExecutor:
+                  backend: Optional[str] = None,
+                  kind: Optional[str] = None,
+                  candidate_block_size: Optional[int] = None,
+                  ) -> CandidateExecutor:
     """Build the executor for an effective worker count (and backend).
 
+    An executor ``kind`` — explicit, or forced fleet-wide through the
+    ``REPRO_EXECUTOR`` environment variable — wins outright:
+    ``"vectorized"`` yields a :class:`VectorizedExecutor` (block size from
+    ``candidate_block_size`` / ``REPRO_CANDIDATE_BLOCK_SIZE``),
+    ``"multiprocess"`` a :class:`MultiprocessExecutor`, ``"serial"`` the
+    plain serial path.  Without a kind override,
     ``resolve_workers(workers) == 1`` yields a :class:`SerialExecutor` —
     or a :class:`BackendExecutor` when an explicit ``backend`` spec is
     given; anything larger a :class:`MultiprocessExecutor` (workers then
     inherit the backend override through the pickled context).
     """
+    kind = resolve_executor_kind(kind)
     n = resolve_workers(workers)
-    if n == 1:
+    if kind == "vectorized":
+        return VectorizedExecutor(candidate_block_size, backend=backend)
+    if kind == "serial" or (kind is None and n == 1):
         if backend is not None:
             return BackendExecutor(backend)
         return SerialExecutor()

@@ -101,12 +101,16 @@ class BatchOutputGradients:
     r[i])``), so the batch carries ``deltas`` instead of materializing ``N``
     full ``(N_y, N_r)`` matrices; reduced weight/bias gradients follow as
     ``deltas.T @ r / N`` and ``deltas.mean(axis=0)``.
+
+    Candidate-stacked batches (``(K, N, N_r)`` features against a
+    ``(K, N_y, N_r)`` weight stack) prepend the candidate axis to every
+    array here.
     """
 
-    losses: np.ndarray      # (N,)
-    probs: np.ndarray       # (N, N_y)
-    deltas: np.ndarray      # (N, N_y) = probs - targets (Eq. 16, per row)
-    d_features: np.ndarray  # (N, N_r) = deltas @ W (Eq. 17, per row)
+    losses: np.ndarray      # (N,)   [stacked: (K, N)]
+    probs: np.ndarray       # (N, N_y) = probs - targets  [stacked: (K, N, N_y)]
+    deltas: np.ndarray      # (N, N_y) (Eq. 16, per row)  [stacked: (K, N, N_y)]
+    d_features: np.ndarray  # (N, N_r) = deltas @ W (Eq. 17) [stacked: (K, N, N_r)]
 
 
 class SoftmaxReadout:
@@ -187,34 +191,75 @@ class SoftmaxReadout:
 
     def batch_loss_and_grads(
         self, features: np.ndarray, targets_onehot: np.ndarray,
-        *, backend=None,
+        *, backend=None, weights=None, bias=None,
     ) -> BatchOutputGradients:
         """Vectorized Eq.-17 gradients for a minibatch.
 
         Parameters
         ----------
         features:
-            ``(N, N_r)`` representation matrix (one row per sample).
+            ``(N, N_r)`` representation matrix (one row per sample) — or
+            ``(K, N, N_r)`` for K candidate models evaluated on the same
+            (or per-candidate) batch in one fused call.
         targets_onehot:
-            ``(N, N_y)`` one-hot target matrix.
+            ``(N, N_y)`` one-hot target matrix; a candidate-stacked call
+            may also pass a per-candidate ``(K, N, N_y)`` stack.
         backend:
             :class:`~repro.backend.ArrayBackend` executing the batch;
             ``None`` infers it from ``features``.  All returned arrays are
             that backend's arrays (NumPy in the default case).
+        weights, bias:
+            Optional parameter overrides.  A candidate-stacked call trains
+            one output layer *per candidate*, so it passes a
+            ``(K, N_y, N_r)`` weight stack and ``(K, N_y)`` bias stack here
+            instead of mutating K readout objects; ``None`` uses this
+            readout's own (shared) parameters for every candidate.
         """
         xb = infer_backend(features) if backend is None else resolve_backend(backend)
-        r = xb.atleast_2d(xb.asarray(features, dtype=xb.float64))
-        d = xb.atleast_2d(xb.asarray(targets_onehot, dtype=xb.float64))
-        if r.shape[1] != self.n_features:
+        r = xb.asarray(features, dtype=xb.float64)
+        if r.ndim < 2:
+            r = xb.atleast_2d(r)
+        stacked = r.ndim == 3
+        d = xb.asarray(targets_onehot, dtype=xb.float64)
+        if not stacked:
+            d = xb.atleast_2d(d)
+        if r.shape[-1] != self.n_features:
             raise ValueError(
-                f"feature size {r.shape[1]} != readout width {self.n_features}"
+                f"feature size {r.shape[-1]} != readout width {self.n_features}"
             )
-        if tuple(d.shape) != (r.shape[0], self.n_classes):
+        expected = tuple(r.shape[:-1]) + (self.n_classes,)
+        if tuple(d.shape) != expected and tuple(d.shape) != expected[-2:]:
             raise ValueError(
-                f"targets must be {(r.shape[0], self.n_classes)}, got {d.shape}"
+                f"targets must be {expected}"
+                + (f" or {expected[-2:]}" if stacked else "")
+                + f", got {tuple(d.shape)}"
             )
-        weights = xb.asarray(self.weights)
-        z = r @ weights.T + xb.asarray(self.bias)
+        weights = xb.asarray(self.weights if weights is None else weights,
+                             dtype=xb.float64)
+        bias = xb.asarray(self.bias if bias is None else bias,
+                          dtype=xb.float64)
+        if weights.ndim == 3:
+            if not stacked or weights.shape[0] != r.shape[0]:
+                raise ValueError(
+                    f"a weight stack {tuple(weights.shape)} needs matching "
+                    f"(K, N, N_r) features, got {tuple(r.shape)}"
+                )
+            # batched matmul per candidate — the same BLAS call row the
+            # 2-D path makes, once per stack entry
+            z = r @ xb.swapaxes(weights, -1, -2)
+        else:
+            z = r @ weights.T
+        # the bias may be a (K, N_y) per-candidate stack or a shared (N_y,)
+        # vector, independently of how the weights were passed
+        if bias.ndim == 2:
+            if not stacked or tuple(bias.shape) != (r.shape[0], self.n_classes):
+                raise ValueError(
+                    f"a bias stack {tuple(bias.shape)} needs matching "
+                    f"(K, N, N_r) features, got {tuple(r.shape)}"
+                )
+            z = z + bias[:, None, :]
+        else:
+            z = z + bias
         # inline backend form of softmax()/cross_entropy(): same ops in the
         # same order, so the NumPy backend is bit-identical to those helpers
         shifted = z - xb.max(z, axis=-1, keepdims=True)

@@ -75,13 +75,17 @@ class DPRR:
     ) -> np.ndarray:
         """Compute DPRR features ``(N, N_x (N_x + 1))``.
 
+        Candidate-stacked sources (a vector-``(A, B)`` reservoir run, whose
+        arrays carry a leading candidate axis) yield ``(K, N, N_x (N_x+1))``
+        — K feature matrices from one fused contraction.
+
         Parameters
         ----------
         source:
-            A :class:`ReservoirTrace` (or a raw ``(N, T+1, N_x)`` state
-            array including the zero initial row), or a
-            :class:`StreamingResult` whose online accumulators are reused
-            directly.
+            A :class:`ReservoirTrace` (or a raw ``(N, T+1, N_x)`` /
+            ``(K, N, T+1, N_x)`` state array including the zero initial
+            row), or a :class:`StreamingResult` whose online accumulators
+            are reused directly.
         backend:
             :class:`~repro.backend.ArrayBackend` running the contraction;
             ``None`` infers it from the source arrays, so a device-resident
@@ -95,26 +99,30 @@ class DPRR:
                 )
             p_acc, s_acc = source.dprr_sums
             xb = infer_backend(p_acc) if backend is None else resolve_backend(backend)
-            n = p_acc.shape[0]
-            raw = xb.concatenate([p_acc.reshape(n, -1), s_acc], axis=1)
+            p_flat = p_acc.reshape(tuple(p_acc.shape[:-2]) + (-1,))
+            raw = xb.concatenate([p_flat, s_acc], axis=-1)
             return raw * self.scale(source.n_steps)
 
         states = source.states if isinstance(source, ReservoirTrace) else source
         xb = infer_backend(states) if backend is None else resolve_backend(backend)
         states = xb.asarray(states)
-        if states.ndim != 3:
+        if states.ndim not in (3, 4):
             raise ValueError(
-                f"states must be (N, T+1, N_x) including the initial row, got {states.shape}"
+                f"states must be (N, T+1, N_x) including the initial row — or "
+                f"(K, N, T+1, N_x) for a candidate-stacked trace — got "
+                f"{states.shape}"
             )
-        n, t_plus_1, nx = states.shape
-        t_len = t_plus_1 - 1
+        t_len = states.shape[-2] - 1
         if t_len < 1:
             raise ValueError("need at least one time step")
-        x_k = states[:, 1:, :]   # x(1) .. x(T)
-        x_prev = states[:, :-1, :]  # x(0) .. x(T-1)
-        p_mat = xb.einsum("nti,ntj->nij", x_k, x_prev)
-        s_vec = xb.sum(x_k, axis=1)
-        raw = xb.concatenate([p_mat.reshape(n, -1), s_vec], axis=1)
+        x_k = states[..., 1:, :]   # x(1) .. x(T)
+        x_prev = states[..., :-1, :]  # x(0) .. x(T-1)
+        # the ellipsis covers the sample axis — and, for a stacked trace,
+        # the candidate axis in front of it — in one contraction
+        p_mat = xb.einsum("...ti,...tj->...ij", x_k, x_prev)
+        s_vec = xb.sum(x_k, axis=-2)
+        p_flat = p_mat.reshape(tuple(p_mat.shape[:-2]) + (-1,))
+        raw = xb.concatenate([p_flat, s_vec], axis=-1)
         return raw * self.scale(t_len)
 
     def __repr__(self) -> str:  # pragma: no cover - trivial

@@ -33,6 +33,17 @@ Two execution modes are provided:
   and retains only the last ``window + 1`` states, exactly the storage regime
   of the paper's truncated backpropagation (Sec. 3.4).
 
+Candidate axis
+--------------
+``A``/``B`` may also be length-``K`` vectors: one call then sweeps K
+``(A, B)`` candidates over the same input batch in a single fused array
+program, and every trace array gains a leading candidate axis
+(``(K, N, T+1, N_x)`` states, ``(K, N)`` divergence flags).  The masked
+drive is computed once for all candidates, and each candidate's node chain
+runs through the backend's stacked first-order filter — on NumPy each row
+is bit-identical to a scalar sweep of that candidate (pinned by tests), on
+Torch/CuPy the whole stack is one batched matmul.
+
 Array backends
 --------------
 Both sweeps are pure dense array programs, so they route every array op
@@ -72,13 +83,17 @@ class ReservoirTrace:
     ----------
     states:
         ``(N, T+1, N_x)`` array; ``states[:, 0]`` is the zero initial state
-        and ``states[:, k]`` is :math:`x(k)` for ``k = 1..T``.
+        and ``states[:, k]`` is :math:`x(k)` for ``k = 1..T``.  Candidate-
+        stacked runs (vector ``A``/``B``) prepend a candidate axis:
+        ``(K, N, T+1, N_x)``.
     pre_activations:
-        ``(N, T, N_x)`` array of :math:`s(k) = j(k) + x(k-1)`, the argument
-        of the nonlinearity at each step (needed by backpropagation).
+        ``(N, T, N_x)`` (or ``(K, N, T, N_x)``) array of
+        :math:`s(k) = j(k) + x(k-1)`, the argument of the nonlinearity at
+        each step (needed by backpropagation).
     diverged:
-        ``(N,)`` boolean array flagging samples whose state left the finite
-        range (possible for unbounded nonlinearities at large ``A, B``).
+        ``(N,)`` (or ``(K, N)``) boolean array flagging samples whose state
+        left the finite range (possible for unbounded nonlinearities at
+        large ``A, B``).
 
     ``states``/``pre_activations`` are arrays of whichever
     :class:`~repro.backend.ArrayBackend` ran the sweep (NumPy by default);
@@ -90,17 +105,27 @@ class ReservoirTrace:
     diverged: np.ndarray
 
     @property
+    def stacked(self) -> bool:
+        """Whether a leading candidate axis is present (vector ``A``/``B``)."""
+        return self.states.ndim == 4
+
+    @property
+    def n_candidates(self) -> Optional[int]:
+        """Candidate-axis length ``K``; ``None`` for a scalar-(A, B) trace."""
+        return self.states.shape[0] if self.stacked else None
+
+    @property
     def n_samples(self) -> int:
-        return self.states.shape[0]
+        return self.states.shape[-3]
 
     @property
     def n_steps(self) -> int:
         """Series length ``T``."""
-        return self.states.shape[1] - 1
+        return self.states.shape[-2] - 1
 
     @property
     def n_nodes(self) -> int:
-        return self.states.shape[2]
+        return self.states.shape[-1]
 
     def final_window(self, window: int, *, copy: bool = True) -> "StreamingResult":
         """Slice the last ``window`` steps into a :class:`StreamingResult`.
@@ -115,8 +140,8 @@ class ReservoirTrace:
         window.
         """
         window = _check_window(window, self.n_steps)
-        window_states = self.states[:, -(window + 1):]
-        window_pre = self.pre_activations[:, -window:]
+        window_states = self.states[..., -(window + 1):, :]
+        window_pre = self.pre_activations[..., -window:, :]
         diverged = self.diverged
         if copy:
             window_states = _copy_array(window_states)
@@ -142,17 +167,20 @@ class StreamingResult:
     Attributes
     ----------
     window_states:
-        ``(N, window+1, N_x)`` — states ``x(T-window) .. x(T)``.
+        ``(N, window+1, N_x)`` — states ``x(T-window) .. x(T)``.  Candidate-
+        stacked runs prepend a candidate axis (``(K, N, window+1, N_x)``).
     window_pre_activations:
-        ``(N, window, N_x)`` — ``s(T-window+1) .. s(T)``.
+        ``(N, window, N_x)`` (or ``(K, N, window, N_x)``) —
+        ``s(T-window+1) .. s(T)``.
     dprr_sums:
         Optional pair ``(P, s)`` with ``P`` of shape ``(N, N_x, N_x)`` holding
         :math:`\\sum_k x(k) x(k-1)^T` and ``s`` of shape ``(N, N_x)`` holding
         :math:`\\sum_k x(k)` — the *unnormalized* DPRR accumulators
-        (paper Eqs. 10–11).  ``None`` when the result was sliced from a full
+        (paper Eqs. 10–11); candidate-stacked runs prepend the candidate
+        axis to both.  ``None`` when the result was sliced from a full
         trace rather than streamed.
     diverged:
-        ``(N,)`` boolean divergence flags.
+        ``(N,)`` (or ``(K, N)``) boolean divergence flags.
     n_steps:
         Total series length ``T`` that was consumed.
     """
@@ -164,8 +192,13 @@ class StreamingResult:
     n_steps: int
 
     @property
+    def stacked(self) -> bool:
+        """Whether a leading candidate axis is present (vector ``A``/``B``)."""
+        return self.window_states.ndim == 4
+
+    @property
     def window(self) -> int:
-        return self.window_pre_activations.shape[1]
+        return self.window_pre_activations.shape[-2]
 
 
 def _copy_array(a):
@@ -231,8 +264,7 @@ class ModularDFR:
     # forward passes
     # ------------------------------------------------------------------ #
 
-    def run(self, u: np.ndarray, A: float, B: float,
-            *, backend=None) -> ReservoirTrace:
+    def run(self, u: np.ndarray, A, B, *, backend=None) -> ReservoirTrace:
         """Run the reservoir over a batch, keeping the full state trace.
 
         Parameters
@@ -241,7 +273,10 @@ class ModularDFR:
             Input batch ``(N, T, C)`` (a single ``(T, C)`` sample is also
             accepted).
         A, B:
-            The two reservoir parameters of the modular DFR.
+            The two reservoir parameters of the modular DFR.  Scalars run
+            one candidate; length-``K`` vectors sweep K candidates over the
+            same batch in one fused program, prepending a candidate axis to
+            every trace array.
         backend:
             Per-call override of the reservoir's array backend; the trace
             arrays come back device-resident on that backend.
@@ -251,41 +286,56 @@ class ModularDFR:
         ReservoirTrace
         """
         u = as_batch(u)
-        A, B = _check_params(A, B)
+        A, B, n_cand = _check_params(A, B)
         xb = self.backend if backend is None else resolve_backend(backend)
         j = xb.asarray(self.mask.apply(u))  # (N, T, N_x)
         n, t_len, nx = j.shape
         nonlinearity = self.nonlinearity
+        stacked = n_cand is not None
+        lead = (n_cand, n) if stacked else (n,)
 
-        states = xb.zeros((n, t_len + 1, nx))
-        pre = xb.empty((n, t_len, nx))
+        states = xb.zeros(lead + (t_len + 1, nx))
+        pre = xb.empty(lead + (t_len, nx))
         with xb.errstate():
             if isinstance(nonlinearity, Identity) and xb.has_general_lfilter:
                 # Identity fast path: on the flat chain t = (k-1) N_x + n the
                 # whole trajectory solves ONE linear recurrence
                 #   x_t = A j_t + B x_{t-1} + A x_{t-N_x},
                 # i.e. a single IIR filter over T*N_x samples per series.
-                a_poly = np.zeros(nx + 1)
-                a_poly[0] = 1.0
-                a_poly[1] -= B
-                a_poly[nx] -= A
-                x_flat = xb.lfilter_general(
-                    [A], a_poly, j.reshape(n, t_len * nx), axis=-1
-                )
-                states[:, 1:, :] = x_flat.reshape(n, t_len, nx)
-                pre[:] = j + states[:, :-1, :]
+                # The filter coefficients depend on the candidate, so a
+                # stacked sweep loops candidates here — each iteration is
+                # the identical scalar call (bit-identical rows), and the
+                # masked drive above is still shared by all of them.
+                j_flat = j.reshape(n, t_len * nx)
+                for a_val, b_val, out in (
+                    zip(A, B, states) if stacked else ((A, B, states),)
+                ):
+                    a_poly = np.zeros(nx + 1)
+                    a_poly[0] = 1.0
+                    a_poly[1] -= b_val
+                    a_poly[nx] -= a_val
+                    x_flat = xb.lfilter_general([a_val], a_poly, j_flat, axis=-1)
+                    out[:, 1:, :] = x_flat.reshape(n, t_len, nx)
+                pre[:] = j + states[..., :-1, :]
             else:
+                a_mul = xb.asarray(A)[:, None, None] if stacked else A
+                b_mul = xb.asarray(B)[:, None] if stacked else B
                 for k in range(t_len):
-                    s = j[:, k, :] + states[:, k, :]
-                    pre[:, k, :] = s
-                    c = A * xb.phi(nonlinearity, s)
-                    zi = (B * states[:, k, -1])[:, np.newaxis]
-                    states[:, k + 1, :] = xb.first_order_filter(c, B, zi)
-        diverged = _divergence_flags(states.reshape(n, -1), xb)
-        return ReservoirTrace(states=states, pre_activations=pre, diverged=diverged)
+                    s = j[:, k, :] + states[..., k, :]
+                    pre[..., k, :] = s
+                    c = a_mul * xb.phi(nonlinearity, s)
+                    zi = (b_mul * states[..., k, -1])[..., np.newaxis]
+                    if stacked:
+                        states[..., k + 1, :] = xb.first_order_filter_stacked(
+                            c, B, zi)
+                    else:
+                        states[..., k + 1, :] = xb.first_order_filter(c, B, zi)
+        diverged = _divergence_flags(states.reshape(-1, (t_len + 1) * nx), xb)
+        return ReservoirTrace(states=states, pre_activations=pre,
+                              diverged=diverged.reshape(lead))
 
     def run_streaming(
-        self, u: np.ndarray, A: float, B: float, *, window: int = 1,
+        self, u: np.ndarray, A, B, *, window: int = 1,
         backend=None,
     ) -> StreamingResult:
         """Run the reservoir keeping only the last ``window + 1`` states.
@@ -294,42 +344,52 @@ class ModularDFR:
         online each step, so the peak reservoir-state storage is
         ``(window + 1) * N_x`` values per sample — the storage regime counted
         by :mod:`repro.memory.accounting` and reported in the paper's
-        Table 2.
+        Table 2.  Vector-valued ``A``/``B`` sweep K candidates at once,
+        prepending a candidate axis to every result array (peak storage
+        scales with K accordingly).
 
         Returns
         -------
         StreamingResult
         """
         u = as_batch(u)
-        A, B = _check_params(A, B)
+        A, B, n_cand = _check_params(A, B)
         xb = self.backend if backend is None else resolve_backend(backend)
         j = xb.asarray(self.mask.apply(u))
         n, t_len, nx = j.shape
         window = _check_window(window, t_len)
         nonlinearity = self.nonlinearity
+        stacked = n_cand is not None
+        lead = (n_cand, n) if stacked else (n,)
+        a_mul = xb.asarray(A)[:, None, None] if stacked else A
+        b_mul = xb.asarray(B)[:, None] if stacked else B
 
         # ring buffer of the last (window + 1) states, logically ordered
-        ring = xb.zeros((n, window + 1, nx))
-        pre_ring = xb.zeros((n, window, nx))
-        p_acc = xb.zeros((n, nx, nx))
-        s_acc = xb.zeros((n, nx))
+        ring = xb.zeros(lead + (window + 1, nx))
+        pre_ring = xb.zeros(lead + (window, nx))
+        p_acc = xb.zeros(lead + (nx, nx))
+        s_acc = xb.zeros(lead + (nx,))
         with xb.errstate():
             for k in range(t_len):
-                x_prev = ring[:, -1, :]
+                x_prev = ring[..., -1, :]
                 s = j[:, k, :] + x_prev
-                c = A * xb.phi(nonlinearity, s)
-                zi = (B * x_prev[:, -1])[:, np.newaxis]
-                x_new = xb.first_order_filter(c, B, zi)
+                c = a_mul * xb.phi(nonlinearity, s)
+                zi = (b_mul * x_prev[..., -1])[..., np.newaxis]
+                if stacked:
+                    x_new = xb.first_order_filter_stacked(c, B, zi)
+                else:
+                    x_new = xb.first_order_filter(c, B, zi)
                 # DPRR accumulation: P += x(k) x(k-1)^T, s += x(k)
-                p_acc += x_new[:, :, np.newaxis] * x_prev[:, np.newaxis, :]
+                p_acc += x_new[..., :, np.newaxis] * x_prev[..., np.newaxis, :]
                 s_acc += x_new
-                ring = xb.roll(ring, -1, axis=1)
-                ring[:, -1, :] = x_new
-                pre_ring = xb.roll(pre_ring, -1, axis=1)
-                pre_ring[:, -1, :] = s
-        diverged = _divergence_flags(ring.reshape(n, -1), xb) | _divergence_flags(
-            p_acc.reshape(n, -1), xb
-        )
+                ring = xb.roll(ring, -1, axis=-2)
+                ring[..., -1, :] = x_new
+                pre_ring = xb.roll(pre_ring, -1, axis=-2)
+                pre_ring[..., -1, :] = s
+        diverged = (
+            _divergence_flags(ring.reshape(-1, (window + 1) * nx), xb)
+            | _divergence_flags(p_acc.reshape(-1, nx * nx), xb)
+        ).reshape(lead)
         return StreamingResult(
             window_states=ring,
             window_pre_activations=pre_ring,
@@ -345,12 +405,38 @@ class ModularDFR:
         )
 
 
-def _check_params(A: float, B: float) -> tuple:
-    A = float(A)
-    B = float(B)
-    if not np.isfinite(A) or not np.isfinite(B):
-        raise ValueError(f"A and B must be finite, got A={A!r}, B={B!r}")
-    return A, B
+def _check_params(A, B) -> tuple:
+    """Normalize ``(A, B)`` to scalars or aligned ``(K,)`` vectors.
+
+    Returns ``(A, B, n_candidates)`` where ``n_candidates`` is ``None`` for
+    the scalar (single-candidate) case and the common length ``K`` when
+    either parameter is a vector (a scalar partner is broadcast to K).
+    """
+    if np.ndim(A) == 0 and np.ndim(B) == 0:
+        A = float(A)
+        B = float(B)
+        if not np.isfinite(A) or not np.isfinite(B):
+            raise ValueError(f"A and B must be finite, got A={A!r}, B={B!r}")
+        return A, B, None
+    A = np.atleast_1d(np.asarray(A, dtype=np.float64))
+    B = np.atleast_1d(np.asarray(B, dtype=np.float64))
+    if A.ndim != 1 or B.ndim != 1:
+        raise ValueError(
+            f"vector A and B must be 1-D candidate lists, got shapes "
+            f"{A.shape} and {B.shape}"
+        )
+    try:
+        A, B = np.broadcast_arrays(A, B)
+    except ValueError:
+        raise ValueError(
+            f"A and B candidate vectors must have matching lengths, got "
+            f"{A.shape[0]} and {B.shape[0]}"
+        ) from None
+    A = np.ascontiguousarray(A)
+    B = np.ascontiguousarray(B)
+    if not (np.isfinite(A).all() and np.isfinite(B).all()):
+        raise ValueError("all A and B candidates must be finite")
+    return A, B, A.shape[0]
 
 
 def _divergence_flags(flat_per_sample, backend=None) -> np.ndarray:

@@ -273,6 +273,48 @@ class TestBackendParity:
             want = ref.first_order_filter(x, coef, zi)
             np.testing.assert_allclose(got, want, rtol=1e-12, atol=1e-14)
 
+    def test_first_order_filter_stacked_matches_scipy(self, name, rng):
+        xb = _require(name)
+        ref = resolve_backend("numpy")
+        x = rng.normal(size=(3, 5, 12))
+        zi = rng.normal(size=(3, 5, 1))
+        coefs = np.array([0.0, 0.3, 0.95])
+        got = xb.to_numpy(xb.first_order_filter_stacked(
+            xb.asarray(x), coefs, xb.asarray(zi)))
+        want = ref.first_order_filter_stacked(x, coefs, zi)
+        np.testing.assert_allclose(got, want, rtol=1e-12, atol=1e-14)
+        # stacked rows must equal the scalar filter of that coefficient
+        for k, coef in enumerate(coefs):
+            np.testing.assert_allclose(
+                got[k],
+                xb.to_numpy(xb.first_order_filter(
+                    xb.asarray(x[k]), float(coef), xb.asarray(zi[k]))),
+                rtol=1e-12, atol=1e-14)
+        # the minimal documented shape — (K, n), no sample axis — must
+        # return (K, n) like the NumPy reference, not a mis-broadcast
+        x2 = rng.normal(size=(3, 12))
+        zi2 = rng.normal(size=(3, 1))
+        got2 = xb.to_numpy(xb.first_order_filter_stacked(
+            xb.asarray(x2), coefs, xb.asarray(zi2)))
+        want2 = ref.first_order_filter_stacked(x2, coefs, zi2)
+        assert got2.shape == want2.shape == (3, 12)
+        np.testing.assert_allclose(got2, want2, rtol=1e-12, atol=1e-14)
+
+    @pytest.mark.parametrize("nonlinearity", ["identity", "tanh"])
+    def test_stacked_forward_parity(self, name, nonlinearity, rng):
+        xb = _require(name)
+        u = rng.normal(size=(4, 15, 2))
+        dfr = ModularDFR(InputMask.binary(6, 2, seed=0),
+                         nonlinearity=nonlinearity)
+        a_vec = np.array([0.1, 0.25, 0.05])
+        b_vec = np.array([0.3, 0.02, 0.2])
+        ref = dfr.run(u, a_vec, b_vec)
+        got = dfr.run(u, a_vec, b_vec, backend=xb)
+        assert got.stacked
+        np.testing.assert_allclose(xb.to_numpy(got.states), ref.states,
+                                   rtol=1e-10, atol=1e-12)
+        np.testing.assert_array_equal(got.diverged, ref.diverged)
+
     def test_structural_ops_roundtrip(self, name, rng):
         xb = _require(name)
         a = rng.normal(size=(4, 6))

@@ -90,6 +90,7 @@ class TestWorkerResolution:
 
     def test_make_executor_kinds(self, monkeypatch):
         monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
         assert isinstance(make_executor(1), SerialExecutor)
         assert isinstance(make_executor(2), MultiprocessExecutor)
         monkeypatch.setenv("REPRO_WORKERS", "2")

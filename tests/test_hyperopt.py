@@ -146,8 +146,12 @@ class TestSpeculativeAnnealing:
         data, ext = setup
         # a serial executor has no concurrency to buy, so speculative mode
         # must not discard any evaluations — and the consumed trajectory
-        # matches the eagerly-evaluated parallel run of the same seed
-        serial = SimulatedAnnealing(ext, seed=2, workers=1).search(
+        # matches the eagerly-evaluated parallel run of the same seed.
+        # (pinned to an explicit SerialExecutor: REPRO_EXECUTOR in CI may
+        # force an eager executor kind for default-constructed searches)
+        from repro.exec import SerialExecutor
+
+        serial = SimulatedAnnealing(ext, seed=2, executor=SerialExecutor()).search(
             data.u_train, data.y_train, data.u_test, data.y_test,
             n_steps=10, speculative=4, n_classes=3)
         assert serial.n_wasted == 0
@@ -165,3 +169,77 @@ class TestSpeculativeAnnealing:
         for ev in out.evaluations:
             assert 10**-3.76 <= ev.A <= 10**-0.24
             assert 10**-2.76 <= ev.B <= 10**-0.24
+
+
+class _CountingExecutor:
+    """Wrap an executor, counting how many candidates it really evaluates."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.n_submitted = 0
+
+    @property
+    def workers(self):
+        return self.inner.workers
+
+    @property
+    def prefers_batch(self):
+        return self.inner.prefers_batch
+
+    def run(self, context, candidates):
+        self.n_submitted += len(candidates)
+        return self.inner.run(context, candidates)
+
+
+class TestSpeculativeWasteAccounting:
+    """n_wasted counts proposals actually evaluated-then-discarded, per
+    executor: lazily-fed executors never waste, eagerly-fed ones report
+    exactly (evaluated - consumed)."""
+
+    def _search(self, setup, executor, **kwargs):
+        data, ext = setup
+        counting = _CountingExecutor(executor)
+        out = SimulatedAnnealing(ext, seed=2, executor=counting).search(
+            data.u_train, data.y_train, data.u_test, data.y_test,
+            n_steps=10, speculative=4, n_classes=3, **kwargs)
+        return out, counting
+
+    def test_serial_is_lazy_and_waste_free(self, setup):
+        from repro.exec import SerialExecutor
+
+        out, counting = self._search(setup, SerialExecutor())
+        assert out.n_wasted == 0
+        # everything submitted was consumed into the trajectory
+        assert counting.n_submitted == out.n_evaluations
+
+    def test_vectorized_is_eager_and_counts_real_waste(self, setup):
+        from repro.exec import VectorizedExecutor
+
+        executor = VectorizedExecutor(block_size=4)
+        assert executor.prefers_batch
+        out, counting = self._search(setup, executor)
+        # eager speculation: whole batches were really evaluated, and the
+        # discarded tail is exactly the submitted-minus-consumed difference
+        assert counting.n_submitted == out.n_evaluations + out.n_wasted
+        assert out.n_wasted > 0
+
+    def test_vectorized_trajectory_matches_serial(self, setup):
+        from repro.exec import SerialExecutor, VectorizedExecutor
+
+        serial, _ = self._search(setup, SerialExecutor())
+        fused, _ = self._search(setup, VectorizedExecutor(block_size=4))
+        # lazy vs eager changes only what is computed, never the trajectory
+        assert fused.evaluations == serial.evaluations
+        assert fused.best == serial.best
+
+    def test_multiprocess_single_worker_stays_lazy(self, setup):
+        from repro.exec import MultiprocessExecutor
+
+        executor = MultiprocessExecutor(1)
+        try:
+            assert not executor.prefers_batch
+            out, counting = self._search(setup, executor)
+            assert out.n_wasted == 0
+            assert counting.n_submitted == out.n_evaluations
+        finally:
+            executor.close()
