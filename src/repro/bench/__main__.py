@@ -6,6 +6,7 @@ Usage (installed as ``repro-bench``, or ``python -m repro.bench``):
 
     repro-bench table1 [--datasets JPVOW LIB ...] [--size-profile bench]
                        [--workers 4] [--backend torch]
+                       [--search descent --population 16]
     repro-bench table2
     repro-bench fig6 [--dataset CHAR] [--divisions 5] [--workers 4]
                      [--backend torch]
@@ -84,6 +85,18 @@ def build_parser() -> argparse.ArgumentParser:
              "per-sample SGD; run once with 1 and once with e.g. 32 to "
              "compare per-sample vs batched training throughput)",
     )
+    p.add_argument(
+        "--search", choices=("backprop", "descent"), default="backprop",
+        help="parameter search for the proposed-method phase: 'backprop' "
+             "(the paper's single gradient run) or 'descent' (population "
+             "gradient descent — --population restarts trained as one "
+             "fused candidate-stacked program)",
+    )
+    p.add_argument(
+        "--population", type=int, default=None,
+        help="restart count for --search descent. Default: the "
+             "REPRO_POPULATION environment variable, else 8",
+    )
     _add_workers(p)
     _add_backend(p)
     _add_common(p)
@@ -133,6 +146,8 @@ def main(argv=None) -> int:
             max_divisions=args.max_divisions,
             epochs=args.epochs,
             batch_size=args.batch_size,
+            search=args.search,
+            population=args.population,
             workers=args.workers,
             backend=args.backend,
         )

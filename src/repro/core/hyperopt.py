@@ -1,20 +1,27 @@
 """Alternative hyperparameter optimizers for the (A, B, beta) search.
 
 The paper argues grid search is the *de facto* DFR tuning method and
-replaces it with backpropagation.  For completeness the library also ships
-the two black-box baselines a practitioner would reach for before gradients
-existed — both operate through the identical
-:func:`~repro.core.pipeline.evaluate_fixed_params` protocol used by the
-grid search and by the classifier, so results are directly comparable:
+replaces it with backpropagation.  Besides the paper's single gradient run
+(:class:`~repro.core.trainer.BackpropTrainer` inside the classifier), the
+library ships the black-box baselines a practitioner would reach for — and
+a population form of the paper's own method:
 
 * :class:`RandomSearch` — log-uniform sampling of the paper's search box
   (Bergstra & Bengio's argument: beats grids of the same budget when the
   landscape's effective dimensionality is low);
 * :class:`SimulatedAnnealing` — local log-space perturbations with a
   geometric temperature schedule; a cheap trajectory-based baseline that,
-  unlike recursive grid zooming, can escape a misleading basin.
+  unlike recursive grid zooming, can escape a misleading basin;
+* :class:`PopulationDescent` — the fifth search: K restarts of the paper's
+  BP+GD descended *concurrently* through the candidate-axis-vectorized
+  engine (:mod:`repro.core.population`), then scored as one batch through
+  the shared execution layer — multi-start robustness at roughly the cost
+  of one fused run.
 
-Both submit their candidates through the shared execution layer
+All of them operate through the identical
+:func:`~repro.core.pipeline.evaluate_fixed_params` protocol used by the
+grid search and by the classifier, so results are directly comparable, and
+all submit their candidates through the shared execution layer
 (:mod:`repro.exec`).  Random search fans its whole sample budget out in one
 submission; annealing is inherently sequential, but its speculative mode
 (``speculative > 1``) proposes a batch of candidates from the current point
@@ -26,19 +33,39 @@ workers are available.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.grid_search import PAPER_A_RANGE, PAPER_B_RANGE
 from repro.core.pipeline import DFRFeatureExtractor, FixedParamsEvaluation
-from repro.core.selection import better_evaluation
-from repro.exec import Candidate, CandidateExecutor, EvaluationContext, make_executor
+from repro.core.population import (
+    MemberResult,
+    PopulationResult,
+    chunked_population_fit,
+    draw_starting_points,
+    resolve_population,
+)
+from repro.core.selection import best_evaluation, better_evaluation
+from repro.core.trainer import TrainerConfig
+from repro.exec import (
+    Candidate,
+    CandidateExecutor,
+    EvaluationContext,
+    make_executor,
+    resolve_candidate_block_size,
+)
 from repro.readout.ridge import PAPER_BETAS
 from repro.utils.rng import SeedLike, ensure_rng
 
-__all__ = ["SearchOutcome", "RandomSearch", "SimulatedAnnealing"]
+__all__ = [
+    "SearchOutcome",
+    "RandomSearch",
+    "SimulatedAnnealing",
+    "DescentOutcome",
+    "PopulationDescent",
+]
 
 
 @dataclass
@@ -93,14 +120,20 @@ class _BlackBoxSearch:
         #: chunk size for the per-candidate reservoir sweeps; bounds peak
         #: trace memory on large datasets without changing any score
         self.feature_batch_size = feature_batch_size
+        #: array-backend spec the search was built with (descent threads it
+        #: into its trainer config; the executor already carries it)
+        self.backend = backend
+        #: candidates fused per sweep (descent also chunks its fused
+        #: *training* stacks by this; None defers to the env default)
+        self.candidate_block_size = candidate_block_size
         self.executor = (executor if executor is not None
                          else make_executor(workers, backend=backend,
                                             kind=executor_kind,
                                             candidate_block_size=candidate_block_size))
         self._rng = ensure_rng(seed)
 
-    def _make_context(self, u_train, y_train, u_test, y_test,
-                      n_classes) -> EvaluationContext:
+    def _make_context(self, u_train, y_train, u_test, y_test, n_classes,
+                      base_seed: Optional[int] = None) -> EvaluationContext:
         return EvaluationContext.from_data(
             self.extractor.snapshot(),
             u_train, y_train, u_test, y_test,
@@ -108,6 +141,7 @@ class _BlackBoxSearch:
             val_fraction=self.val_fraction,
             n_classes=n_classes,
             feature_batch_size=self.feature_batch_size,
+            base_seed=base_seed,
         )
 
 
@@ -282,4 +316,179 @@ class SimulatedAnnealing(_BlackBoxSearch):
             total_seconds=time.perf_counter() - start,
             compute_seconds=compute_seconds,
             n_wasted=n_wasted,
+        )
+
+
+@dataclass
+class DescentOutcome(SearchOutcome):
+    """Outcome of a population gradient-descent search.
+
+    Extends :class:`SearchOutcome` with the fused training record:
+    ``descent`` is the merged
+    :class:`~repro.core.population.PopulationResult` of all chunks, and
+    ``evaluations[i]`` scores the *endpoint* of ``members[i]``'s descent
+    through the identical fixed-params protocol every other search uses.
+    ``training_seconds`` is the wall-clock of the fused descent itself
+    (``total_seconds`` additionally includes the endpoint scoring).
+    """
+
+    descent: Optional[PopulationResult] = None
+    training_seconds: float = 0.0
+
+    @property
+    def members(self) -> List[MemberResult]:
+        return self.descent.members if self.descent is not None else []
+
+    @property
+    def active_per_epoch(self) -> List[int]:
+        """Fused-stack width per epoch, summed over chunks (telemetry)."""
+        return (self.descent.active_per_epoch
+                if self.descent is not None else [])
+
+    @property
+    def population(self) -> int:
+        return self.descent.population if self.descent is not None else 0
+
+    @property
+    def n_retired(self) -> int:
+        return self.descent.n_retired if self.descent is not None else 0
+
+
+class PopulationDescent(_BlackBoxSearch):
+    """The fifth search: K fused restarts of the paper's BP+GD.
+
+    Draws K starting points (member 0 at the paper's ``(0.01, 0.01)``
+    initialization, the rest log-uniform over the search box), descends all
+    of them concurrently through the candidate-axis-vectorized training
+    engine (:class:`~repro.core.population.PopulationTrainer` — one fused
+    ``(K, N, ...)`` forward/backward per minibatch instead of K sequential
+    :meth:`~repro.core.trainer.BackpropTrainer.fit` loops), then submits
+    the K descent *endpoints* through the shared execution layer for the
+    usual ridge/beta scoring, ranked by the shared selection rule.
+
+    The fused training stack is chunked by ``candidate_block_size``
+    (``REPRO_CANDIDATE_BLOCK_SIZE``) when the population exceeds it, so
+    peak trace memory is bounded exactly like a vectorized evaluation
+    block; every chunk shares one shuffle seed, so results are independent
+    of the chunking (and, on NumPy, bit-identical to sequential per-member
+    training — pinned by ``tests/test_population.py``).  Endpoint scoring
+    goes through ``self.executor`` as one submission — batch-preferring
+    executors (vectorized, multiprocess) consume it whole — with one shared
+    holdout split for the whole population (the sibling searches'
+    convention: comparable criterion, executor-independent records).
+
+    Parameters (beyond the shared ``_BlackBoxSearch`` ones)
+    ----------
+    trainer_config:
+        :class:`~repro.core.trainer.TrainerConfig` for the descent
+        (defaults to the paper's protocol with ``batch_size=8`` — restarts
+        are about endpoint quality, not the paper's per-sample update
+        granularity, and fused minibatches are what make K restarts cheap).
+    population:
+        Default restart count for :meth:`search`; ``None`` defers to
+        ``REPRO_POPULATION`` (default 8).
+    retire_tol, retire_patience, retire_diverged_epochs:
+        Row-wise retirement knobs, forwarded to the trainer.
+    """
+
+    def __init__(
+        self,
+        extractor: DFRFeatureExtractor,
+        *,
+        trainer_config: Optional[TrainerConfig] = None,
+        population: Optional[int] = None,
+        retire_tol: Optional[float] = None,
+        retire_patience: int = 2,
+        retire_diverged_epochs: Optional[int] = None,
+        **kwargs,
+    ):
+        super().__init__(extractor, **kwargs)
+        if trainer_config is None:
+            trainer_config = TrainerConfig(batch_size=8)
+        if self.backend is not None and trainer_config.backend is None:
+            trainer_config = replace(trainer_config, backend=self.backend)
+        self.trainer_config = trainer_config
+        self.population = population
+        self.retire_tol = retire_tol
+        self.retire_patience = retire_patience
+        self.retire_diverged_epochs = retire_diverged_epochs
+
+    def descend(self, u_train, y_train, *, population: Optional[int] = None,
+                n_classes: Optional[int] = None) -> PopulationResult:
+        """Run only the fused descent phase (no endpoint scoring).
+
+        Returns the merged :class:`~repro.core.population.PopulationResult`
+        over all chunks; members keep their population-wide indices.
+        """
+        if self.extractor.reservoir is None:
+            raise RuntimeError("extractor must be fitted before descent")
+        if n_classes is None:
+            n_classes = int(np.asarray(y_train).max()) + 1
+        k = resolve_population(
+            population if population is not None else self.population)
+        a0, b0 = draw_starting_points(
+            self._rng, k, self.a_range, self.b_range,
+            init_A=self.trainer_config.init_A,
+            init_B=self.trainer_config.init_B,
+        )
+        shuffle_seed = int(self._rng.integers(2**31 - 1))
+        u_std = self.extractor.standardizer.transform(u_train)
+        return chunked_population_fit(
+            self.extractor.reservoir,
+            n_classes,
+            u_std,
+            y_train,
+            a0,
+            b0,
+            dprr=self.extractor.dprr,
+            config=self.trainer_config,
+            shuffle_seed=shuffle_seed,
+            block_size=resolve_candidate_block_size(self.candidate_block_size),
+            retire_tol=self.retire_tol,
+            retire_patience=self.retire_patience,
+            retire_diverged_epochs=self.retire_diverged_epochs,
+        )
+
+    def search(
+        self, u_train, y_train, u_test, y_test, *,
+        population: Optional[int] = None,
+        n_classes: Optional[int] = None,
+    ) -> DescentOutcome:
+        """Descend ``population`` restarts, then score every endpoint.
+
+        The endpoint scoring pays the identical per-candidate protocol as
+        grid/random/annealing (beta selection on a holdout, then a test
+        score), submitted through the shared executor, so a
+        :class:`DescentOutcome` is directly comparable to every other
+        :class:`SearchOutcome` of this module.
+        """
+        start = time.perf_counter()
+        y_train = np.asarray(y_train)
+        if n_classes is None:
+            n_classes = int(max(y_train.max(), np.asarray(y_test).max())) + 1
+        split_seed = int(self._rng.integers(2**31 - 1))
+        descent = self.descend(u_train, y_train, population=population,
+                               n_classes=n_classes)
+        training_seconds = descent.elapsed_seconds
+        # endpoint scoring: one submission of all K endpoints sharing ONE
+        # holdout split — the same convention as every sibling search (one
+        # fixed split per grid level / random budget) — so members are
+        # ranked by endpoint quality, not split luck, and the records are
+        # identical under any executor
+        context = self._make_context(u_train, y_train, u_test, y_test,
+                                     n_classes)
+        candidates = [
+            Candidate(index=m.index, A=m.result.A, B=m.result.B,
+                      seed=split_seed)
+            for m in descent.members
+        ]
+        report = self.executor.run(context, candidates)
+        evaluations = report.evaluations()
+        return DescentOutcome(
+            best=best_evaluation(evaluations),
+            evaluations=evaluations,
+            total_seconds=time.perf_counter() - start,
+            compute_seconds=report.compute_seconds,
+            descent=descent,
+            training_seconds=training_seconds,
         )

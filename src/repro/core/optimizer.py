@@ -9,11 +9,36 @@ Adam are provided as extensions for the ablation benches.
 Optimizers operate on *parameter dictionaries* mapping names to numpy arrays
 (scalars are 0-d arrays), so one optimizer instance can drive the whole
 parameter set while per-group learning rates stay with the caller.
+
+Stacked (population) mode
+-------------------------
+A population trainer (:mod:`repro.core.population`) descends K ``(A, B)``
+candidates concurrently, so every parameter array carries a leading
+candidate axis: ``A`` is ``(K,)``, the output weights are ``(K, N_y, N_r)``
+and so on.  The optimizers support this natively:
+
+* ``reset(n_rows=K)`` switches an optimizer into stacked mode with
+  *per-candidate* internal state (velocities, Adam moments, per-row step
+  counts);
+* ``step(..., mask=row_mask)`` (a boolean ``(K,)`` mask) updates only the
+  flagged rows — rows outside the mask keep their parameters *and* their
+  optimizer state untouched, exactly as if their member had skipped that
+  minibatch;
+* ``take_rows(rows)`` re-indexes the internal state along the candidate
+  axis when retired members are compacted out of the stack;
+* learning rates may be per-candidate ``(K,)`` vectors; they broadcast
+  against the parameter tails.
+
+Every stacked update is element-wise along the candidate axis, so row ``k``
+of a stacked optimizer is bit-identical to an independent scalar-mode
+optimizer driving that candidate alone (pinned by
+``tests/test_optimizer.py``).  :func:`clip_gradients` likewise computes
+*per-candidate* norms when told the gradients are stacked.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -38,8 +63,11 @@ class ConstantSchedule:
             raise ValueError(f"lr must be positive, got {lr}")
         self.lr = float(lr)
 
-    def lr_at(self, epoch: int) -> float:
-        """Learning rate during 1-indexed ``epoch``."""
+    def lr_at(self, epoch):
+        """Learning rate during 1-indexed ``epoch`` (scalar or array)."""
+        epoch = np.asarray(epoch)
+        if epoch.ndim:
+            return np.full(epoch.shape, self.lr)
         return self.lr
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
@@ -68,8 +96,21 @@ class StepSchedule:
         self.milestones = milestones
         self.gamma = float(gamma)
 
-    def lr_at(self, epoch: int) -> float:
-        """Learning rate during 1-indexed ``epoch``."""
+    def lr_at(self, epoch):
+        """Learning rate during 1-indexed ``epoch``.
+
+        ``epoch`` may also be an integer array of per-candidate schedule
+        positions (stacked population training); the result is then the
+        matching array of learning rates, each entry computed with exactly
+        the scalar arithmetic, so a stacked schedule lookup is bit-identical
+        to per-candidate scalar lookups.
+        """
+        epoch_arr = np.asarray(epoch)
+        if epoch_arr.ndim:
+            if np.any(epoch_arr < 1):
+                raise ValueError(f"epochs are 1-indexed, got {epoch_arr}")
+            return np.array([self.lr_at(int(e)) for e in epoch_arr.ravel()]
+                            ).reshape(epoch_arr.shape)
         if epoch < 1:
             raise ValueError(f"epoch is 1-indexed, got {epoch}")
         n_decays = sum(1 for m in self.milestones if epoch >= m)
@@ -92,37 +133,119 @@ def paper_output_schedule(initial_lr: float = 1.0) -> StepSchedule:
     return StepSchedule(initial_lr, milestones=(10, 15, 20), gamma=0.1)
 
 
-def clip_gradients(grads: Dict[str, np.ndarray], max_norm: float) -> float:
-    """Scale all gradients in place so their global L2 norm is <= max_norm.
+def clip_gradients(grads: Dict[str, np.ndarray], max_norm: float,
+                   *, stacked: bool = False):
+    """Scale all gradients in place so their L2 norm is <= max_norm.
 
     Returns the pre-clipping norm.  A ``max_norm`` of ``None`` or ``inf``
     disables clipping.  The paper does not describe its numerical guards;
     clipping is this implementation's (documented) stabilizer for the
     learning-rate-1 regime.
+
+    With ``stacked=True`` every gradient carries a leading candidate axis
+    (``(K,)`` scalars, ``(K, N_y, N_r)`` weight stacks, ...) and the norm is
+    computed — and the clip applied — *per candidate*: the return value is
+    the ``(K,)`` vector of pre-clipping norms, and each row is scaled by its
+    own factor, so row ``k`` is bit-identical to a scalar-mode call on that
+    candidate's gradients alone.
     """
-    total = float(np.sqrt(sum(float(np.sum(g**2)) for g in grads.values())))
+    if not stacked:
+        total = float(np.sqrt(sum(float(np.sum(g**2)) for g in grads.values())))
+        if max_norm is None or not np.isfinite(max_norm):
+            return total
+        if max_norm <= 0:
+            raise ValueError(f"max_norm must be positive, got {max_norm}")
+        if total > max_norm and total > 0:
+            scale = max_norm / total
+            for g in grads.values():
+                g *= scale
+        return total
+
+    # per-candidate norms: reduce each gradient over its row tail (the
+    # reshape keeps the reduction a contiguous last-axis sum, matching the
+    # flattened full-array sum the scalar path performs per candidate)
+    sq = None
+    for g in grads.values():
+        arr = np.asarray(g)
+        if arr.ndim == 0:
+            raise ValueError(
+                "stacked=True needs gradients with a leading candidate axis"
+            )
+        contrib = np.sum((arr**2).reshape(arr.shape[0], -1), axis=-1)
+        sq = contrib if sq is None else sq + contrib
+    total = np.sqrt(sq)
     if max_norm is None or not np.isfinite(max_norm):
         return total
     if max_norm <= 0:
         raise ValueError(f"max_norm must be positive, got {max_norm}")
-    if total > max_norm and total > 0:
-        scale = max_norm / total
+    need = (total > max_norm) & (total > 0)
+    if need.any():
+        scale = np.ones_like(total)
+        scale[need] = max_norm / total[need]
         for g in grads.values():
-            g *= scale
+            # rows not clipped multiply by exactly 1.0 (bitwise identity)
+            g *= scale.reshape(scale.shape + (1,) * (g.ndim - 1))
     return total
+
+
+def _rowwise(lr, ndim: int):
+    """Reshape a per-candidate ``(K,)`` learning rate to broadcast over a
+    ``(K, ...)`` parameter tail; scalars pass through untouched."""
+    arr = np.asarray(lr)
+    if arr.ndim == 0:
+        return lr
+    return arr.reshape(arr.shape + (1,) * (ndim - arr.ndim))
+
+
+def _check_mask(mask, stacked: bool):
+    """Validate a row mask: stacked mode only, boolean dtype only.
+
+    A mask in scalar mode would boolean-index the *first parameter axis*
+    (e.g. the readout's class rows) instead of a candidate axis, and an
+    integer index array would silently corrupt Adam's per-row step counts
+    (``t += mask`` adds the index *values*) — both are silent misupdates,
+    so they fail loudly for every optimizer.
+    """
+    if mask is None:
+        return None
+    if not stacked:
+        raise ValueError("mask requires stacked mode (reset(n_rows=K))")
+    mask = np.asarray(mask)
+    if mask.dtype != np.bool_:
+        raise ValueError(
+            f"mask must be a boolean row mask, got dtype {mask.dtype}"
+        )
+    return mask
 
 
 class SGD:
     """Plain stochastic gradient descent (the paper's optimizer)."""
 
-    def step(self, params: Dict[str, np.ndarray], grads: Dict[str, np.ndarray],
-             lrs: Dict[str, float]) -> None:
-        """In-place update ``p -= lr * g`` for every parameter."""
-        for name, p in params.items():
-            p -= lrs[name] * grads[name]
+    def __init__(self):
+        self._stacked = False
 
-    def reset(self) -> None:
-        """No internal state."""
+    def step(self, params: Dict[str, np.ndarray], grads: Dict[str, np.ndarray],
+             lrs: Dict[str, float], mask: Optional[np.ndarray] = None) -> None:
+        """In-place update ``p -= lr * g`` for every parameter.
+
+        ``mask`` (stacked mode only, boolean) restricts the update to the
+        flagged candidate rows; other rows are untouched.
+        """
+        mask = _check_mask(mask, self._stacked)
+        for name, p in params.items():
+            lr = _rowwise(lrs[name], p.ndim)
+            if mask is None:
+                p -= lr * grads[name]
+            else:
+                upd = lr * grads[name]
+                p[mask] = p[mask] - upd[mask]
+
+    def reset(self, n_rows: Optional[int] = None) -> None:
+        """No internal state; ``n_rows`` only arms stacked-mode masking."""
+        self._stacked = n_rows is not None
+
+    def take_rows(self, rows: np.ndarray) -> None:
+        """No internal state to re-index."""
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return "SGD()"
@@ -136,25 +259,45 @@ class MomentumSGD:
             raise ValueError(f"momentum must lie in [0, 1), got {momentum}")
         self.momentum = float(momentum)
         self._velocity: Dict[str, np.ndarray] = {}
+        self._stacked = False
 
-    def step(self, params, grads, lrs) -> None:
+    def step(self, params, grads, lrs, mask=None) -> None:
+        mask = _check_mask(mask, self._stacked)
         for name, p in params.items():
             v = self._velocity.get(name)
             if v is None:
                 v = np.zeros_like(p)
-            v = self.momentum * v - lrs[name] * grads[name]
-            self._velocity[name] = v
-            p += v
+            lr = _rowwise(lrs[name], p.ndim)
+            v_new = self.momentum * v - lr * grads[name]
+            if mask is None:
+                self._velocity[name] = v_new
+                p += v_new
+            else:
+                v[mask] = v_new[mask]
+                self._velocity[name] = v
+                p[mask] = p[mask] + v_new[mask]
 
-    def reset(self) -> None:
+    def reset(self, n_rows: Optional[int] = None) -> None:
         self._velocity.clear()
+        self._stacked = n_rows is not None
+
+    def take_rows(self, rows: np.ndarray) -> None:
+        """Compact the per-candidate velocities to the kept ``rows``."""
+        for name in self._velocity:
+            self._velocity[name] = self._velocity[name][rows]
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"MomentumSGD(momentum={self.momentum})"
 
 
 class Adam:
-    """Adam optimizer (extension; not used by the paper)."""
+    """Adam optimizer (extension; not used by the paper).
+
+    ``reset(n_rows=K)`` switches to stacked mode: the step count ``t`` (and
+    with it the bias correction) is tracked *per candidate row*, so a row
+    that skips a minibatch (mask) or joins the stack late stays bit-identical
+    to an independent scalar-mode Adam driving that candidate alone.
+    """
 
     def __init__(self, beta1: float = 0.9, beta2: float = 0.999, eps: float = 1e-8):
         if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
@@ -166,8 +309,24 @@ class Adam:
         self._v: Dict[str, np.ndarray] = {}
         self._t = 0
 
-    def step(self, params, grads, lrs) -> None:
-        self._t += 1
+    def step(self, params, grads, lrs, mask=None) -> None:
+        stacked = isinstance(self._t, np.ndarray)
+        mask = _check_mask(mask, stacked)
+        if not stacked:
+            self._t += 1
+            corr1 = 1 - self.beta1**self._t
+            corr2 = 1 - self.beta2**self._t
+        else:
+            t_new = self._t + (1 if mask is None else
+                               mask.astype(np.int64))
+            # python-float pow per row keeps the bias correction bitwise
+            # identical to a scalar-mode Adam at the same step count (rows
+            # outside the mask get a placeholder — their values are never
+            # written back)
+            corr1 = np.array([1 - self.beta1 ** int(t) if t > 0 else 1.0
+                              for t in t_new])
+            corr2 = np.array([1 - self.beta2 ** int(t) if t > 0 else 1.0
+                              for t in t_new])
         for name, p in params.items():
             g = grads[name]
             m = self._m.get(name)
@@ -175,18 +334,36 @@ class Adam:
             if m is None:
                 m = np.zeros_like(p)
                 v = np.zeros_like(p)
-            m = self.beta1 * m + (1 - self.beta1) * g
-            v = self.beta2 * v + (1 - self.beta2) * g**2
-            self._m[name] = m
-            self._v[name] = v
-            m_hat = m / (1 - self.beta1**self._t)
-            v_hat = v / (1 - self.beta2**self._t)
-            p -= lrs[name] * m_hat / (np.sqrt(v_hat) + self.eps)
+            m_new = self.beta1 * m + (1 - self.beta1) * g
+            v_new = self.beta2 * v + (1 - self.beta2) * g**2
+            m_hat = m_new / _rowwise(corr1, p.ndim)
+            v_hat = v_new / _rowwise(corr2, p.ndim)
+            upd = _rowwise(lrs[name], p.ndim) * m_hat / (np.sqrt(v_hat) + self.eps)
+            if mask is None:
+                self._m[name] = m_new
+                self._v[name] = v_new
+                p -= upd
+            else:
+                m[mask] = m_new[mask]
+                v[mask] = v_new[mask]
+                self._m[name] = m
+                self._v[name] = v
+                p[mask] = p[mask] - upd[mask]
+        if stacked:
+            self._t = t_new if mask is None else np.where(mask, t_new, self._t)
 
-    def reset(self) -> None:
+    def reset(self, n_rows: Optional[int] = None) -> None:
         self._m.clear()
         self._v.clear()
-        self._t = 0
+        self._t = 0 if n_rows is None else np.zeros(int(n_rows), dtype=np.int64)
+
+    def take_rows(self, rows: np.ndarray) -> None:
+        """Compact the per-candidate moments and step counts to ``rows``."""
+        for state in (self._m, self._v):
+            for name in state:
+                state[name] = state[name][rows]
+        if isinstance(self._t, np.ndarray):
+            self._t = self._t[rows]
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"Adam(beta1={self.beta1}, beta2={self.beta2}, eps={self.eps})"

@@ -27,6 +27,13 @@ from typing import List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.backend import default_backend, resolve_backend
+from repro.core.population import (
+    PopulationResult,
+    PopulationTrainer,
+    chunked_population_fit,
+    draw_starting_points,
+    resolve_population,
+)
 from repro.core.trainer import BackpropTrainer, TrainerConfig, TrainingResult
 from repro.data.preprocessing import ChannelStandardizer
 from repro.readout.metrics import accuracy_score
@@ -491,6 +498,20 @@ class DFRClassifier:
         Holdout fraction for ``beta`` selection.
     mask_kind, mask_gamma:
         Input mask family and scale.
+    search:
+        Parameter-optimization strategy for the backprop phase:
+        ``"backprop"`` (default) is the paper's single gradient run from
+        ``(0.01, 0.01)``; ``"descent"`` runs *population* gradient descent
+        — ``population`` restarts descended concurrently through the
+        candidate-axis-vectorized engine
+        (:class:`~repro.core.population.PopulationTrainer`), with the
+        winner picked by the shared validation criterion on the training
+        set.  ``search="descent"`` with ``population=1`` is bit-identical
+        to the default (pinned by tests).
+    population:
+        Restart count for ``search="descent"``; ``None`` defers to the
+        ``REPRO_POPULATION`` environment variable (default 8).  Ignored by
+        ``search="backprop"``.
     workers:
         Worker-process count for candidate evaluation through the shared
         execution layer (:meth:`candidate_executor`,
@@ -528,11 +549,19 @@ class DFRClassifier:
         normalize: Optional[str] = None,
         mask_kind: str = "binary",
         mask_gamma: float = 1.0,
+        search: str = "backprop",
+        population: Optional[int] = None,
         workers: Optional[int] = None,
         backend: Optional[str] = None,
         seed: SeedLike = None,
     ):
+        if search not in ("backprop", "descent"):
+            raise ValueError(
+                f"search must be 'backprop' or 'descent', got {search!r}"
+            )
         self._rng = ensure_rng(seed)
+        self.search = search
+        self.population = population
         self.workers = workers
         self.backend = backend
         self._executor = None
@@ -561,6 +590,7 @@ class DFRClassifier:
         self.training_: Optional[TrainingResult] = None
         self.selection_: Optional[RidgeSelection] = None
         self.n_classes_: Optional[int] = None
+        self.population_: Optional[PopulationResult] = None
 
     def fit(self, u: np.ndarray, y: np.ndarray) -> "DFRClassifier":
         """Run the full two-phase optimization on a training set."""
@@ -570,14 +600,66 @@ class DFRClassifier:
         self.extractor.fit(u)
         u_std = self.extractor.standardizer.transform(u)
 
-        trainer = BackpropTrainer(
-            self.extractor.reservoir,
-            self.n_classes_,
-            dprr=self.extractor.dprr,
-            config=self.config,
-            seed=self._rng,
-        )
-        self.training_ = trainer.fit(u_std, y)
+        if self.search == "descent":
+            # population gradient descent: K restarts trained as one fused
+            # candidate-stacked program; member 0 starts at the paper's
+            # initialization, so population=1 reproduces the default path
+            # bit for bit (the winner is then the only member and the
+            # shared tail below is identical)
+            from repro.core.grid_search import PAPER_A_RANGE, PAPER_B_RANGE
+
+            from repro.exec import resolve_candidate_block_size
+
+            k = resolve_population(self.population)
+            a0, b0 = draw_starting_points(
+                self._rng, k, PAPER_A_RANGE, PAPER_B_RANGE,
+                init_A=self.config.init_A, init_B=self.config.init_B,
+            )
+            if k > 1:
+                # chunked by the candidate block size so the stacked trace
+                # stays bounded at any population; the chunk-invariance
+                # contract (every chunk re-seeds one shuffle stream, no
+                # per-sample delegation inside a slice) is owned entirely
+                # by chunked_population_fit — PopulationDescent.descend
+                # goes through the same helper.  Only the seed preamble
+                # differs between the two entry points, deliberately: at
+                # population=1 this classifier must consume the live rng
+                # stream exactly like the default path (the bitwise pin
+                # below), so the drawn shuffle seed exists only here.
+                shuffle_seed = int(self._rng.integers(2**31 - 1))
+                self.population_ = chunked_population_fit(
+                    self.extractor.reservoir,
+                    self.n_classes_,
+                    u_std,
+                    y,
+                    a0,
+                    b0,
+                    dprr=self.extractor.dprr,
+                    config=self.config,
+                    shuffle_seed=shuffle_seed,
+                    block_size=resolve_candidate_block_size(None),
+                )
+                return self._select_member(u, y)
+            # a population of one trains directly on the live rng stream,
+            # which is what keeps it bit-identical to the default path
+            trainer = PopulationTrainer(
+                self.extractor.reservoir,
+                self.n_classes_,
+                dprr=self.extractor.dprr,
+                config=self.config,
+                seed=self._rng,
+            )
+            self.population_ = trainer.fit(u_std, y, a0, b0)
+            self.training_ = self.population_.members[0].result
+        else:
+            trainer = BackpropTrainer(
+                self.extractor.reservoir,
+                self.n_classes_,
+                dprr=self.extractor.dprr,
+                config=self.config,
+                seed=self._rng,
+            )
+            self.training_ = trainer.fit(u_std, y)
         self.A_ = self.training_.A
         self.B_ = self.training_.B
 
@@ -597,6 +679,72 @@ class DFRClassifier:
         )
         self.beta_ = self.selection_.best_beta
         self.ridge_ = self.selection_.best_model
+        return self
+
+    def _select_member(self, u: np.ndarray, y: np.ndarray) -> "DFRClassifier":
+        """Pick the best population member by the shared validation rule.
+
+        Every member's descent endpoint is scored on the *training* data
+        only — fused feature sweeps over the population (chunked by the
+        ``REPRO_CANDIDATE_BLOCK_SIZE`` block size so the stacked trace
+        stays bounded at any population, like every other fused stage),
+        then the usual ridge/beta selection per member on a shared holdout
+        split (highest validation accuracy, cross-entropy then smallest
+        ``(A, B)`` as tiebreaks — the same criterion every search uses).
+        The test set plays no role, exactly as in the default path.
+        """
+        # selection.py imports this module, so the shared rule is pulled in
+        # lazily here
+        from repro.core.selection import better_evaluation
+        from repro.exec import resolve_candidate_block_size
+
+        results = self.population_.results()
+        a_vec = np.array([r.A for r in results])
+        b_vec = np.array([r.B for r in results])
+        block = resolve_candidate_block_size(None)
+        split_seed = int(self._rng.integers(2**31 - 1))
+        best = None
+        for lo in range(0, len(results), block):
+            hi = min(lo + block, len(results))
+            features, diverged = self.extractor.features(
+                u, a_vec[lo:hi], b_vec[lo:hi])
+            for pos, k in enumerate(range(lo, hi)):
+                if diverged[pos].any():
+                    continue
+                result = results[k]
+                selection = select_beta(
+                    features[pos], y,
+                    betas=self.betas,
+                    val_fraction=self.val_fraction,
+                    n_classes=self.n_classes_,
+                    seed=split_seed,
+                )
+                # rank through the shared selection rule (the test accuracy
+                # is deliberately absent here — the rule never consults it)
+                record = FixedParamsEvaluation(
+                    A=result.A,
+                    B=result.B,
+                    beta=selection.best_beta,
+                    val_loss=selection.best_val_loss,
+                    val_accuracy=selection.val_accuracies[selection.best_beta],
+                    test_accuracy=float("nan"),
+                    diverged=False,
+                )
+                if best is None or better_evaluation(record, best[0]):
+                    best = (record, k, selection)
+        if best is None:
+            raise RuntimeError(
+                "every population member diverged at its trained parameters; "
+                "this indicates an unstable configuration (check "
+                "TrainerConfig.param_max)"
+            )
+        _, winner, selection = best
+        self.training_ = results[winner]
+        self.A_ = self.training_.A
+        self.B_ = self.training_.B
+        self.selection_ = selection
+        self.beta_ = selection.best_beta
+        self.ridge_ = selection.best_model
         return self
 
     def candidate_executor(self):

@@ -1,0 +1,677 @@
+"""Population gradient descent: K restarts of the paper's BP+GD, fused.
+
+The paper's headline result is that backpropagation + gradient descent
+(Sec. 4) finds good DFR parameters far faster than grid search — but a
+gradient run is only as good as its starting point, so in practice one runs
+many restarts.  Run sequentially, K restarts cost K full
+:meth:`~repro.core.trainer.BackpropTrainer.fit` loops.  This module descends
+all K starting points *concurrently* instead: the candidate-axis-vectorized
+engine (PR 4) already sweeps K ``(A, B)`` points through one fused
+``(K, N, ...)`` forward/backward, so a population of restarts becomes one
+device-sized array program per minibatch — per-candidate optimizer state
+(:mod:`repro.core.optimizer` stacked mode), per-candidate learning
+trajectories, one shared data pass.
+
+Numerical contract (pinned by ``tests/test_population.py``):
+
+* a population of one with ``batch_size=1`` *is* the paper's per-sample SGD
+  — :class:`PopulationTrainer` delegates to
+  :class:`~repro.core.trainer.BackpropTrainer` outright, so the pinned
+  NumPy reference trajectory is reproduced bit for bit;
+* with ``batch_size > 1``, member ``k`` of a fused K-member run is
+  bit-identical (on NumPy) to a sequential ``BackpropTrainer.fit`` started
+  from that member's ``(A, B)`` with the same seed — including optimizer
+  moments, learning-rate schedule state, divergence pull-backs, and the
+  gradient-clip arithmetic.  All members share one shuffle stream (common
+  random numbers): every member sees the same sample order each epoch,
+  which is what lets the forward/backward fuse, and is the usual
+  variance-reduction choice when comparing restarts.
+
+Row-wise retirement: members whose ``(A, B)`` stopped moving (or that
+diverge on every sample, epoch after epoch) can drop out of the active
+stack, so the fused sweep *shrinks* as the population settles.  Retirement
+is off by default (keeping the bit-parity contract above unconditional);
+the rule is a pure function of a member's own trajectory, so a fused run
+with retirement matches per-member runs applying the same rule.
+
+``REPRO_POPULATION`` resolves the population size for entry points that do
+not receive an explicit one (``DFRClassifier(search="descent")``,
+``repro-bench table1 --search descent``), mirroring ``REPRO_WORKERS`` /
+``REPRO_CANDIDATE_BLOCK_SIZE``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.backprop import BackpropEngine
+from repro.core.optimizer import StepSchedule, clip_gradients, get_optimizer
+from repro.core.trainer import (
+    BackpropTrainer,
+    EpochStats,
+    TrainerConfig,
+    TrainingResult,
+)
+from repro.readout.softmax import SoftmaxReadout, one_hot
+from repro.representation.dprr import DPRR
+from repro.reservoir.modular import ModularDFR
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import as_batch, ensure_1d_labels
+
+__all__ = [
+    "POPULATION_ENV_VAR",
+    "DEFAULT_POPULATION",
+    "resolve_population",
+    "draw_starting_points",
+    "chunked_population_fit",
+    "MemberResult",
+    "PopulationResult",
+    "PopulationTrainer",
+]
+
+#: environment variable consulted when no explicit population size is given
+POPULATION_ENV_VAR = "REPRO_POPULATION"
+
+#: default restart count for descent-based search entry points: enough
+#: starts to cover the paper's multi-modal (A, B) landscape, small enough
+#: that the fused stack stays comfortably in memory
+DEFAULT_POPULATION = 8
+
+
+def resolve_population(population: Optional[int] = None,
+                       default: int = DEFAULT_POPULATION) -> int:
+    """Resolve an effective population size (>= 1).
+
+    Explicit ``population`` wins; ``None`` consults ``REPRO_POPULATION``;
+    absent/invalid both, ``default`` applies.  Env values are best-effort
+    fleet-wide hints (invalid ones fall back to the default rather than
+    raising in every entry point); explicit values below 1 raise.
+    """
+    if population is None:
+        raw = os.environ.get(POPULATION_ENV_VAR, "").strip()
+        try:
+            population = int(raw) if raw else default
+        except ValueError:
+            population = default
+        return population if population >= 1 else default
+    population = int(population)
+    if population < 1:
+        raise ValueError(f"population must be >= 1, got {population}")
+    return population
+
+
+def draw_starting_points(
+    rng: np.random.Generator,
+    population: int,
+    a_range: Tuple[float, float],
+    b_range: Tuple[float, float],
+    *,
+    init_A: float,
+    init_B: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Starting ``(A, B)`` points for a population of descent restarts.
+
+    Member 0 always starts at ``(init_A, init_B)`` — the paper's
+    initialization — so a population of one reproduces the paper's protocol
+    without consuming any randomness; members 1..K-1 are drawn log-uniform
+    over the given log10 box (the same distribution
+    :class:`~repro.core.hyperopt.RandomSearch` samples).
+    """
+    if population < 1:
+        raise ValueError(f"population must be >= 1, got {population}")
+    a0 = np.empty(population)
+    b0 = np.empty(population)
+    a0[0] = float(init_A)
+    b0[0] = float(init_B)
+    for i in range(1, population):
+        a0[i] = 10.0 ** rng.uniform(*a_range)
+        b0[i] = 10.0 ** rng.uniform(*b_range)
+    return a0, b0
+
+
+def chunked_population_fit(
+    reservoir: ModularDFR,
+    n_classes: int,
+    u: np.ndarray,
+    y: np.ndarray,
+    a0: np.ndarray,
+    b0: np.ndarray,
+    *,
+    dprr: Optional[DPRR] = None,
+    config: Optional[TrainerConfig] = None,
+    shuffle_seed: int,
+    block_size: int,
+    retire_tol: Optional[float] = None,
+    retire_patience: int = 2,
+    retire_diverged_epochs: Optional[int] = None,
+) -> "PopulationResult":
+    """Train ONE logical population in fused chunks of ``block_size``.
+
+    Bounds the stacked-trace memory at any population size: each chunk is a
+    separate :meth:`PopulationTrainer.fit` over at most ``block_size``
+    members.  Every chunk re-seeds the same shuffle stream
+    (``shuffle_seed``), so all members see identical sample orders and the
+    outcome does not depend on how the population was chunked (pinned by
+    ``tests/test_population.py``).  Because a chunk is a *slice* of one
+    population, single-member per-sample delegation applies only when the
+    whole population is one member — otherwise a trailing chunk of one
+    would train through different arithmetic than the same member in a
+    wider chunk.
+
+    Returns the merged :class:`PopulationResult`; members keep their
+    population-wide indices, and chunk widths sum in ``active_per_epoch``.
+    """
+    if block_size < 1:
+        raise ValueError(f"block_size must be >= 1, got {block_size}")
+    k = len(a0)
+    members: List[MemberResult] = []
+    active_per_epoch: List[int] = []
+    elapsed = 0.0
+    for lo in range(0, k, block_size):
+        hi = min(lo + block_size, k)
+        trainer = PopulationTrainer(
+            reservoir, n_classes, dprr=dprr, config=config,
+            retire_tol=retire_tol, retire_patience=retire_patience,
+            retire_diverged_epochs=retire_diverged_epochs,
+            delegate_single=(k == 1),
+            seed=shuffle_seed,
+        )
+        chunk = trainer.fit(u, y, a0[lo:hi], b0[lo:hi])
+        for offset, member in enumerate(chunk.members):
+            member.index = lo + offset
+            members.append(member)
+        for epoch, width in enumerate(chunk.active_per_epoch):
+            if epoch < len(active_per_epoch):
+                active_per_epoch[epoch] += width
+            else:
+                active_per_epoch.append(width)
+        elapsed += chunk.elapsed_seconds
+    return PopulationResult(
+        members=members,
+        active_per_epoch=active_per_epoch,
+        elapsed_seconds=elapsed,
+    )
+
+
+@dataclass
+class MemberResult:
+    """One population member's training outcome."""
+
+    index: int
+    init_A: float
+    init_B: float
+    result: TrainingResult
+    #: last epoch this member trained (None: ran the full epoch budget)
+    retired_epoch: Optional[int] = None
+    #: why it left the stack early ("converged" or "diverged")
+    retired_reason: Optional[str] = None
+
+
+@dataclass
+class PopulationResult:
+    """Outcome of one fused population-descent run."""
+
+    members: List[MemberResult] = field(default_factory=list)
+    #: width of the fused stack at each epoch (telemetry: shows the sweep
+    #: shrinking as members retire)
+    active_per_epoch: List[int] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def population(self) -> int:
+        return len(self.members)
+
+    @property
+    def n_retired(self) -> int:
+        return sum(1 for m in self.members if m.retired_epoch is not None)
+
+    def results(self) -> List[TrainingResult]:
+        """Per-member :class:`~repro.core.trainer.TrainingResult`, in order."""
+        return [m.result for m in self.members]
+
+
+class PopulationTrainer:
+    """Descend K ``(A, B)`` starting points through one fused program.
+
+    The constructor mirrors :class:`~repro.core.trainer.BackpropTrainer`
+    (same reservoir / DPRR / :class:`~repro.core.trainer.TrainerConfig`
+    contract — inputs must be standardized by the caller); :meth:`fit` takes
+    per-member initial parameters and trains the whole population through
+    the candidate-stacked engine, one fused forward/backward per minibatch.
+
+    Parameters
+    ----------
+    reservoir, n_classes, dprr, config, seed:
+        As for :class:`~repro.core.trainer.BackpropTrainer`.  ``seed``
+        drives the *shared* shuffle stream (all members see the same sample
+        order; see the module docstring).
+    retire_tol:
+        Convergence retirement: a member whose ``(A, B)`` moved at most
+        this much (L-inf, over a whole epoch) for ``retire_patience``
+        consecutive epochs leaves the active stack.  ``None`` (default)
+        disables convergence retirement.
+    retire_patience:
+        Consecutive quiet epochs required before a member retires.
+    retire_diverged_epochs:
+        Divergence retirement: a member whose *every* sample diverged for
+        this many consecutive epochs (it is being pulled back each time and
+        still cannot complete a step) retires instead of burning fused
+        compute forever.  ``None`` (default) disables it.
+    delegate_single:
+        Whether a population of one at ``batch_size=1`` delegates to the
+        per-sample :class:`~repro.core.trainer.BackpropTrainer` reference
+        (the default, and the ``population=1`` bit-parity contract).  A
+        caller that splits ONE logical population across several ``fit``
+        calls (:meth:`PopulationDescent.descend` chunking) passes ``False``
+        so a trailing chunk of one trains through the same fused arithmetic
+        as every other chunk — otherwise chunking could change a member's
+        trajectory.
+    """
+
+    def __init__(
+        self,
+        reservoir: ModularDFR,
+        n_classes: int,
+        *,
+        dprr: Optional[DPRR] = None,
+        config: Optional[TrainerConfig] = None,
+        retire_tol: Optional[float] = None,
+        retire_patience: int = 2,
+        retire_diverged_epochs: Optional[int] = None,
+        delegate_single: bool = True,
+        seed: SeedLike = None,
+    ):
+        if retire_tol is not None and retire_tol < 0:
+            raise ValueError(f"retire_tol must be >= 0, got {retire_tol}")
+        if retire_patience < 1:
+            raise ValueError(
+                f"retire_patience must be >= 1, got {retire_patience}"
+            )
+        if retire_diverged_epochs is not None and retire_diverged_epochs < 1:
+            raise ValueError(
+                f"retire_diverged_epochs must be None or >= 1, "
+                f"got {retire_diverged_epochs}"
+            )
+        self.reservoir = reservoir
+        self.n_classes = int(n_classes)
+        self.dprr = dprr if dprr is not None else DPRR()
+        self.config = config if config is not None else TrainerConfig()
+        self.retire_tol = retire_tol
+        self.retire_patience = int(retire_patience)
+        self.retire_diverged_epochs = retire_diverged_epochs
+        self.delegate_single = bool(delegate_single)
+        self.rng = ensure_rng(seed)
+        self.engine = BackpropEngine(
+            reservoir.nonlinearity, dprr=self.dprr, window=self.config.window,
+            backend=self.config.backend,
+        )
+        self.backend = self.engine.backend
+
+    # ------------------------------------------------------------------ #
+    # fused helpers (stacked twins of BackpropTrainer's private methods)  #
+    # ------------------------------------------------------------------ #
+
+    def _pull_back_row(self, params: Dict[str, np.ndarray], row: int,
+                       count: int) -> None:
+        """Row-wise twin of ``BackpropTrainer._pull_back``.
+
+        Operates on a length-1 view so the in-place multiply and clip use
+        the exact array arithmetic of the scalar trainer.
+        """
+        shrink = self.config.divergence_shrink ** count
+        for name in ("A", "B"):
+            view = params[name][row:row + 1]
+            view *= shrink
+            np.clip(view, self.config.param_min, self.config.param_max,
+                    out=view)
+
+    def _apply_update_stacked(self, params, grads, optimizer, lr_r, lr_o,
+                              mask: Optional[np.ndarray]) -> None:
+        """Stacked twin of ``BackpropTrainer._apply_update``.
+
+        Per-candidate clip norms, one stacked optimizer step (rows outside
+        ``mask`` — members whose whole minibatch diverged — are untouched,
+        exactly as the sequential loop's ``continue``), then the parameter
+        box clamp.  ``lr_r``/``lr_o`` are per-candidate ``(K,)`` learning
+        rate vectors from the vectorized schedule lookup; the optimizers
+        broadcast them over each parameter's row tail.  Row ``k`` is
+        bit-identical to the scalar `_apply_update` on that member's
+        gradients.
+        """
+        cfg = self.config
+        clip_gradients(grads, cfg.grad_clip, stacked=True)
+        if cfg.reservoir_grad_clip is not None:
+            np.clip(grads["A"], -cfg.reservoir_grad_clip,
+                    cfg.reservoir_grad_clip, out=grads["A"])
+            np.clip(grads["B"], -cfg.reservoir_grad_clip,
+                    cfg.reservoir_grad_clip, out=grads["B"])
+        optimizer.step(
+            params, grads, {"A": lr_r, "B": lr_r, "W": lr_o, "b": lr_o},
+            mask=mask,
+        )
+        np.clip(params["A"], cfg.param_min, cfg.param_max, out=params["A"])
+        np.clip(params["B"], cfg.param_min, cfg.param_max, out=params["B"])
+
+    def _fused_epoch(self, u, y, targets, order, params, readout_geom,
+                     optimizer, backward_window, t_len, lr_r, lr_o):
+        """One epoch of minibatch SGD for the whole active stack.
+
+        The stacked twin of ``BackpropTrainer._epoch_batched``: every
+        minibatch runs ONE vector-``(A, B)`` forward and one candidate-
+        stacked backward for all active members.  Members with diverged
+        samples in the minibatch leave the fused call and are handled
+        through the per-member path of the sequential trainer (same
+        pull-back, same valid-row sub-batch), slicing the already-computed
+        stacked trace — the stacked forward rows are bit-identical to
+        scalar runs, so the fallback reproduces the sequential arithmetic
+        exactly.
+        """
+        cfg = self.config
+        xb = self.backend
+        k_active = params["A"].shape[0]
+        batch_size = cfg.batch_size
+        losses: List[List[float]] = [[] for _ in range(k_active)]
+        n_correct = np.zeros(k_active, dtype=np.int64)
+        n_skipped = np.zeros(k_active, dtype=np.int64)
+        for start in range(0, order.shape[0], batch_size):
+            sel = order[start: start + batch_size]
+            a_snap = params["A"].copy()
+            b_snap = params["B"].copy()
+            trace = self.reservoir.run(u[sel], a_snap, b_snap, backend=xb)
+            div = np.asarray(trace.diverged)          # (K, n) — always NumPy
+            n_div = div.sum(axis=1)
+            win = trace.final_window(backward_window, copy=False)
+            grads = {
+                "A": np.zeros(k_active),
+                "B": np.zeros(k_active),
+                "W": np.zeros_like(params["W"]),
+                "b": np.zeros_like(params["b"]),
+            }
+            step_mask = np.ones(k_active, dtype=bool)
+            clean = np.flatnonzero(n_div == 0)
+            if clean.size:
+                if clean.size == k_active:
+                    window_states = win.window_states
+                    window_pre = win.window_pre_activations
+                    feats = self.dprr.features(trace, backend=xb)
+                else:
+                    window_states = xb.take(win.window_states, clean, axis=0)
+                    window_pre = xb.take(win.window_pre_activations, clean,
+                                         axis=0)
+                    feats = self.dprr.features(
+                        xb.take(trace.states, clean, axis=0), backend=xb
+                    )
+                out = self.engine.batch_gradients(
+                    window_states, window_pre, feats, readout_geom,
+                    targets[sel], a_snap[clean], b_snap[clean],
+                    n_steps=t_len,
+                    weights=params["W"][clean], bias=params["b"][clean],
+                )
+                grads["A"][clean] = out.d_A.mean(axis=-1)
+                grads["B"][clean] = out.d_B.mean(axis=-1)
+                grads["W"][clean] = out.d_weights
+                grads["b"][clean] = out.d_bias
+                pred = out.probs.argmax(axis=-1)       # (K_clean, n)
+                for pos, k in enumerate(clean):
+                    losses[k].extend(out.losses[pos].tolist())
+                    n_correct[k] += int(np.count_nonzero(pred[pos] == y[sel]))
+            for k in np.flatnonzero(n_div > 0):
+                k = int(k)
+                n_div_k = int(n_div[k])
+                n_skipped[k] += n_div_k
+                self._pull_back_row(params, k, count=n_div_k)
+                if n_div_k == sel.shape[0]:
+                    # the whole minibatch diverged for this member: no
+                    # update at all this step (the sequential loop's
+                    # ``continue``)
+                    step_mask[k] = False
+                    continue
+                valid = np.flatnonzero(~div[k])
+                kept = sel[~div[k]]
+                feats_k = self.dprr.features(
+                    xb.take(trace.states[k], valid, axis=0), backend=xb
+                )
+                out_k = self.engine.batch_gradients(
+                    xb.take(win.window_states[k], valid, axis=0),
+                    xb.take(win.window_pre_activations[k], valid, axis=0),
+                    feats_k, readout_geom, targets[kept],
+                    float(a_snap[k]), float(b_snap[k]),
+                    n_steps=t_len,
+                    weights=params["W"][k], bias=params["b"][k],
+                )
+                losses[k].extend(out_k.losses.tolist())
+                n_correct[k] += int(np.count_nonzero(
+                    out_k.probs.argmax(axis=1) == y[kept]
+                ))
+                grads["A"][k] = out_k.d_A.mean()
+                grads["B"][k] = out_k.d_B.mean()
+                grads["W"][k] = out_k.d_weights
+                grads["b"][k] = out_k.d_bias
+            self._apply_update_stacked(
+                params, grads, optimizer, lr_r, lr_o,
+                mask=None if step_mask.all() else step_mask,
+            )
+        return losses, n_correct, n_skipped
+
+    # ------------------------------------------------------------------ #
+    # the public protocol                                                 #
+    # ------------------------------------------------------------------ #
+
+    def _delegate_single(self, u, y, a0: float, b0: float,
+                         start: float) -> PopulationResult:
+        """Population of one at ``batch_size=1``: the paper's reference.
+
+        Runs :class:`~repro.core.trainer.BackpropTrainer` outright (same
+        rng object, same config with the member's initialization), so the
+        per-sample SGD trajectory is the pinned seed protocol bit for bit.
+        Retirement does not apply to the delegated reference run.
+        """
+        trainer = BackpropTrainer(
+            self.reservoir, self.n_classes, dprr=self.dprr,
+            config=replace(self.config, init_A=float(a0), init_B=float(b0)),
+            seed=self.rng,
+        )
+        result = trainer.fit(u, y)
+        return PopulationResult(
+            members=[MemberResult(index=0, init_A=float(a0),
+                                  init_B=float(b0), result=result)],
+            active_per_epoch=[1] * len(result.history),
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    def fit(self, u: np.ndarray, y: np.ndarray,
+            init_A=None, init_B=None) -> PopulationResult:
+        """Descend every member of the population on a training set.
+
+        Parameters
+        ----------
+        u:
+            Training inputs ``(N, T, C)`` (standardize beforehand, exactly
+            like :meth:`BackpropTrainer.fit`).
+        y:
+            Integer labels ``(N,)``.
+        init_A, init_B:
+            Per-member starting parameters: scalars or matching ``(K,)``
+            vectors (a scalar partner broadcasts).  ``None`` defaults to
+            the config's ``init_A``/``init_B`` — a population of one at the
+            paper's initialization.
+        """
+        start = time.perf_counter()
+        u = as_batch(u)
+        y = ensure_1d_labels(y, n_samples=u.shape[0])
+        if y.size and y.max() >= self.n_classes:
+            raise ValueError(
+                f"label {y.max()} out of range for {self.n_classes} classes"
+            )
+        cfg = self.config
+        a0 = np.atleast_1d(np.asarray(
+            cfg.init_A if init_A is None else init_A, dtype=np.float64))
+        b0 = np.atleast_1d(np.asarray(
+            cfg.init_B if init_B is None else init_B, dtype=np.float64))
+        if a0.ndim != 1 or b0.ndim != 1:
+            raise ValueError(
+                f"init_A and init_B must be scalars or 1-D member vectors, "
+                f"got shapes {a0.shape} and {b0.shape}"
+            )
+        try:
+            a0, b0 = (np.ascontiguousarray(x)
+                      for x in np.broadcast_arrays(a0, b0))
+        except ValueError:
+            raise ValueError(
+                f"init_A and init_B must have matching lengths, got "
+                f"{a0.shape[0]} and {b0.shape[0]}"
+            ) from None
+        if not (np.isfinite(a0).all() and np.isfinite(b0).all()):
+            raise ValueError("all initial (A, B) members must be finite")
+        k_total = a0.shape[0]
+
+        if k_total == 1 and cfg.batch_size == 1 and self.delegate_single:
+            return self._delegate_single(u, y, a0[0], b0[0], start)
+
+        targets = one_hot(y, self.n_classes)
+        n_samples, t_len, _ = u.shape
+        res_schedule = StepSchedule(
+            cfg.lr_reservoir, cfg.reservoir_milestones, cfg.lr_decay
+        )
+        out_schedule = StepSchedule(cfg.lr_output, cfg.output_milestones,
+                                    cfg.lr_decay)
+        optimizer = get_optimizer(cfg.optimizer)
+        optimizer.reset(n_rows=k_total)
+
+        n_feats = self.dprr.n_features(self.reservoir.n_nodes)
+        readout_geom = SoftmaxReadout(n_feats, self.n_classes)
+        params = {
+            "A": a0.copy(),
+            "B": b0.copy(),
+            "W": np.zeros((k_total, self.n_classes, n_feats)),
+            "b": np.zeros((k_total, self.n_classes)),
+        }
+        window = self.engine.effective_window(t_len)
+        backward_window = t_len if cfg.window is None else window
+
+        alive = np.arange(k_total)                  # original member indices
+        histories: List[List[EpochStats]] = [[] for _ in range(k_total)]
+        final_params: List[Optional[tuple]] = [None] * k_total
+        retired_epoch: List[Optional[int]] = [None] * k_total
+        retired_reason: List[Optional[str]] = [None] * k_total
+        conv_streak = np.zeros(k_total, dtype=np.int64)
+        div_streak = np.zeros(k_total, dtype=np.int64)
+        #: per-member schedule positions — all members join at epoch 1
+        #: today, so the rows stay equal, but the learning rates flow
+        #: through the vectorized schedule lookup as genuine per-candidate
+        #: state (rows joining mid-run, e.g. re-seeded members, would
+        #: simply carry later positions)
+        positions = np.zeros(k_total, dtype=np.int64)
+        active_per_epoch: List[int] = []
+
+        for epoch in range(1, cfg.epochs + 1):
+            if alive.size == 0:
+                break
+            active_per_epoch.append(int(alive.size))
+            positions[alive] += 1
+            lr_r = res_schedule.lr_at(positions[alive])    # (K_active,)
+            lr_o = out_schedule.lr_at(positions[alive])
+            order = (self.rng.permutation(n_samples) if cfg.shuffle
+                     else np.arange(n_samples))
+            a_before = params["A"].copy()
+            b_before = params["B"].copy()
+            losses, n_correct, n_skipped = self._fused_epoch(
+                u, y, targets, order, params, readout_geom, optimizer,
+                backward_window, t_len, lr_r, lr_o,
+            )
+            n_seen = np.array([len(rows) for rows in losses])
+            for pos, member in enumerate(alive):
+                histories[member].append(EpochStats(
+                    epoch=epoch,
+                    mean_loss=(float(np.mean(losses[pos])) if n_seen[pos]
+                               else float("inf")),
+                    accuracy=(float(n_correct[pos] / n_seen[pos])
+                              if n_seen[pos] else 0.0),
+                    lr_reservoir=float(lr_r[pos]),
+                    lr_output=float(lr_o[pos]),
+                    A=float(params["A"][pos]),
+                    B=float(params["B"][pos]),
+                    n_skipped=int(n_skipped[pos]),
+                ))
+
+            # --- row-wise retirement ---------------------------------- #
+            retire_now = np.zeros(alive.size, dtype=bool)
+            reasons = [None] * alive.size
+            if self.retire_tol is not None:
+                delta = np.maximum(np.abs(params["A"] - a_before),
+                                   np.abs(params["B"] - b_before))
+                quiet = delta <= self.retire_tol
+                conv_streak[alive[quiet]] += 1
+                conv_streak[alive[~quiet]] = 0
+                for pos, member in enumerate(alive):
+                    if conv_streak[member] >= self.retire_patience:
+                        retire_now[pos] = True
+                        reasons[pos] = "converged"
+            if self.retire_diverged_epochs is not None:
+                hopeless = n_seen == 0
+                div_streak[alive[hopeless]] += 1
+                div_streak[alive[~hopeless]] = 0
+                for pos, member in enumerate(alive):
+                    if (not retire_now[pos]
+                            and div_streak[member] >= self.retire_diverged_epochs):
+                        retire_now[pos] = True
+                        reasons[pos] = "diverged"
+            if epoch == cfg.epochs:
+                # the budget is exhausted: everyone still standing finishes
+                # normally, whatever the streak counters say
+                retire_now[:] = False
+            if retire_now.any():
+                for pos in np.flatnonzero(retire_now):
+                    member = int(alive[pos])
+                    final_params[member] = (
+                        float(params["A"][pos]), float(params["B"][pos]),
+                        params["W"][pos].copy(), params["b"][pos].copy(),
+                    )
+                    retired_epoch[member] = epoch
+                    retired_reason[member] = reasons[pos]
+                keep = np.flatnonzero(~retire_now)
+                for name in params:
+                    params[name] = np.ascontiguousarray(params[name][keep])
+                optimizer.take_rows(keep)
+                alive = alive[keep]
+
+        for pos, member in enumerate(alive):
+            final_params[member] = (
+                float(params["A"][pos]), float(params["B"][pos]),
+                params["W"][pos].copy(), params["b"][pos].copy(),
+            )
+
+        elapsed = time.perf_counter() - start
+        members = []
+        for member in range(k_total):
+            a_fin, b_fin, w_fin, bias_fin = final_params[member]
+            readout = SoftmaxReadout(n_feats, self.n_classes)
+            readout.weights = w_fin
+            readout.bias = bias_fin
+            members.append(MemberResult(
+                index=member,
+                init_A=float(a0[member]),
+                init_B=float(b0[member]),
+                result=TrainingResult(
+                    A=a_fin, B=b_fin, readout=readout,
+                    history=histories[member], elapsed_seconds=elapsed,
+                ),
+                retired_epoch=retired_epoch[member],
+                retired_reason=retired_reason[member],
+            ))
+        return PopulationResult(
+            members=members,
+            active_per_epoch=active_per_epoch,
+            elapsed_seconds=elapsed,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"PopulationTrainer(reservoir={self.reservoir!r}, "
+            f"n_classes={self.n_classes}, config={self.config!r})"
+        )

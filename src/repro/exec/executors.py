@@ -24,13 +24,19 @@ Guarantees shared by all executors:
 * **two timing views** — wall-clock of the whole submission plus summed
   per-candidate compute seconds, so realized speedup is measurable.
 
+The two axes also *stack*: ``executor_kind="multiprocess+vectorized"``
+shards candidates across worker processes whose workers each evaluate
+fused candidate-axis blocks — ``REPRO_WORKERS`` composing with
+``REPRO_CANDIDATE_BLOCK_SIZE``.
+
 Worker selection: an explicit ``workers`` argument wins; ``None`` falls
 back to the ``REPRO_WORKERS`` environment variable; absent both, execution
 is serial.  The ``REPRO_EXECUTOR`` variable force-selects an executor
-*kind* (``serial`` / ``vectorized`` / ``multiprocess``) the same way —
-this is how CI routes the whole test suite through the multiprocess and
-vectorized paths — and ``REPRO_CANDIDATE_BLOCK_SIZE`` tunes the fused
-block size of the vectorized executor.
+*kind* (``serial`` / ``vectorized`` / ``multiprocess`` /
+``multiprocess+vectorized``) the same way — this is how CI routes the
+whole test suite through the multiprocess, vectorized, and two-level
+paths — and ``REPRO_CANDIDATE_BLOCK_SIZE`` tunes the fused block size of
+the vectorized executor (standalone or inside workers).
 """
 
 from __future__ import annotations
@@ -82,7 +88,8 @@ BLOCK_SIZE_ENV_VAR = "REPRO_CANDIDATE_BLOCK_SIZE"
 #: (K x N x (T+1) x N_x doubles) stays comfortably in memory
 DEFAULT_CANDIDATE_BLOCK_SIZE = 16
 
-_EXECUTOR_KINDS = ("serial", "vectorized", "multiprocess")
+_EXECUTOR_KINDS = ("serial", "vectorized", "multiprocess",
+                   "multiprocess+vectorized")
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
@@ -112,6 +119,9 @@ def resolve_executor_kind(kind: Optional[str] = None) -> Optional[str]:
         if kind is None:
             return None
     kind = str(kind).strip().lower()
+    # "vectorized+multiprocess" is accepted as the same composition
+    if kind == "vectorized+multiprocess":
+        kind = "multiprocess+vectorized"
     if kind not in _EXECUTOR_KINDS:
         raise ValueError(
             f"executor kind must be one of {_EXECUTOR_KINDS}, got {kind!r}"
@@ -353,15 +363,34 @@ class VectorizedExecutor(CandidateExecutor):
 # module-level worker state: the context is shipped once per worker via the
 # pool initializer instead of once per candidate
 _WORKER_CONTEXT: Optional[EvaluationContext] = None
+#: in-worker vectorized executor for two-level fusion (None: plain mapping)
+_WORKER_VECTORIZED: Optional["VectorizedExecutor"] = None
 
 
-def _init_worker(context: EvaluationContext) -> None:
-    global _WORKER_CONTEXT
+def _init_worker(context: EvaluationContext,
+                 vectorized_block_size: Optional[int] = None) -> None:
+    global _WORKER_CONTEXT, _WORKER_VECTORIZED
     _WORKER_CONTEXT = context
+    _WORKER_VECTORIZED = (
+        None if vectorized_block_size is None
+        else VectorizedExecutor(block_size=vectorized_block_size)
+    )
 
 
 def _worker_evaluate(candidate: Candidate) -> CandidateResult:
     return evaluate_candidate(_WORKER_CONTEXT, candidate)
+
+
+def _worker_evaluate_block(candidates: Sequence[Candidate]
+                           ) -> List[CandidateResult]:
+    """Two-level fusion: one worker dispatch evaluates a fused block.
+
+    The in-worker :class:`VectorizedExecutor` runs the block as one stacked
+    candidate-axis sweep against the worker-resident context; its row-wise
+    fault isolation means a bad candidate fails alone here exactly as it
+    would in-process.
+    """
+    return list(_WORKER_VECTORIZED.run(_WORKER_CONTEXT, candidates).results)
 
 
 class MultiprocessExecutor(CandidateExecutor):
@@ -372,9 +401,21 @@ class MultiprocessExecutor(CandidateExecutor):
     workers:
         Process count; ``None`` resolves through ``REPRO_WORKERS``.
     chunksize:
-        Candidates handed to a worker per dispatch; ``None`` picks
+        Work units handed to a worker per dispatch; ``None`` picks
         ``ceil(n / (4 * workers))`` — small enough to balance load, large
-        enough to amortize IPC.
+        enough to amortize IPC.  The unit is one candidate in the plain
+        mapping and one fused *block* under two-level fusion (where the
+        block is already the IPC granularity).
+    vectorized_block_size:
+        Two-level fusion (``executor_kind="multiprocess+vectorized"``):
+        when set, each worker evaluates its share as fused
+        :class:`VectorizedExecutor` blocks of this many candidates —
+        process sharding across cores *and* candidate-axis fusion within
+        each process (``REPRO_WORKERS`` composes with
+        ``REPRO_CANDIDATE_BLOCK_SIZE``).  Results stay bit-identical to
+        serial execution on NumPy: both levels preserve candidate order
+        and the vectorized level is itself bit-identical to serial.
+        ``None`` (default) maps plain per-candidate evaluation.
 
     The context (data arrays + extractor config) is pickled once per worker
     through the pool initializer; each candidate then costs only a few
@@ -394,19 +435,27 @@ class MultiprocessExecutor(CandidateExecutor):
     """
 
     def __init__(self, workers: Optional[int] = None,
-                 chunksize: Optional[int] = None):
+                 chunksize: Optional[int] = None,
+                 vectorized_block_size: Optional[int] = None):
         self.workers = resolve_workers(workers)
         if chunksize is not None and chunksize < 1:
             raise ValueError(f"chunksize must be >= 1, got {chunksize}")
         self.chunksize = chunksize
+        if vectorized_block_size is not None and vectorized_block_size < 1:
+            raise ValueError(
+                f"vectorized_block_size must be >= 1, got {vectorized_block_size}"
+            )
+        self.vectorized_block_size = vectorized_block_size
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_context: Optional[EvaluationContext] = None
 
     @property
     def prefers_batch(self) -> bool:
         # with a single worker there is no overlap to buy, so speculative
-        # callers should hand candidates over lazily, exactly like serial
-        return self.workers > 1
+        # callers should hand candidates over lazily, exactly like serial —
+        # unless the workers fuse blocks, where a batch buys candidate-axis
+        # fusion even on one process
+        return self.workers > 1 or self.vectorized_block_size is not None
 
     def _chunksize(self, n_candidates: int) -> int:
         if self.chunksize is not None:
@@ -425,7 +474,7 @@ class MultiprocessExecutor(CandidateExecutor):
             self._pool = ProcessPoolExecutor(
                 max_workers=self.workers,
                 initializer=_init_worker,
-                initargs=(context,),
+                initargs=(context, self.vectorized_block_size),
             )
             self._pool_context = context
         return self._pool
@@ -437,6 +486,25 @@ class MultiprocessExecutor(CandidateExecutor):
         reusable = self._pool is not None and self._pool_context is context
         if len(candidates) < 2 and not reusable:
             results = _run_serially(context, candidates)
+        elif self.vectorized_block_size is not None:
+            # two-level fusion: ship fused blocks to workers; the block is
+            # both the IPC unit and the candidate-axis fusion unit, and
+            # flattening in block order preserves candidate order
+            blocks = [
+                list(candidates[lo:lo + self.vectorized_block_size])
+                for lo in range(0, len(candidates), self.vectorized_block_size)
+            ]
+            try:
+                nested = list(self._get_pool(context).map(
+                    _worker_evaluate_block,
+                    blocks,
+                    # chunksize counts blocks here (the dispatch unit)
+                    chunksize=self._chunksize(len(blocks)),
+                ))
+                results = [r for block in nested for r in block]
+            except BrokenProcessPool:
+                self.close()
+                results = _run_serially(context, candidates)
         else:
             try:
                 results = list(self._get_pool(context).map(
@@ -451,6 +519,12 @@ class MultiprocessExecutor(CandidateExecutor):
             results=results, wall_seconds=time.perf_counter() - start,
         )
 
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        if self.vectorized_block_size is not None:
+            return (f"MultiprocessExecutor(workers={self.workers}, "
+                    f"vectorized_block_size={self.vectorized_block_size})")
+        return f"MultiprocessExecutor(workers={self.workers})"
+
 
 def make_executor(workers: Optional[int] = None,
                   chunksize: Optional[int] = None,
@@ -464,8 +538,11 @@ def make_executor(workers: Optional[int] = None,
     ``REPRO_EXECUTOR`` environment variable — wins outright:
     ``"vectorized"`` yields a :class:`VectorizedExecutor` (block size from
     ``candidate_block_size`` / ``REPRO_CANDIDATE_BLOCK_SIZE``),
-    ``"multiprocess"`` a :class:`MultiprocessExecutor`, ``"serial"`` the
-    plain serial path.  Without a kind override,
+    ``"multiprocess"`` a :class:`MultiprocessExecutor`,
+    ``"multiprocess+vectorized"`` the two-level composition — process
+    sharding across ``REPRO_WORKERS`` workers, each evaluating fused
+    candidate-axis blocks of ``REPRO_CANDIDATE_BLOCK_SIZE`` — and
+    ``"serial"`` the plain serial path.  Without a kind override,
     ``resolve_workers(workers) == 1`` yields a :class:`SerialExecutor` —
     or a :class:`BackendExecutor` when an explicit ``backend`` spec is
     given; anything larger a :class:`MultiprocessExecutor` (workers then
@@ -479,7 +556,10 @@ def make_executor(workers: Optional[int] = None,
         if backend is not None:
             return BackendExecutor(backend)
         return SerialExecutor()
-    executor = MultiprocessExecutor(n, chunksize=chunksize)
+    block = (resolve_candidate_block_size(candidate_block_size)
+             if kind == "multiprocess+vectorized" else None)
+    executor = MultiprocessExecutor(n, chunksize=chunksize,
+                                    vectorized_block_size=block)
     if backend is not None:
         from repro.backend import resolve_backend
 

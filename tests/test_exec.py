@@ -195,6 +195,85 @@ class TestMultiprocessExecutor:
         assert executor._pool is None
 
 
+class TestTwoLevelFusion:
+    """multiprocess+vectorized: process sharding over fused worker blocks."""
+
+    def test_bit_identical_to_serial(self, setup):
+        data, ext = setup
+        context = _context(data, ext)
+        candidates = _candidates(7)
+        serial = SerialExecutor().run(context, candidates).evaluations()
+        executor = MultiprocessExecutor(2, vectorized_block_size=3)
+        try:
+            report = executor.run(context, candidates)
+        finally:
+            executor.close()
+        assert report.evaluations() == serial
+        assert [r.candidate.index for r in report.results] == list(range(7))
+
+    def test_derived_seeds_match_serial(self, setup):
+        data, ext = setup
+        context = _context(data, ext, base_seed=99)
+        candidates = [
+            Candidate(index=i, A=0.05 * (i + 1), B=0.02 * (i + 1))
+            for i in range(5)
+        ]
+        reference = SerialExecutor().run(context, candidates).evaluations()
+        executor = MultiprocessExecutor(2, vectorized_block_size=2)
+        try:
+            assert executor.run(context, candidates).evaluations() == reference
+        finally:
+            executor.close()
+
+    def test_row_failure_isolated_inside_worker_block(self, setup):
+        data, ext = setup
+        context = _context(data, ext)
+        candidates = _candidates(6)
+        candidates[2] = Candidate(index=2, A=float("nan"), B=0.1, seed=0)
+        serial = SerialExecutor().run(context, candidates)
+        executor = MultiprocessExecutor(2, vectorized_block_size=3)
+        try:
+            report = executor.run(context, candidates)
+        finally:
+            executor.close()
+        assert report.n_failed == 1
+        assert [r.ok for r in report.results] == [r.ok for r in serial.results]
+        assert report.evaluations() == serial.evaluations()
+
+    def test_prefers_batch_even_with_one_worker(self):
+        # a single fused worker still gains candidate-axis fusion from a
+        # batch submission, so speculative callers feed it eagerly
+        executor = MultiprocessExecutor(1, vectorized_block_size=4)
+        assert executor.prefers_batch
+        assert not MultiprocessExecutor(1).prefers_batch
+
+    def test_kind_resolution_and_make_executor(self, monkeypatch):
+        from repro.exec import (
+            resolve_candidate_block_size,
+            resolve_executor_kind,
+        )
+
+        monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+        assert (resolve_executor_kind("multiprocess+vectorized")
+                == "multiprocess+vectorized")
+        # the reversed spelling is accepted as the same composition
+        assert (resolve_executor_kind("vectorized+multiprocess")
+                == "multiprocess+vectorized")
+        monkeypatch.setenv("REPRO_EXECUTOR", "multiprocess+vectorized")
+        assert resolve_executor_kind(None) == "multiprocess+vectorized"
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        monkeypatch.setenv("REPRO_CANDIDATE_BLOCK_SIZE", "5")
+        executor = make_executor(None)
+        assert isinstance(executor, MultiprocessExecutor)
+        assert executor.workers == 2
+        assert executor.vectorized_block_size == 5
+        assert resolve_candidate_block_size(None) == 5
+
+    def test_block_size_validation(self):
+        with pytest.raises(ValueError):
+            MultiprocessExecutor(2, vectorized_block_size=0)
+
+
 class TestEvaluationContext:
     def test_pickle_drops_rebuilt_extractor(self, setup):
         data, ext = setup

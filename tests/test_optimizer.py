@@ -48,6 +48,20 @@ class TestSchedules:
         with pytest.raises(ValueError):
             StepSchedule(1.0, (5,)).lr_at(0)
 
+    def test_vectorized_epochs_match_scalar_lookups(self):
+        """Per-candidate schedule positions: array lr_at == scalar lr_at."""
+        sched = paper_reservoir_schedule()
+        epochs = np.array([1, 4, 5, 10, 19, 25])
+        lrs = sched.lr_at(epochs)
+        assert lrs.shape == epochs.shape
+        for e, lr in zip(epochs, lrs):
+            assert lr == sched.lr_at(int(e))  # bitwise, not approx
+        with pytest.raises(ValueError):
+            sched.lr_at(np.array([1, 0]))
+        const = ConstantSchedule(0.5)
+        np.testing.assert_array_equal(const.lr_at(epochs),
+                                      np.full(epochs.shape, 0.5))
+
 
 class TestClipGradients:
     def test_no_clip_below_threshold(self):
@@ -72,6 +86,50 @@ class TestClipGradients:
     def test_invalid_max_norm(self):
         with pytest.raises(ValueError):
             clip_gradients({"a": np.array([1.0])}, -1.0)
+        with pytest.raises(ValueError):
+            clip_gradients({"a": np.array([[1.0]])}, -1.0, stacked=True)
+
+    def test_stacked_returns_per_candidate_norms(self):
+        """Regression: stacked grads yield (K,) norms, not one global norm.
+
+        A global norm over the whole stack would both report the wrong
+        magnitude and couple the candidates' clips; each row must see
+        exactly the scalar-path arithmetic of its own gradients.
+        """
+        rng = np.random.default_rng(0)
+        stacked = {
+            "A": rng.normal(size=4),
+            "W": rng.normal(size=(4, 3, 5)) * 3.0,
+        }
+        # np.array(...) keeps scalar rows as (mutable) 0-d arrays, the form
+        # the trainer feeds the scalar path
+        per_row = [{name: np.array(g[k]) for name, g in stacked.items()}
+                   for k in range(4)]
+        norms = clip_gradients(stacked, 2.0, stacked=True)
+        assert norms.shape == (4,)
+        for k in range(4):
+            ref_norm = clip_gradients(per_row[k], 2.0)
+            assert norms[k] == ref_norm  # bitwise
+            for name in stacked:
+                np.testing.assert_array_equal(stacked[name][k],
+                                              per_row[k][name])
+
+    def test_stacked_clips_only_oversized_rows(self):
+        grads = {"a": np.array([[3.0, 4.0], [0.3, 0.4]])}
+        norms = clip_gradients(grads, 1.0, stacked=True)
+        np.testing.assert_allclose(norms, [5.0, 0.5])
+        np.testing.assert_allclose(np.linalg.norm(grads["a"][0]), 1.0)
+        np.testing.assert_array_equal(grads["a"][1], [0.3, 0.4])  # untouched
+
+    def test_stacked_none_disables(self):
+        grads = {"a": np.array([[100.0], [1.0]])}
+        norms = clip_gradients(grads, None, stacked=True)
+        np.testing.assert_array_equal(norms, [100.0, 1.0])
+        assert grads["a"][0, 0] == 100.0
+
+    def test_stacked_rejects_scalar_grads(self):
+        with pytest.raises(ValueError, match="candidate axis"):
+            clip_gradients({"a": np.array(1.0)}, 1.0, stacked=True)
 
 
 class TestOptimizers:
@@ -129,3 +187,149 @@ class TestOptimizers:
             Adam(beta1=1.5)
         with pytest.raises(ValueError):
             ConstantSchedule(-1.0)
+
+
+class TestStackedOptimizers:
+    """Stacked (K, ...) optimizer state == K independent scalar optimizers.
+
+    This is the invariant the population trainer rests on: row ``k`` of a
+    stacked optimizer must be bit-identical to an independent instance
+    driving that candidate alone — through masked steps (a member skipping
+    a minibatch) and through ``take_rows`` compaction (retirement).
+    """
+
+    K = 3
+
+    def _stacked_params(self, rng):
+        return {
+            "A": rng.normal(size=self.K),
+            "W": rng.normal(size=(self.K, 2, 4)),
+        }
+
+    def _grad_stream(self, seed, n_steps):
+        rng = np.random.default_rng(seed)
+        return [{"A": rng.normal(size=self.K),
+                 "W": rng.normal(size=(self.K, 2, 4))}
+                for _ in range(n_steps)]
+
+    @pytest.mark.parametrize("make_opt", [SGD, MomentumSGD, Adam],
+                             ids=["sgd", "momentum", "adam"])
+    def test_rows_match_independent_instances(self, make_opt):
+        rng = np.random.default_rng(1)
+        stacked_params = self._stacked_params(rng)
+        solo_params = [{name: np.array(p[k])  # 0-d arrays stay mutable
+                        for name, p in stacked_params.items()}
+                       for k in range(self.K)]
+        stacked = make_opt()
+        stacked.reset(n_rows=self.K)
+        solos = [make_opt() for _ in range(self.K)]
+        for opt in solos:
+            opt.reset()
+        # per-candidate learning rates exercise the row broadcast
+        lr_vec = np.array([1.0, 0.5, 0.1])
+        for grads in self._grad_stream(2, 8):
+            stacked.step(stacked_params, grads,
+                         {"A": lr_vec, "W": lr_vec * 0.3})
+            for k, opt in enumerate(solos):
+                opt.step(solo_params[k],
+                         {name: g[k].copy() for name, g in grads.items()},
+                         {"A": float(lr_vec[k]), "W": float(lr_vec[k] * 0.3)})
+        for k in range(self.K):
+            for name in stacked_params:
+                np.testing.assert_array_equal(stacked_params[name][k],
+                                              solo_params[k][name])
+
+    @pytest.mark.parametrize("make_opt", [SGD, MomentumSGD, Adam],
+                             ids=["sgd", "momentum", "adam"])
+    def test_masked_rows_stay_untouched(self, make_opt):
+        """A masked-out row neither moves nor advances its state.
+
+        For Adam this pins the per-row step count: the skipping member's
+        bias correction must stay one step behind, exactly like an
+        independent instance that was never stepped.
+        """
+        rng = np.random.default_rng(3)
+        stacked_params = self._stacked_params(rng)
+        solo_params = [{name: np.array(p[k])  # 0-d arrays stay mutable
+                        for name, p in stacked_params.items()}
+                       for k in range(self.K)]
+        stacked = make_opt()
+        stacked.reset(n_rows=self.K)
+        solos = [make_opt() for _ in range(self.K)]
+        mask_stream = [np.array([True, True, True]),
+                       np.array([True, False, True]),
+                       np.array([False, False, True]),
+                       np.array([True, True, True])]
+        for grads, mask in zip(self._grad_stream(4, 4), mask_stream):
+            stacked.step(stacked_params, grads, {"A": 0.5, "W": 0.1},
+                         mask=mask)
+            for k, opt in enumerate(solos):
+                if mask[k]:
+                    opt.step(solo_params[k],
+                             {name: g[k].copy()
+                              for name, g in grads.items()},
+                             {"A": 0.5, "W": 0.1})
+        for k in range(self.K):
+            for name in stacked_params:
+                np.testing.assert_array_equal(stacked_params[name][k],
+                                              solo_params[k][name])
+
+    @pytest.mark.parametrize("make_opt", [SGD, MomentumSGD, Adam],
+                             ids=["sgd", "momentum", "adam"])
+    def test_take_rows_reindexes_state(self, make_opt):
+        """Retirement compaction: surviving rows keep their trajectories."""
+        rng = np.random.default_rng(5)
+        stacked_params = self._stacked_params(rng)
+        solo_params = [{name: np.array(p[k])  # 0-d arrays stay mutable
+                        for name, p in stacked_params.items()}
+                       for k in range(self.K)]
+        stacked = make_opt()
+        stacked.reset(n_rows=self.K)
+        solos = [make_opt() for _ in range(self.K)]
+        stream = self._grad_stream(6, 6)
+        for grads in stream[:3]:
+            stacked.step(stacked_params, grads, {"A": 0.5, "W": 0.1})
+            for k, opt in enumerate(solos):
+                opt.step(solo_params[k],
+                         {name: g[k].copy() for name, g in grads.items()},
+                         {"A": 0.5, "W": 0.1})
+        # retire the middle candidate; rows 0 and 2 survive
+        keep = np.array([0, 2])
+        stacked_params = {name: p[keep] for name, p in stacked_params.items()}
+        stacked.take_rows(keep)
+        for grads in stream[3:]:
+            kept_grads = {name: g[keep] for name, g in grads.items()}
+            stacked.step(stacked_params, kept_grads, {"A": 0.5, "W": 0.1})
+            for pos, k in enumerate(keep):
+                solos[k].step(
+                    solo_params[k],
+                    {name: g[pos].copy() for name, g in kept_grads.items()},
+                    {"A": 0.5, "W": 0.1},
+                )
+        for pos, k in enumerate(keep):
+            for name in stacked_params:
+                np.testing.assert_array_equal(stacked_params[name][pos],
+                                              solo_params[k][name])
+
+    @pytest.mark.parametrize("make_opt", [SGD, MomentumSGD, Adam],
+                             ids=["sgd", "momentum", "adam"])
+    def test_mask_requires_stacked_mode(self, make_opt):
+        # in scalar mode a mask would boolean-index the first *parameter*
+        # axis (a silent misupdate), so every optimizer rejects it
+        opt = make_opt()
+        opt.reset()
+        with pytest.raises(ValueError, match="stacked"):
+            opt.step({"w": np.array([0.0])}, {"w": np.array([1.0])},
+                     {"w": 0.1}, mask=np.array([True]))
+
+    @pytest.mark.parametrize("make_opt", [SGD, MomentumSGD, Adam],
+                             ids=["sgd", "momentum", "adam"])
+    def test_mask_must_be_boolean(self, make_opt):
+        # an integer index array would silently corrupt Adam's per-row
+        # step counts (t += mask adds the index *values*), so every
+        # optimizer rejects non-boolean masks
+        opt = make_opt()
+        opt.reset(n_rows=2)
+        with pytest.raises(ValueError, match="boolean"):
+            opt.step({"w": np.zeros(2)}, {"w": np.ones(2)},
+                     {"w": 0.1}, mask=np.array([0, 1]))
