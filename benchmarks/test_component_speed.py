@@ -12,6 +12,11 @@ import numpy as np
 import pytest
 
 from repro.backend import available_backends, resolve_backend
+from repro.backend.scan import (
+    FILTER_IMPL_ENV_VAR,
+    first_order_scan_stacked,
+    scan_crossover,
+)
 from repro.core.backprop import BackpropEngine
 from repro.readout.ridge import PAPER_BETAS, fit_ridge_sweep
 from repro.readout.softmax import SoftmaxReadout, one_hot
@@ -229,6 +234,129 @@ def test_backward_batched_per_backend(benchmark, jpvow_small, rng):
         rounds=3, iterations=1, warmup_rounds=1,
     )
     assert result.n_samples == batch
+
+
+def test_long_t_filter_kernels(benchmark, monkeypatch):
+    """lfilter vs Toeplitz vs scan on a long chain (T=8192, K=16 stacked).
+
+    The paper's ``N_x = 30`` chains are where the cached Toeplitz matmul
+    wins; this benchmark measures the other end — series-length chains,
+    where the ``(T, T)`` matrix of powers is a 512 MB float64 object at
+    ``T = 8192`` and the log-depth scan takes over.  Per available
+    backend it records the lfilter / Toeplitz / scan timings and, for the
+    device backends, probes the Toeplitz-vs-scan crossover length into
+    ``extra_info`` (compare against ``REPRO_SCAN_CROSSOVER``).
+
+    All K candidates share one coefficient value, so the sequential
+    Toeplitz baseline reuses a single cached ``(T, T)`` matrix — the
+    per-candidate *stack* would be K x 512 MB, which is itself the reason
+    the scan exists; the shared-coef form is the cheapest possible
+    Toeplitz and still loses.
+    """
+    t_long = 8192
+    k_cand = 16
+    n_rows = 4
+    gen = np.random.default_rng(42)
+    x = gen.normal(size=(k_cand, n_rows, t_long))
+    coefs = np.full(k_cand, 0.37)
+    zi = gen.normal(size=(k_cand, n_rows, 1))
+
+    def best_of(fn, rounds=3):
+        timings = []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            fn()
+            timings.append(time.perf_counter() - start)
+        return min(timings)
+
+    numpy_xb = resolve_backend("numpy")
+    ref = numpy_xb.first_order_filter_stacked(x, coefs, zi)
+    benchmark.extra_info["t_long"] = t_long
+    benchmark.extra_info["k_candidates"] = k_cand
+    benchmark.extra_info["dtype"] = numpy_xb.dtype_name
+    benchmark.extra_info["scan_crossover"] = scan_crossover()
+    benchmark.extra_info["lfilter_seconds_numpy"] = best_of(
+        lambda: numpy_xb.first_order_filter_stacked(x, coefs, zi))
+
+    # the backend-generic scan run on plain NumPy arrays: same arithmetic
+    # the device backends execute, checked against the exact lfilter
+    scan_np = first_order_scan_stacked(numpy_xb, x, coefs, zi)
+    np.testing.assert_allclose(scan_np, ref, rtol=1e-12, atol=1e-12)
+    benchmark.extra_info["scan_seconds_numpy"] = best_of(
+        lambda: first_order_scan_stacked(numpy_xb, x, coefs, zi))
+
+    floor = float(os.environ.get("REPRO_SCAN_SPEEDUP_FLOOR", "3.0"))
+    for name in available_backends():
+        if name == "numpy":
+            continue
+        xb = resolve_backend(name)
+        x_dev = xb.asarray(x)
+        zi_dev = xb.asarray(zi)
+        # flatten the shared-coef stack to (K * rows, T): the fairest
+        # sequential-Toeplitz form, one cached matrix and one big matmul
+        x_flat = x_dev.reshape(k_cand * n_rows, t_long)
+        zi_flat = zi_dev.reshape(k_cand * n_rows, 1)
+        coef = float(coefs[0])
+
+        monkeypatch.setenv(FILTER_IMPL_ENV_VAR, "toeplitz")
+
+        def toeplitz():
+            out = xb.first_order_filter(x_flat, coef, zi_flat)
+            xb.synchronize()
+            return out
+        y_toep = toeplitz()  # warm-up: builds + caches the (T, T) matrix
+        t_toep = best_of(toeplitz)
+
+        monkeypatch.setenv(FILTER_IMPL_ENV_VAR, "scan")
+
+        def scan():
+            out = xb.first_order_filter_stacked(x_dev, coefs, zi_dev)
+            xb.synchronize()
+            return out
+        y_scan = scan()
+        t_scan = best_of(scan)
+        monkeypatch.delenv(FILTER_IMPL_ENV_VAR)
+
+        np.testing.assert_allclose(xb.to_numpy(y_scan), ref,
+                                   rtol=1e-9, atol=1e-9)
+        np.testing.assert_allclose(
+            xb.to_numpy(y_toep).reshape(k_cand, n_rows, t_long), ref,
+            rtol=1e-9, atol=1e-9)
+        speedup = t_toep / t_scan
+        benchmark.extra_info[f"toeplitz_seconds_{name}"] = t_toep
+        benchmark.extra_info[f"scan_seconds_{name}"] = t_scan
+        benchmark.extra_info[f"speedup_scan_vs_toeplitz_{name}"] = speedup
+
+        # probe the true crossover: shortest T where the scan matches the
+        # Toeplitz matmul (the REPRO_SCAN_CROSSOVER default of 256 should
+        # sit at or above this on most machines)
+        crossover = None
+        for t_probe in (128, 256, 512, 1024, 2048):
+            xp = xb.asarray(gen.normal(size=(64, t_probe)))
+            zp = xb.asarray(gen.normal(size=(64, 1)))
+            monkeypatch.setenv(FILTER_IMPL_ENV_VAR, "toeplitz")
+            xb.first_order_filter(xp, coef, zp)  # warm the matrix cache
+            tt = best_of(lambda: xb.first_order_filter(xp, coef, zp))
+            monkeypatch.setenv(FILTER_IMPL_ENV_VAR, "scan")
+            ts = best_of(lambda: xb.first_order_filter(xp, coef, zp))
+            monkeypatch.delenv(FILTER_IMPL_ENV_VAR)
+            if ts <= tt:
+                crossover = t_probe
+                break
+        benchmark.extra_info[f"crossover_{name}"] = crossover or -1
+
+        # acceptance bar: at series-length chains the scan must be >= 3x
+        # the Toeplitz matmul (relaxable on noisy shared runners)
+        assert speedup >= floor, (
+            f"{name} scan only {speedup:.1f}x faster than Toeplitz at "
+            f"T={t_long} (floor {floor})"
+        )
+
+    result = benchmark.pedantic(
+        lambda: first_order_scan_stacked(numpy_xb, x, coefs, zi),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+    assert result.shape == (k_cand, n_rows, t_long)
 
 
 def test_ridge_sweep_cost(benchmark, trace, rng):

@@ -7,8 +7,8 @@ libraries provide.  This package is the seam that makes those ops
 retargetable:
 
 * :class:`~repro.backend.base.ArrayBackend` — the protocol (conversion,
-  ``einsum``, first-order ``lfilter`` chains, reductions, shape-function
-  evaluation);
+  ``einsum``, first-order ``lfilter`` chains, fused element-wise chains,
+  reductions, shape-function evaluation);
 * :class:`~repro.backend.numpy_backend.NumpyBackend` — the CPU reference,
   delegating to the exact NumPy/SciPy calls of the pre-backend code
   (bit-identical, pinned by tests);
@@ -24,7 +24,12 @@ how the pipeline-level entry points (:class:`~repro.core.trainer.TrainerConfig`,
 :class:`~repro.core.pipeline.DFRClassifier`,
 :class:`~repro.core.pipeline.DFRFeatureExtractor`,
 :class:`~repro.exec.BackendExecutor`) pick their default.  Specs are
-``"name"`` or ``"name:device"`` — e.g. ``REPRO_BACKEND=torch:cuda:1``.
+``"name[:device][@dtype]"`` — e.g. ``REPRO_BACKEND=torch:cuda:1`` or
+``REPRO_BACKEND=torch:cuda:0@float32``.  The ``@dtype`` suffix selects the
+working precision (``float64`` default, ``float32`` opt-in); the
+``REPRO_DTYPE`` environment variable and the ``dtype=`` keyword of
+:func:`resolve_backend`/:func:`default_backend` set it for specs that do
+not carry a suffix (an explicit ``@dtype`` in the spec always wins).
 Low-level components (:class:`~repro.reservoir.modular.ModularDFR`,
 :class:`~repro.representation.dprr.DPRR`,
 :class:`~repro.readout.softmax.SoftmaxReadout`) stay on NumPy unless a
@@ -35,7 +40,7 @@ shift underneath an environment variable.
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.backend.base import ArrayBackend, BackendUnavailableError
 from repro.backend.numpy_backend import NumpyBackend
@@ -45,22 +50,34 @@ __all__ = [
     "BackendUnavailableError",
     "NumpyBackend",
     "BACKEND_ENV_VAR",
+    "DTYPE_ENV_VAR",
     "BACKEND_NAMES",
+    "DTYPE_NAMES",
     "resolve_backend",
     "default_backend",
     "available_backends",
     "infer_backend",
+    "with_dtype",
 ]
 
 #: environment variable selecting the default backend for pipeline entry
-#: points (``"numpy"``, ``"torch"``, ``"torch:cuda:0"``, ``"cupy"``, ...)
+#: points (``"numpy"``, ``"torch"``, ``"torch:cuda:0@float32"``, ...)
 BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+#: environment variable selecting the default working precision for specs
+#: without an explicit ``@dtype`` suffix ("float64" or "float32")
+DTYPE_ENV_VAR = "REPRO_DTYPE"
 
 #: registry names, in resolution-preference order
 BACKEND_NAMES = ("numpy", "torch", "cupy")
 
+#: recognized working precisions
+DTYPE_NAMES = ("float64", "float32")
+
 _NUMPY = NumpyBackend()
-#: resolved-instance cache, keyed by normalized "name:device" spec
+#: resolved-instance cache, keyed by normalized "name:device@dtype" spec
+#: (the default "@float64" suffix is stripped during normalization, so
+#: "numpy" and "numpy@float64" share one instance)
 _INSTANCES: Dict[str, ArrayBackend] = {"numpy": _NUMPY}
 
 _INSTALL_HINTS = {
@@ -69,18 +86,59 @@ _INSTALL_HINTS = {
 }
 
 
-def _construct(name: str, device: Optional[str]) -> ArrayBackend:
+def _split_spec(spec: str) -> Tuple[str, Optional[str], Optional[str]]:
+    """Split ``"name[:device][@dtype]"`` into its three parts.
+
+    Returns ``(name, device, dtype)`` with ``None`` for absent parts; the
+    dtype, when present, is validated against :data:`DTYPE_NAMES`.
+    """
+    body, _, dtype = spec.partition("@")
+    dtype = dtype.strip() or None
+    if dtype is not None and dtype not in DTYPE_NAMES:
+        known = ", ".join(DTYPE_NAMES)
+        raise ValueError(
+            f"backend dtype suffix must be one of {known}; got {dtype!r} "
+            f"(in spec {spec!r})"
+        )
+    name, _, device = body.strip().partition(":")
+    return name, device or None, dtype
+
+
+def with_dtype(spec: Union[None, str, ArrayBackend], dtype: str) -> str:
+    """A spec string equal to ``spec`` but with working precision ``dtype``.
+
+    Useful for threading a precision choice through pickled configuration
+    (the dtype travels *inside* the spec string, so worker processes
+    reconstruct the same backend).  An instance maps to its own
+    ``name:device`` spec; ``None`` maps to the NumPy reference.
+    """
+    if dtype not in DTYPE_NAMES:
+        known = ", ".join(DTYPE_NAMES)
+        raise ValueError(f"dtype must be one of {known}; got {dtype!r}")
+    if spec is None:
+        body = "numpy"
+    elif isinstance(spec, ArrayBackend):
+        body = spec.name if spec.device in (None, "cpu") \
+            else f"{spec.name}:{spec.device}"
+    else:
+        name, device, _ = _split_spec(spec.strip().lower())
+        body = name if device is None else f"{name}:{device}"
+    return body if dtype == "float64" else f"{body}@{dtype}"
+
+
+def _construct(name: str, device: Optional[str],
+               dtype: str) -> ArrayBackend:
     if name == "numpy":
-        return _NUMPY
+        return _NUMPY if dtype == "float64" else NumpyBackend(dtype=dtype)
     try:
         if name == "torch":
             from repro.backend.torch_backend import TorchBackend
 
-            return TorchBackend(device)
+            return TorchBackend(device, dtype=dtype)
         if name == "cupy":
             from repro.backend.cupy_backend import CupyBackend
 
-            return CupyBackend(device)
+            return CupyBackend(device, dtype=dtype)
     except ImportError as exc:
         hint = _INSTALL_HINTS.get(name, "")
         raise BackendUnavailableError(
@@ -91,43 +149,66 @@ def _construct(name: str, device: Optional[str]) -> ArrayBackend:
     raise ValueError(f"unknown array backend {name!r}; known: {known}")
 
 
-def resolve_backend(spec: Union[None, str, ArrayBackend] = None) -> ArrayBackend:
+def resolve_backend(spec: Union[None, str, ArrayBackend] = None,
+                    dtype: Optional[str] = None) -> ArrayBackend:
     """Resolve ``spec`` into an :class:`ArrayBackend` instance.
 
     ``None`` means the NumPy reference (the environment variable is *not*
     consulted here — see :func:`default_backend`).  A string is a registry
-    name with an optional device suffix (``"torch:cuda:1"``); instances
-    pass through unchanged.  Resolved backends are cached per spec, so two
-    components asking for the same spec share one instance (and its device
-    caches).
+    name with optional device and dtype suffixes
+    (``"torch:cuda:1@float32"``); instances pass through unchanged.  The
+    ``dtype`` keyword supplies a working precision for specs without an
+    explicit ``@dtype`` suffix (the suffix wins when both are given).
+    Resolved backends are cached per normalized spec, so two components
+    asking for the same spec share one instance (and its device caches).
     """
-    if spec is None:
-        return _NUMPY
     if isinstance(spec, ArrayBackend):
         return spec
+    if spec is None:
+        if dtype in (None, "float64"):
+            return _NUMPY
+        spec = "numpy"
     if not isinstance(spec, str):
         raise TypeError(
             f"backend must be None, a name, or an ArrayBackend, got "
             f"{type(spec).__name__}"
         )
-    key = spec.strip().lower()
+    name, device, spec_dtype = _split_spec(spec.strip().lower())
+    eff_dtype = spec_dtype or dtype or "float64"
+    if eff_dtype not in DTYPE_NAMES:
+        known = ", ".join(DTYPE_NAMES)
+        raise ValueError(f"dtype must be one of {known}; got {eff_dtype!r}")
+    key = name if device is None else f"{name}:{device}"
+    if eff_dtype != "float64":
+        key = f"{key}@{eff_dtype}"
     if key in _INSTANCES:
         return _INSTANCES[key]
-    name, _, device = key.partition(":")
-    backend = _construct(name, device or None)
+    backend = _construct(name, device, eff_dtype)
     _INSTANCES[key] = backend
     return backend
 
 
-def default_backend() -> ArrayBackend:
+def default_backend(dtype: Optional[str] = None) -> ArrayBackend:
     """The backend pipeline entry points use when none is given explicitly.
 
-    Consults ``REPRO_BACKEND``; unset or empty means NumPy.  A variable
+    Consults ``REPRO_BACKEND``; unset or empty means NumPy.  The working
+    precision comes from (in priority order) an explicit ``@dtype`` spec
+    suffix, the ``dtype`` keyword, then ``REPRO_DTYPE``.  A variable
     naming an uninstalled backend raises :class:`BackendUnavailableError`
     — loudly, so a mis-configured environment cannot silently run on CPU.
     """
     spec = os.environ.get(BACKEND_ENV_VAR, "").strip()
-    return resolve_backend(spec or None)
+    if dtype is None:
+        env_dtype = os.environ.get(DTYPE_ENV_VAR, "").strip().lower()
+        if env_dtype:
+            if env_dtype not in DTYPE_NAMES:
+                known = ", ".join(DTYPE_NAMES)
+                raise ValueError(
+                    f"{DTYPE_ENV_VAR} must be one of {known}; got "
+                    f"{env_dtype!r}"
+                )
+            dtype = env_dtype
+    return resolve_backend(spec or None, dtype=dtype)
 
 
 def available_backends() -> List[str]:

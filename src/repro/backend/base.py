@@ -33,7 +33,28 @@ and the reversed Eq.-30 chain (backward).  SciPy and CuPy evaluate it with
 a C/CUDA ``lfilter``; backends without an ``lfilter`` may use the
 closed-form ``y = x @ T(c) + zi * c**k`` with a cached lower-triangular
 Toeplitz matrix of powers — exact for any first-order filter and fully
-parallel.
+parallel — or, beyond a crossover chain length, the log-depth associative
+scan of :mod:`repro.backend.scan` (``REPRO_FILTER_IMPL`` pins the choice).
+
+Fused element-wise chains
+-------------------------
+The per-step hot loops string 4–6 element-wise dispatches between two
+filter calls (mask drive, pre-activation, shape function, feedback
+boundary; the ``dphi`` drive term on the way back).  The
+:meth:`masked_drive` / :meth:`fused_filter_prep` /
+:meth:`fused_backward_drive` seam methods bundle each chain into ONE
+backend call: the base implementations below compose the protocol
+primitives in exactly the historical order (so NumPy stays bit-identical),
+and device backends may override them with genuinely fused kernels
+(``torch.compile`` on Torch, ``cupy.fuse`` on CuPy).
+
+Precision
+---------
+Backends carry a working float dtype (:attr:`ArrayBackend.float_dtype`,
+named by :attr:`ArrayBackend.dtype_name`): ``float64`` is the default and
+the bit-pinned reference; ``float32`` is an opt-in for device throughput,
+validated against the float64 reference by rtol-bounded parity tests (the
+tolerance contract lives in ``docs/ARCHITECTURE.md``).
 """
 
 from __future__ import annotations
@@ -61,6 +82,12 @@ class ArrayBackend:
     name: str = "base"
     #: the backend's double-precision dtype handle
     float64: object = None
+    #: the backend's *working* float dtype handle — equals :attr:`float64`
+    #: by default; a ``dtype="float32"`` backend points it at the library's
+    #: single-precision dtype and the hot path allocates/converts with it
+    float_dtype: object = None
+    #: name of the working dtype ("float64" or "float32")
+    dtype_name: str = "float64"
     #: human-readable device the backend computes on (e.g. "cpu", "cuda:0")
     device: Optional[str] = None
     #: whether :meth:`lfilter_general` is implemented (an arbitrary-order
@@ -158,6 +185,45 @@ class ArrayBackend:
     def dphi(self, nonlinearity, s):
         """Evaluate a shape-function derivative on a backend array."""
         raise NotImplementedError
+
+    # -------------------------------------------------------------- #
+    # fused element-wise chains (defaults = the historical op order)
+    # -------------------------------------------------------------- #
+
+    def masked_drive(self, mask, u):
+        """Masked input drive ``j = u @ M.T`` as a backend array.
+
+        ``mask`` is an :class:`~repro.reservoir.masking.InputMask` and
+        ``u`` a host NumPy batch ``(N, T, C)``.  The base implementation
+        is the historical host matmul followed by one transfer; device
+        backends may override to ship the (smaller) raw inputs and run the
+        contraction on device instead.
+        """
+        return self.asarray(mask.apply(u))
+
+    def fused_filter_prep(self, nonlinearity, j_k, x_prev, a_mul, b_mul):
+        """One forward step's element-wise chain before the node filter.
+
+        Computes, in the historical order, the pre-activation
+        ``s = j(k) + x(k-1)``, the filter drive ``c = A * phi(s)`` and the
+        feedback boundary ``zi = B * x(k-1)_{N_x}`` (trailing axis 1).
+        ``a_mul``/``b_mul`` are scalars, or broadcast-shaped candidate
+        arrays for a stacked sweep.  Returns ``(s, c, zi)``.
+        """
+        s = j_k + x_prev
+        c = a_mul * self.phi(nonlinearity, s)
+        zi = (b_mul * x_prev[..., -1])[..., None]
+        return s, c, zi
+
+    def fused_backward_drive(self, nonlinearity, drive, pre_next, g_next,
+                             a_mul):
+        """The Eq.-30 cross-step term fused onto an existing drive.
+
+        Returns ``drive + A * dphi(s(k+1)) * g(k+1)`` — the element-wise
+        tail of the backward step's drive assembly, in the historical
+        order.
+        """
+        return drive + a_mul * self.dphi(nonlinearity, pre_next) * g_next
 
     def first_order_filter(self, x, coef: float, zi):
         """Solve ``y_n = x_n + coef * y_{n-1}`` along the last axis.

@@ -9,19 +9,37 @@ CuPy mirrors the NumPy API, so most methods are one-line delegations.  The
 IIR filters prefer ``cupyx.scipy.signal.lfilter`` (a true GPU ``lfilter``,
 including the arbitrary-order form the identity flat-chain fast path
 wants); on CuPy builds without it, first-order chains fall back to the
-same closed-form Toeplitz matmul the Torch backend uses and the reservoir
-takes its per-step path instead of the flat-chain one.
+same closed-form Toeplitz matmul the Torch backend uses below a crossover
+chain length and to the log-depth associative scan of
+:mod:`repro.backend.scan` beyond it (``REPRO_FILTER_IMPL=scan`` forces
+the scan even over ``lfilter`` — useful at long ``T``, where the scan's
+``log2(n)`` fused kernels beat the sequential scan inside ``lfilter``).
+The Toeplitz matrices live in an LRU cache (one stale entry evicted per
+insert beyond 64, so a sweep's working set survives).
+
+The :meth:`~repro.backend.base.ArrayBackend.fused_filter_prep` /
+``fused_backward_drive`` element-wise chains are fused with ``cupy.fuse``
+(one fused kernel per nonlinearity); any fuse failure falls back to the
+eager composition permanently.  A ``dtype="float32"`` backend
+(``REPRO_BACKEND=cupy@float32``) runs the hot path in single precision.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import cupy as cp
 import numpy as np
 
 from repro.backend._shape_ops import generic_dphi, generic_phi
 from repro.backend.base import ArrayBackend
+from repro.backend.scan import (
+    LRUCache,
+    first_order_scan,
+    first_order_scan_stacked,
+    resolve_filter_impl,
+    use_scan,
+)
 
 try:  # pragma: no cover - depends on the installed CuPy build
     from cupyx.scipy.signal import lfilter as _cupy_lfilter
@@ -52,24 +70,37 @@ def _parse_device(device: Optional[str]) -> int:
 
 
 class CupyBackend(ArrayBackend):
-    """Double-precision CuPy execution on the current CUDA device."""
+    """CuPy execution on the current CUDA device."""
 
     name = "cupy"
     float64 = cp.float64
     has_general_lfilter = _cupy_lfilter is not None
 
-    def __init__(self, device: Optional[str] = None):
+    def __init__(self, device: Optional[str] = None, dtype: str = "float64"):
+        if dtype not in ("float64", "float32"):
+            raise ValueError(
+                f"dtype must be 'float64' or 'float32', got {dtype!r}"
+            )
         self._device_id = _parse_device(device)
         self.device = f"cuda:{self._device_id}"
-        self._toeplitz_cache: Dict[Tuple[float, int], Tuple] = {}
+        self.dtype_name = dtype
+        self.float_dtype = cp.float64 if dtype == "float64" else cp.float32
+        self._toeplitz_cache = LRUCache(maxsize=64)
         #: single-entry cache for the stacked (K, n, n) Toeplitz pile (a
         #: fused sweep reuses one coefficient tuple per time step; tuples
         #: rarely recur across blocks)
         self._stacked_cache: Optional[Tuple] = None
+        #: cupy.fuse'd element-wise chains keyed by (kind, nonlinearity);
+        #: a value of None marks a permanent fallback to the eager path
+        self._fused_cache: dict = {}
 
     def asarray(self, a, dtype=None):
         with cp.cuda.Device(self._device_id):
-            return cp.asarray(a, dtype=dtype)
+            out = cp.asarray(a, dtype=dtype)
+            if (dtype is None and self.float_dtype is not cp.float64
+                    and out.dtype == cp.float64):
+                out = out.astype(self.float_dtype)
+            return out
 
     def to_numpy(self, a):
         if isinstance(a, cp.ndarray):
@@ -78,11 +109,11 @@ class CupyBackend(ArrayBackend):
 
     def zeros(self, shape):
         with cp.cuda.Device(self._device_id):
-            return cp.zeros(shape)
+            return cp.zeros(shape, dtype=self.float_dtype)
 
     def empty(self, shape):
         with cp.cuda.Device(self._device_id):
-            return cp.empty(shape)
+            return cp.empty(shape, dtype=self.float_dtype)
 
     def atleast_2d(self, a):
         return cp.atleast_2d(a)
@@ -150,44 +181,121 @@ class CupyBackend(ArrayBackend):
             out = self.asarray(nonlinearity.dphi(self.to_numpy(s)))
         return out
 
-    def _toeplitz(self, coef: float, n: int):
-        key = (float(coef), n)
+    # -------------------------------------------------------------- #
+    # fused element-wise chains (cupy.fuse with eager fallback)
+    # -------------------------------------------------------------- #
+
+    def _fused(self, kind: str, nonlinearity, make_eager):
+        key = (kind, type(nonlinearity).__name__, repr(nonlinearity))
+        if key not in self._fused_cache:
+            fused = None
+            # only ufunc-expressible shapes can enter a fused kernel
+            if generic_phi(cp, nonlinearity, cp.zeros(1)) is not None:
+                try:  # pragma: no cover - needs CUDA
+                    fused = cp.fuse()(make_eager())
+                except Exception:
+                    fused = None
+            self._fused_cache[key] = fused
+        return self._fused_cache[key]
+
+    def fused_filter_prep(self, nonlinearity, j_k, x_prev, a_mul, b_mul):
+        def make():
+            def prep(j_k, x_prev, a_mul):
+                s = j_k + x_prev
+                return s, a_mul * generic_phi(cp, nonlinearity, s)
+            return prep
+
+        fused = self._fused("prep", nonlinearity, make)
+        if fused is not None:  # pragma: no cover - needs CUDA
+            try:
+                s, c = fused(j_k, x_prev, a_mul)
+                zi = (b_mul * x_prev[..., -1])[..., None]
+                return s, c, zi
+            except Exception:
+                self._fused_cache[
+                    ("prep", type(nonlinearity).__name__, repr(nonlinearity))
+                ] = None
+        return super().fused_filter_prep(
+            nonlinearity, j_k, x_prev, a_mul, b_mul)
+
+    def fused_backward_drive(self, nonlinearity, drive, pre_next, g_next,
+                             a_mul):
+        def make():
+            def tail(drive, pre_next, g_next, a_mul):
+                dphi = generic_dphi(cp, nonlinearity, pre_next,
+                                    lambda mask, ref: mask.astype(ref.dtype))
+                return drive + a_mul * dphi * g_next
+            return tail
+
+        fused = self._fused("bwd", nonlinearity, make)
+        if fused is not None:  # pragma: no cover - needs CUDA
+            try:
+                return fused(drive, pre_next, g_next, a_mul)
+            except Exception:
+                self._fused_cache[
+                    ("bwd", type(nonlinearity).__name__, repr(nonlinearity))
+                ] = None
+        return super().fused_backward_drive(
+            nonlinearity, drive, pre_next, g_next, a_mul)
+
+    def masked_drive(self, mask, u):
+        # contract on device: ship (N, T, C) instead of (N, T, N_x)
+        u_dev = self.asarray(np.ascontiguousarray(u))
+        m_dev = self.asarray(mask.matrix)
+        return u_dev @ m_dev.T
+
+    # -------------------------------------------------------------- #
+    # first-order node chains: lfilter, Toeplitz matmul, or scan
+    # -------------------------------------------------------------- #
+
+    def _toeplitz(self, coef: float, n: int, dtype=None):
+        dtype = cp.float64 if dtype is None else dtype
+        key = (float(coef), n, cp.dtype(dtype).name)
         cached = self._toeplitz_cache.get(key)
         if cached is None:
-            idx = cp.arange(n, dtype=cp.float64)
+            idx = cp.arange(n, dtype=dtype)
             diff = idx[None, :] - idx[:, None]  # diff[j, k] = k - j
             mat = cp.where(diff >= 0, coef ** cp.maximum(diff, 0.0), 0.0)
+            mat = mat.astype(dtype, copy=False)
             powers = coef ** idx
             cached = (mat, powers)
-            if len(self._toeplitz_cache) > 64:
-                self._toeplitz_cache.clear()
-            self._toeplitz_cache[key] = cached
+            self._toeplitz_cache.put(key, cached)
         return cached
 
     def first_order_filter(self, x, coef: float, zi):
-        if _cupy_lfilter is not None:
+        impl = resolve_filter_impl()
+        if impl == "scan" or (impl != "toeplitz" and _cupy_lfilter is None
+                              and use_scan(x.shape[-1])):
+            return first_order_scan(self, x, coef, zi)
+        if impl == "auto" and _cupy_lfilter is not None:
             y, _ = _cupy_lfilter(cp.asarray([1.0]),
                                  cp.asarray([1.0, -coef]), x,
                                  axis=-1, zi=zi)
+            if y.dtype != x.dtype:
+                y = y.astype(x.dtype)
             return y
-        mat, powers = self._toeplitz(coef, x.shape[-1])
+        mat, powers = self._toeplitz(coef, x.shape[-1], x.dtype)
         return x @ mat + zi * powers
 
     def first_order_filter_stacked(self, x, coefs, zi):
-        if _cupy_lfilter is not None:
+        n = x.shape[-1]
+        impl = resolve_filter_impl()
+        if impl == "scan" or (impl != "toeplitz" and _cupy_lfilter is None
+                              and use_scan(n)):
+            return first_order_scan_stacked(self, x, coefs, zi)
+        if impl == "auto" and _cupy_lfilter is not None:
             out = cp.empty_like(x)
             for k, coef in enumerate(coefs):
                 out[k], _ = _cupy_lfilter(cp.asarray([1.0]),
                                           cp.asarray([1.0, -float(coef)]),
                                           x[k], axis=-1, zi=zi[k])
             return out
-        n = x.shape[-1]
         k = len(coefs)
         key = (tuple(float(c) for c in coefs), n)
         if self._stacked_cache is not None and self._stacked_cache[0] == key:
             _, mats, powers = self._stacked_cache
         else:
-            per = [self._toeplitz(float(c), n) for c in coefs]
+            per = [self._toeplitz(float(c), n, x.dtype) for c in coefs]
             mats = cp.stack([m for m, _ in per])
             powers = cp.stack([p for _, p in per])
             self._stacked_cache = (key, mats, powers)

@@ -21,24 +21,48 @@ __all__ = ["NumpyBackend"]
 
 
 class NumpyBackend(ArrayBackend):
-    """CPU reference backend (NumPy arrays, SciPy filters)."""
+    """CPU reference backend (NumPy arrays, SciPy filters).
+
+    Parameters
+    ----------
+    dtype:
+        Working float precision: ``"float64"`` (default — the bit-pinned
+        reference; every operation below is then byte-for-byte the
+        historical call) or ``"float32"`` (opt-in reduced precision,
+        validated against the float64 reference by rtol-bounded parity
+        tests).
+    """
 
     name = "numpy"
     float64 = np.float64
     device = "cpu"
     has_general_lfilter = True
 
+    def __init__(self, dtype: str = "float64"):
+        if dtype not in ("float64", "float32"):
+            raise ValueError(
+                f"dtype must be 'float64' or 'float32', got {dtype!r}"
+            )
+        self.dtype_name = dtype
+        self.float_dtype = np.float64 if dtype == "float64" else np.float32
+
     def asarray(self, a, dtype=None):
-        return np.asarray(a, dtype=dtype)
+        out = np.asarray(a, dtype=dtype)
+        # float32 mode narrows incoming double-precision data; the default
+        # float64 mode never touches the array (bit-pinned reference path)
+        if (dtype is None and self.float_dtype is not np.float64
+                and out.dtype == np.float64):
+            out = out.astype(self.float_dtype)
+        return out
 
     def to_numpy(self, a):
         return np.asarray(a)
 
     def zeros(self, shape):
-        return np.zeros(shape)
+        return np.zeros(shape, dtype=self.float_dtype)
 
     def empty(self, shape):
-        return np.empty(shape)
+        return np.empty(shape, dtype=self.float_dtype)
 
     def atleast_2d(self, a):
         return np.atleast_2d(a)
@@ -102,6 +126,8 @@ class NumpyBackend(ArrayBackend):
 
     def first_order_filter(self, x, coef: float, zi):
         y, _ = lfilter([1.0], np.array([1.0, -coef]), x, axis=-1, zi=zi)
+        if y.dtype != self.float_dtype:  # float32 mode: lfilter upcasts
+            y = y.astype(self.float_dtype)
         return y
 
     def first_order_filter_stacked(self, x, coefs, zi):

@@ -6,37 +6,73 @@ otherwise, which the registry converts into a
 :class:`~repro.backend.base.BackendUnavailableError` with install guidance.
 
 Torch has no ``lfilter``, so the Eq.-13/Eq.-30 node-chain recursion
-``y_n = x_n + c * y_{n-1}`` is evaluated in closed form:
+``y_n = x_n + c * y_{n-1}`` is evaluated by one of two exact closed forms,
+auto-selected per call by chain length (``REPRO_FILTER_IMPL`` pins one):
 
-.. math::
+* **Toeplitz matmul** (short chains, e.g. the paper's ``N_x = 30``):
 
-    y_k = \\sum_{j \\le k} c^{k-j} x_j + c^k \\cdot zi
-        \\;\\Longleftrightarrow\\; y = x\\,T(c) + zi \\cdot c^{[0..n)}
+  .. math::
 
-with :math:`T(c)` the lower-triangular Toeplitz matrix of powers of ``c``
-(cached per ``(c, n, device)``).  One ``(N, n) @ (n, n)`` matmul replaces
-the sequential scan — exact, and the shape accelerators are built for.
+      y_k = \\sum_{j \\le k} c^{k-j} x_j + c^k \\cdot zi
+          \\;\\Longleftrightarrow\\; y = x\\,T(c) + zi \\cdot c^{[0..n)}
+
+  with :math:`T(c)` the lower-triangular Toeplitz matrix of powers of
+  ``c``, held in an LRU cache keyed ``(c, n)`` (one stale entry evicted
+  per insert beyond 64 — a sweep's working set survives).
+
+* **Associative scan** (long chains): the log-depth recursive-doubling
+  scan of :mod:`repro.backend.scan` — O(n log n) fused multiply-adds
+  instead of an O(n²) matrix that stops fitting in cache (or memory) at
+  long ``T``.
+
 The identity-reservoir *flat-chain* fast path needs an arbitrary-order
 filter, which Torch does not get (``has_general_lfilter = False``); the
 reservoir transparently falls back to its per-step path there, computing
 the same trajectory through first-order filters only.
+
+Fused chains & precision
+------------------------
+The :meth:`~repro.backend.base.ArrayBackend.fused_filter_prep` /
+``fused_backward_drive`` seam methods are wrapped in ``torch.compile``
+(one compiled artifact per nonlinearity, shared across shapes via
+``dynamic=True``) when compilation is available *and* enabled —
+``REPRO_TORCH_COMPILE=1`` forces it on, ``0`` off; unset enables it on
+CUDA devices only, since CPU inductor compile times usually exceed the
+fusion win for short sweeps.  Any compile/runtime failure falls back to
+the eager composition permanently (same arithmetic, just unfused).
+``masked_drive`` ships the raw ``(N, T, C)`` inputs and runs the mask
+contraction on device — a C/N_x-fold cut in host->device traffic.
+
+A ``dtype="float32"`` backend runs the whole hot path in single
+precision (float64 stays the default and the parity-pinned reference).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+import os
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 import torch
 
 from repro.backend._shape_ops import generic_dphi, generic_phi
 from repro.backend.base import ArrayBackend
+from repro.backend.scan import (
+    LRUCache,
+    first_order_scan,
+    first_order_scan_stacked,
+    use_scan,
+)
 
 __all__ = ["TorchBackend"]
 
+#: environment variable gating torch.compile on the fused chains:
+#: "1" forces on, "0" forces off, unset = on for CUDA devices only
+TORCH_COMPILE_ENV_VAR = "REPRO_TORCH_COMPILE"
+
 
 class TorchBackend(ArrayBackend):
-    """Double-precision Torch execution, on CPU or a CUDA device.
+    """Torch execution, on CPU or a CUDA device.
 
     Parameters
     ----------
@@ -44,23 +80,52 @@ class TorchBackend(ArrayBackend):
         Torch device string (``"cpu"``, ``"cuda"``, ``"cuda:1"``); ``None``
         auto-selects CUDA when available, else CPU.  Reachable from the
         environment as ``REPRO_BACKEND=torch:cuda`` etc.
+    dtype:
+        Working float precision, ``"float64"`` (default) or ``"float32"``
+        (``REPRO_BACKEND=torch:cuda@float32``).
     """
 
     name = "torch"
     float64 = torch.float64
     has_general_lfilter = False
 
-    def __init__(self, device: Optional[str] = None):
+    def __init__(self, device: Optional[str] = None, dtype: str = "float64"):
         if device is None:
             device = "cuda" if torch.cuda.is_available() else "cpu"
+        if dtype not in ("float64", "float32"):
+            raise ValueError(
+                f"dtype must be 'float64' or 'float32', got {dtype!r}"
+            )
         self._device = torch.device(device)
         self.device = str(self._device)
-        self._toeplitz_cache: Dict[Tuple[float, int], Tuple] = {}
+        self.dtype_name = dtype
+        self.float_dtype = (
+            torch.float64 if dtype == "float64" else torch.float32
+        )
+        self._toeplitz_cache = LRUCache(maxsize=64)
         #: single-entry cache for the stacked (K, n, n) Toeplitz pile: a
         #: fused sweep reuses one coefficient tuple for every time step,
         #: but tuples rarely recur across blocks, so holding more than the
         #: most recent stack would only pin dead device memory
         self._stacked_cache: Optional[Tuple] = None
+        #: compiled fused-chain kernels keyed by (kind, nonlinearity);
+        #: values fall back to the eager composition when compilation is
+        #: disabled, unavailable, or failed at runtime
+        self._fused_cache: dict = {}
+        self._compile_enabled = self._resolve_compile_policy()
+
+    def _resolve_compile_policy(self) -> bool:
+        if not hasattr(torch, "compile"):
+            return False
+        flag = os.environ.get(TORCH_COMPILE_ENV_VAR, "").strip()
+        if flag == "1":
+            return True
+        if flag == "0":
+            return False
+        # unset: CPU inductor compiles usually cost more than they save on
+        # the short sweeps of the test/bench suites; CUDA is where the
+        # kernel-launch fusion pays
+        return self._device.type == "cuda"
 
     def asarray(self, a, dtype=None):
         if isinstance(a, np.ndarray) and not a.flags.writeable:
@@ -68,9 +133,15 @@ class TorchBackend(ArrayBackend):
             # e.g. the trainer's no-copy final_window slices
             a = np.array(a)
         if dtype is None and not isinstance(a, torch.Tensor):
-            # float64 end to end: NumPy inputs keep their dtype, Python
-            # scalars/lists promote to the backend's double precision
-            dtype = None if isinstance(a, np.ndarray) else self.float64
+            if isinstance(a, np.ndarray):
+                # float64 mode: NumPy inputs keep their dtype (bit-pinned
+                # reference behaviour); float32 mode narrows double data
+                if (self.float_dtype is not torch.float64
+                        and a.dtype == np.float64):
+                    dtype = self.float_dtype
+            else:
+                # Python scalars/lists promote to the working precision
+                dtype = self.float_dtype
         return torch.as_tensor(a, dtype=dtype, device=self._device)
 
     def to_numpy(self, a):
@@ -79,10 +150,10 @@ class TorchBackend(ArrayBackend):
         return np.asarray(a)
 
     def zeros(self, shape):
-        return torch.zeros(shape, dtype=self.float64, device=self._device)
+        return torch.zeros(shape, dtype=self.float_dtype, device=self._device)
 
     def empty(self, shape):
-        return torch.empty(shape, dtype=self.float64, device=self._device)
+        return torch.empty(shape, dtype=self.float_dtype, device=self._device)
 
     def atleast_2d(self, a):
         return torch.atleast_2d(a)
@@ -158,8 +229,82 @@ class TorchBackend(ArrayBackend):
             out = self.asarray(nonlinearity.dphi(self.to_numpy(s)))
         return out
 
+    # -------------------------------------------------------------- #
+    # fused element-wise chains (torch.compile with eager fallback)
+    # -------------------------------------------------------------- #
+
+    def _fused(self, kind: str, nonlinearity, make_eager):
+        """Resolve the fused kernel for ``(kind, nonlinearity)``.
+
+        Compiles lazily; any failure (no compiler backend, unsupported op,
+        runtime error on first call) demotes the entry to the eager
+        composition permanently — identical arithmetic, just unfused.
+        """
+        key = (kind, type(nonlinearity).__name__, repr(nonlinearity))
+        entry = self._fused_cache.get(key)
+        if entry is None:
+            eager = make_eager()
+            compiled = None
+            if (self._compile_enabled
+                    and generic_phi(torch, nonlinearity,
+                                    torch.zeros(1)) is not None):
+                try:
+                    compiled = torch.compile(eager, dynamic=True)
+                except Exception:
+                    compiled = None
+            entry = [compiled, eager]
+            self._fused_cache[key] = entry
+        return entry
+
+    def fused_filter_prep(self, nonlinearity, j_k, x_prev, a_mul, b_mul):
+        def make():
+            def prep(j_k, x_prev, a_mul):
+                s = j_k + x_prev
+                return s, a_mul * self.phi(nonlinearity, s)
+            return prep
+
+        entry = self._fused("prep", nonlinearity, make)
+        fn = entry[0] if entry[0] is not None else entry[1]
+        try:
+            s, c = fn(j_k, x_prev, a_mul)
+        except Exception:
+            if entry[0] is None:
+                raise
+            entry[0] = None  # compiled artifact misbehaved: stay eager
+            s, c = entry[1](j_k, x_prev, a_mul)
+        zi = (b_mul * x_prev[..., -1])[..., None]
+        return s, c, zi
+
+    def fused_backward_drive(self, nonlinearity, drive, pre_next, g_next,
+                             a_mul):
+        def make():
+            def tail(drive, pre_next, g_next, a_mul):
+                return drive + a_mul * self.dphi(nonlinearity, pre_next) * g_next
+            return tail
+
+        entry = self._fused("bwd", nonlinearity, make)
+        fn = entry[0] if entry[0] is not None else entry[1]
+        try:
+            return fn(drive, pre_next, g_next, a_mul)
+        except Exception:
+            if entry[0] is None:
+                raise
+            entry[0] = None
+            return entry[1](drive, pre_next, g_next, a_mul)
+
+    def masked_drive(self, mask, u):
+        # ship the raw (N, T, C) inputs and contract on device: C is the
+        # channel count, N_x the node count — a N_x/C-fold traffic cut
+        u_dev = self.asarray(np.ascontiguousarray(u))
+        m_dev = self.asarray(mask.matrix)
+        return u_dev @ m_dev.transpose(0, 1)
+
+    # -------------------------------------------------------------- #
+    # first-order node chains: Toeplitz matmul or associative scan
+    # -------------------------------------------------------------- #
+
     def _toeplitz(self, coef: float, n: int, dtype):
-        key = (float(coef), n)
+        key = (float(coef), n, dtype)
         cached = self._toeplitz_cache.get(key)
         if cached is None:
             idx = torch.arange(n, dtype=dtype, device=self._device)
@@ -170,17 +315,19 @@ class TorchBackend(ArrayBackend):
                               coef ** torch.clamp(diff, min=0.0), zero)
             powers = coef ** idx
             cached = (mat, powers)
-            if len(self._toeplitz_cache) > 64:  # bound the per-(A, B) cache
-                self._toeplitz_cache.clear()
-            self._toeplitz_cache[key] = cached
+            self._toeplitz_cache.put(key, cached)
         return cached
 
     def first_order_filter(self, x, coef: float, zi):
+        if use_scan(x.shape[-1]):
+            return first_order_scan(self, x, coef, zi)
         mat, powers = self._toeplitz(coef, x.shape[-1], x.dtype)
         return x @ mat + zi * powers
 
     def first_order_filter_stacked(self, x, coefs, zi):
         n = x.shape[-1]
+        if use_scan(n):
+            return first_order_scan_stacked(self, x, coefs, zi)
         key = (tuple(float(c) for c in coefs), n)
         if self._stacked_cache is not None and self._stacked_cache[0] == key:
             _, mats, powers = self._stacked_cache

@@ -5,11 +5,11 @@ Usage (installed as ``repro-bench``, or ``python -m repro.bench``):
 .. code-block:: console
 
     repro-bench table1 [--datasets JPVOW LIB ...] [--size-profile bench]
-                       [--workers 4] [--backend torch]
+                       [--workers 4] [--backend torch] [--dtype float32]
                        [--search descent --population 16]
     repro-bench table2
     repro-bench fig6 [--dataset CHAR] [--divisions 5] [--workers 4]
-                     [--backend torch]
+                     [--backend torch] [--dtype float32]
     repro-bench ablation-truncation [--dataset LIB]
     repro-bench ablation-nonlinearity [--datasets JPVOW LIB]
     repro-bench ablation-bitwidth [--dataset JPVOW]
@@ -68,6 +68,18 @@ def _add_backend(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_dtype(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dtype", choices=("float32", "float64"), default=None,
+        help="working float precision of the backend sweeps (float64 is "
+             "the bit-pinned default; float32 trades exactness for device "
+             "throughput, bounded by the tolerance contract in "
+             "docs/ARCHITECTURE.md). Default: the backend spec's @dtype "
+             "suffix, else the REPRO_DTYPE environment variable, else "
+             "float64",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -99,6 +111,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workers(p)
     _add_backend(p)
+    _add_dtype(p)
     _add_common(p)
 
     p = sub.add_parser("table2", help="storage reduction (Table 2, exact)")
@@ -110,6 +123,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--reference-divisions", type=int, default=10)
     _add_workers(p)
     _add_backend(p)
+    _add_dtype(p)
     _add_common(p)
 
     p = sub.add_parser("ablation-truncation", help="backward-window sweep")
@@ -150,6 +164,7 @@ def main(argv=None) -> int:
             population=args.population,
             workers=args.workers,
             backend=args.backend,
+            dtype=args.dtype,
         )
         print()
         print(format_table1(rows))
@@ -165,6 +180,7 @@ def main(argv=None) -> int:
             seed=args.seed,
             workers=args.workers,
             backend=args.backend,
+            dtype=args.dtype,
         )
         print()
         print(format_fig6(result))

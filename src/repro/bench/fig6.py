@@ -59,6 +59,7 @@ def run_fig6(
     seed: int = 0,
     workers: Optional[int] = None,
     backend: Optional[str] = None,
+    dtype: Optional[str] = None,
     verbose: bool = True,
 ) -> Fig6Result:
     """Run the two-level recursive zoom plus an exhaustive reference grid.
@@ -72,12 +73,17 @@ def run_fig6(
     ``None`` defers to ``REPRO_BACKEND``.  It threads through both the
     feature extractor and the search executors, exactly like
     ``repro-bench table1 --backend``.
+
+    ``dtype`` selects the working float precision of those sweeps
+    ("float64" default, "float32" opt-in); ``None`` defers to the spec's
+    ``@dtype`` suffix / ``REPRO_DTYPE``.
     """
     data = load_dataset(dataset, size_profile=size_profile, seed=seed)
     if verbose:
         print(f"[fig6] {data.summary()}", flush=True)
     extractor = DFRFeatureExtractor(n_nodes=n_nodes, seed=seed,
-                                    backend=backend).fit(data.u_train)
+                                    backend=backend,
+                                    dtype=dtype).fit(data.u_train)
 
     recursive = RecursiveGridSearch(extractor, divisions=divisions, seed=seed,
                                     workers=workers, backend=backend)

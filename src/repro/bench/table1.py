@@ -58,6 +58,8 @@ class Table1Row:
     search: str = "backprop"
     #: restart count of the descent phase (1 for plain backprop)
     population: int = 1
+    #: working float precision of the backend phases
+    dtype: str = "float64"
 
 
 def run_dataset(
@@ -73,6 +75,7 @@ def run_dataset(
     population: Optional[int] = None,
     workers: Optional[int] = None,
     backend: Optional[str] = None,
+    dtype: Optional[str] = None,
 ) -> Table1Row:
     """Run the full bp-vs-grid-search protocol on one dataset.
 
@@ -93,6 +96,10 @@ def run_dataset(
     ``backend`` selects the array backend for both phases — the batched
     training engine (when ``batch_size > 1``) and every grid candidate's
     reservoir/DPRR sweeps; ``None`` defers to ``REPRO_BACKEND``.
+
+    ``dtype`` selects the working float precision of those backend phases
+    ("float64" default, "float32" opt-in); ``None`` defers to the spec's
+    ``@dtype`` suffix / ``REPRO_DTYPE``.
     """
     data = load_dataset(key, size_profile=size_profile, seed=seed)
 
@@ -105,6 +112,7 @@ def run_dataset(
         population=population,
         workers=workers,
         backend=backend,
+        dtype=dtype,
         seed=seed,
     )
     clf.fit(data.u_train, data.y_train)
@@ -115,7 +123,8 @@ def run_dataset(
     # a fresh extractor with the same seed gives the identical mask and
     # standardizer, so both methods see the same feature pipeline
     extractor = DFRFeatureExtractor(n_nodes=n_nodes, seed=seed,
-                                    backend=backend).fit(data.u_train)
+                                    backend=backend,
+                                    dtype=dtype).fit(data.u_train)
     grid = GridSearch(extractor, seed=seed, workers=workers, backend=backend)
     outcome = grid.search_until(
         data.u_train,
@@ -141,6 +150,7 @@ def run_dataset(
         search=search,
         population=(clf.population_.population
                     if clf.population_ is not None else 1),
+        dtype=dtype or "float64",
     )
 
 
@@ -157,6 +167,7 @@ def run_table1(
     population: Optional[int] = None,
     workers: Optional[int] = None,
     backend: Optional[str] = None,
+    dtype: Optional[str] = None,
     verbose: bool = True,
 ) -> List[Table1Row]:
     """Run the Table 1 protocol over a set of datasets (default: all 12)."""
@@ -177,6 +188,7 @@ def run_table1(
             population=population,
             workers=workers,
             backend=backend,
+            dtype=dtype,
         )
         if verbose:
             print(
@@ -211,6 +223,7 @@ def format_table1(rows: Sequence[Table1Row]) -> str:
                 f"{paper_ratio}",
             ]
         )
+    dtypes = sorted({row.dtype for row in rows}) or ["float64"]
     return format_table(
         [
             "dataset",
@@ -227,5 +240,6 @@ def format_table1(rows: Sequence[Table1Row]) -> str:
         ],
         table_rows,
         title="Table 1 — backpropagation vs grid search "
+        f"[dtype {'/'.join(dtypes)}] "
         "('+' marks grids stopped at the division cap)",
     )

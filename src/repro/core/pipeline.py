@@ -76,6 +76,7 @@ class DFRFeatureExtractor:
         mask_gamma: float = 1.0,
         feature_batch_size: Optional[int] = None,
         backend: Optional[str] = None,
+        dtype: Optional[str] = None,
         seed: SeedLike = None,
     ):
         if n_nodes < 1:
@@ -95,6 +96,9 @@ class DFRFeatureExtractor:
         #: many samples so the peak trace storage is bounded at
         #: ``feature_batch_size * (T+1) * N_x`` regardless of the batch size
         self.feature_batch_size = feature_batch_size
+        #: working float precision ("float64"/"float32"); None defers to
+        #: the spec's @dtype suffix / REPRO_DTYPE (float64 when unset)
+        self.dtype = dtype
         #: array backend spec for the reservoir/DPRR sweeps; None defers to
         #: the REPRO_BACKEND environment variable (NumPy when unset).  The
         #: spec string (not the resolved object) is what snapshots carry.
@@ -119,7 +123,8 @@ class DFRFeatureExtractor:
         """
         self.backend_spec = backend
         self.backend = (
-            default_backend() if backend is None else resolve_backend(backend)
+            default_backend(dtype=self.dtype) if backend is None
+            else resolve_backend(backend, dtype=self.dtype)
         )
 
     def fit(self, u_train: np.ndarray) -> "DFRFeatureExtractor":
@@ -201,6 +206,7 @@ class DFRFeatureExtractor:
             mean=np.array(self.standardizer.mean_, copy=True),
             std=np.array(self.standardizer.std_, copy=True),
             backend=self.backend_spec,
+            dtype=self.dtype,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
@@ -233,6 +239,9 @@ class ExtractorConfig:
     #: device handles do not); None re-resolves REPRO_BACKEND on build,
     #: so worker processes honour their own environment
     backend: Optional[str] = None
+    #: working float precision ("float64"/"float32"); None defers to the
+    #: spec's @dtype suffix / REPRO_DTYPE on build
+    dtype: Optional[str] = None
 
     def build(self) -> DFRFeatureExtractor:
         """Reconstruct the fitted extractor this config was snapshot from."""
@@ -244,6 +253,7 @@ class ExtractorConfig:
             mask_gamma=self.mask_gamma,
             feature_batch_size=self.feature_batch_size,
             backend=self.backend,
+            dtype=self.dtype,
         )
         extractor.standardizer.mean_ = np.array(self.mean, copy=True)
         extractor.standardizer.std_ = np.array(self.std, copy=True)
@@ -526,6 +536,13 @@ class DFRClassifier:
         to the ``REPRO_BACKEND`` environment variable (NumPy when unset);
         the per-sample SGD of ``batch_size=1`` always runs the pinned
         NumPy reference.
+    dtype:
+        Working float precision for the backend sweeps and the batched
+        engine: ``None`` defers to the backend spec's ``@dtype`` suffix /
+        ``REPRO_DTYPE`` (float64 when unset); ``"float32"`` opts into
+        single precision (rtol-bounded against the float64 reference —
+        tolerance contract in ``docs/ARCHITECTURE.md``).  The per-sample
+        SGD path stays float64 regardless.
     seed:
         Master seed (mask, shuffling, splits).
 
@@ -553,6 +570,7 @@ class DFRClassifier:
         population: Optional[int] = None,
         workers: Optional[int] = None,
         backend: Optional[str] = None,
+        dtype: Optional[str] = None,
         seed: SeedLike = None,
     ):
         if search not in ("backprop", "descent"):
@@ -564,6 +582,7 @@ class DFRClassifier:
         self.population = population
         self.workers = workers
         self.backend = backend
+        self.dtype = dtype
         self._executor = None
         self._executor_workers = None
         self.extractor = DFRFeatureExtractor(
@@ -573,6 +592,7 @@ class DFRClassifier:
             mask_kind=mask_kind,
             mask_gamma=mask_gamma,
             backend=backend,
+            dtype=dtype,
             seed=self._rng,
         )
         self.config = config if config is not None else TrainerConfig()
@@ -580,6 +600,8 @@ class DFRClassifier:
             self.config = replace(self.config, batch_size=int(batch_size))
         if backend is not None and self.config.backend is None:
             self.config = replace(self.config, backend=backend)
+        if dtype is not None and self.config.dtype is None:
+            self.config = replace(self.config, dtype=dtype)
         self.betas = tuple(betas)
         self.val_fraction = float(val_fraction)
         # fitted attributes

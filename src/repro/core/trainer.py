@@ -80,10 +80,20 @@ class TrainerConfig:
     #: unset).  The ``batch_size=1`` per-sample path is the paper's pinned
     #: NumPy reference and ignores this knob.
     backend: Optional[str] = None
+    #: working float precision of the batched engine: None defers to the
+    #: spec's ``@dtype`` suffix / ``REPRO_DTYPE`` (float64 when unset);
+    #: "float32" opts into single precision (rtol-bounded, see
+    #: docs/ARCHITECTURE.md).  The per-sample path stays float64.
+    dtype: Optional[str] = None
 
     def __post_init__(self):
         if self.epochs < 1:
             raise ValueError(f"epochs must be >= 1, got {self.epochs}")
+        if self.dtype not in (None, "float64", "float32"):
+            raise ValueError(
+                f"dtype must be None, 'float64' or 'float32', "
+                f"got {self.dtype!r}"
+            )
         if self.batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
         if self.window is not None and self.window < 1:
@@ -159,7 +169,7 @@ class BackpropTrainer:
         self.rng = ensure_rng(seed)
         self.engine = BackpropEngine(
             reservoir.nonlinearity, dprr=self.dprr, window=self.config.window,
-            backend=self.config.backend,
+            backend=self.config.backend, dtype=self.config.dtype,
         )
         #: backend executing the batched forward/backward (the per-sample
         #: path always runs the NumPy reference)

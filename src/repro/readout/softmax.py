@@ -216,11 +216,11 @@ class SoftmaxReadout:
             readout's own (shared) parameters for every candidate.
         """
         xb = infer_backend(features) if backend is None else resolve_backend(backend)
-        r = xb.asarray(features, dtype=xb.float64)
+        r = xb.asarray(features, dtype=xb.float_dtype)
         if r.ndim < 2:
             r = xb.atleast_2d(r)
         stacked = r.ndim == 3
-        d = xb.asarray(targets_onehot, dtype=xb.float64)
+        d = xb.asarray(targets_onehot, dtype=xb.float_dtype)
         if not stacked:
             d = xb.atleast_2d(d)
         if r.shape[-1] != self.n_features:
@@ -235,9 +235,9 @@ class SoftmaxReadout:
                 + f", got {tuple(d.shape)}"
             )
         weights = xb.asarray(self.weights if weights is None else weights,
-                             dtype=xb.float64)
+                             dtype=xb.float_dtype)
         bias = xb.asarray(self.bias if bias is None else bias,
-                          dtype=xb.float64)
+                          dtype=xb.float_dtype)
         if weights.ndim == 3:
             if not stacked or weights.shape[0] != r.shape[0]:
                 raise ValueError(
@@ -265,7 +265,11 @@ class SoftmaxReadout:
         shifted = z - xb.max(z, axis=-1, keepdims=True)
         e = xb.exp(shifted)
         probs = e / xb.sum(e, axis=-1, keepdims=True)
-        losses = -xb.sum(d * xb.log(xb.maximum_scalar(probs, _EPS)), axis=-1)
+        # _EPS (1e-300) underflows to 0 in float32 working precision, which
+        # would reintroduce log(0); floor it at the dtype's smallest normal.
+        # In float64 tiny < _EPS, so the bit-pinned floor is unchanged.
+        eps = max(_EPS, float(np.finfo(np.dtype(xb.dtype_name)).tiny))
+        losses = -xb.sum(d * xb.log(xb.maximum_scalar(probs, eps)), axis=-1)
         deltas = probs - d
         return BatchOutputGradients(
             losses=losses,

@@ -288,7 +288,7 @@ class ModularDFR:
         u = as_batch(u)
         A, B, n_cand = _check_params(A, B)
         xb = self.backend if backend is None else resolve_backend(backend)
-        j = xb.asarray(self.mask.apply(u))  # (N, T, N_x)
+        j = xb.masked_drive(self.mask, u)  # (N, T, N_x)
         n, t_len, nx = j.shape
         nonlinearity = self.nonlinearity
         stacked = n_cand is not None
@@ -321,10 +321,10 @@ class ModularDFR:
                 a_mul = xb.asarray(A)[:, None, None] if stacked else A
                 b_mul = xb.asarray(B)[:, None] if stacked else B
                 for k in range(t_len):
-                    s = j[:, k, :] + states[..., k, :]
+                    s, c, zi = xb.fused_filter_prep(
+                        nonlinearity, j[:, k, :], states[..., k, :],
+                        a_mul, b_mul)
                     pre[..., k, :] = s
-                    c = a_mul * xb.phi(nonlinearity, s)
-                    zi = (b_mul * states[..., k, -1])[..., np.newaxis]
                     if stacked:
                         states[..., k + 1, :] = xb.first_order_filter_stacked(
                             c, B, zi)
@@ -355,7 +355,7 @@ class ModularDFR:
         u = as_batch(u)
         A, B, n_cand = _check_params(A, B)
         xb = self.backend if backend is None else resolve_backend(backend)
-        j = xb.asarray(self.mask.apply(u))
+        j = xb.masked_drive(self.mask, u)
         n, t_len, nx = j.shape
         window = _check_window(window, t_len)
         nonlinearity = self.nonlinearity
@@ -372,9 +372,8 @@ class ModularDFR:
         with xb.errstate():
             for k in range(t_len):
                 x_prev = ring[..., -1, :]
-                s = j[:, k, :] + x_prev
-                c = a_mul * xb.phi(nonlinearity, s)
-                zi = (b_mul * x_prev[..., -1])[..., np.newaxis]
+                s, c, zi = xb.fused_filter_prep(
+                    nonlinearity, j[:, k, :], x_prev, a_mul, b_mul)
                 if stacked:
                     x_new = xb.first_order_filter_stacked(c, B, zi)
                 else:
@@ -446,7 +445,10 @@ def _divergence_flags(flat_per_sample, backend=None) -> np.ndarray:
     states — divergence flags are control flow, not hot-path data.
     """
     xb = resolve_backend(backend)
-    with np.errstate(invalid="ignore"):
+    # over="ignore": the limit itself overflows to inf when cast to a
+    # float32 array's dtype, which still compares correctly (non-finite
+    # values are caught by the isfinite term)
+    with np.errstate(invalid="ignore", over="ignore"):
         bad = ~xb.isfinite(flat_per_sample) | (
             xb.abs(flat_per_sample) > _DIVERGENCE_LIMIT
         )

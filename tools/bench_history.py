@@ -1,0 +1,240 @@
+#!/usr/bin/env python
+"""Persisted performance trajectory for the benchmark suite.
+
+Runs the pytest-benchmark suite (``benchmarks/``), condenses each
+benchmark into its min/mean timing plus the speedup ratios the suite
+stores in ``extra_info``, tags the entry with machine / backend / dtype /
+git metadata, and appends it to the committed ``BENCH_history.json`` at
+the repo root — so the repo carries its own performance trajectory and a
+regression shows up as a diff, not as a vanished artifact.
+
+Usage::
+
+    python tools/bench_history.py                  # run suite, append entry
+    python tools/bench_history.py --check          # also compare vs history
+    python tools/bench_history.py --check --no-append   # CI: compare only
+    python tools/bench_history.py --dry-run        # print entry, touch nothing
+
+``--check`` compares the fresh entry against the most recent *comparable*
+history entry (same machine fingerprint, backend set and dtype) and fails
+when any benchmark regressed beyond ``REPRO_BENCH_REGRESSION_FLOOR``
+(default 0.5: flag only when the new run is slower than floor x the old
+throughput, i.e. > 2x slower — wall-clock on shared runners is noisy, so
+the default only catches order-of-magnitude cliffs; tighten it locally).
+Incomparable entries (different machine/backend/dtype) are never compared.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+HISTORY_PATH = REPO_ROOT / "BENCH_history.json"
+
+#: environment variable: minimum acceptable new/old throughput ratio per
+#: benchmark before --check fails (0.5 = flag a > 2x slowdown)
+REGRESSION_FLOOR_ENV_VAR = "REPRO_BENCH_REGRESSION_FLOOR"
+DEFAULT_REGRESSION_FLOOR = 0.5
+
+
+def _git(*args: str) -> str:
+    try:
+        out = subprocess.run(
+            ["git", *args], cwd=REPO_ROOT, capture_output=True, text=True,
+            timeout=10,
+        )
+        return out.stdout.strip() if out.returncode == 0 else ""
+    except OSError:
+        return ""
+
+
+def machine_fingerprint() -> dict:
+    """A stable description of the hardware/software running the suite."""
+    return {
+        "hostname": platform.node(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def _available_backends() -> list:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.backend import available_backends
+
+        return available_backends()
+    finally:
+        sys.path.pop(0)
+
+
+def run_suite(pytest_args: list) -> dict:
+    """Run the benchmark suite, returning the pytest-benchmark JSON."""
+    with tempfile.TemporaryDirectory() as tmp:
+        json_path = Path(tmp) / "bench.json"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (str(REPO_ROOT / "src"),
+                        env.get("PYTHONPATH", "")) if p
+        )
+        cmd = [
+            sys.executable, "-m", "pytest", "-q", "benchmarks",
+            f"--benchmark-json={json_path}", *pytest_args,
+        ]
+        proc = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
+        if proc.returncode != 0:
+            raise SystemExit(
+                f"benchmark suite failed (exit {proc.returncode}); "
+                f"no history entry written"
+            )
+        with open(json_path) as fh:
+            return json.load(fh)
+
+
+def condense(report: dict) -> dict:
+    """Reduce a pytest-benchmark report to the trajectory payload."""
+    benchmarks = {}
+    for bench in report.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        entry = {
+            "min_seconds": stats.get("min"),
+            "mean_seconds": stats.get("mean"),
+            "rounds": stats.get("rounds"),
+        }
+        extra = bench.get("extra_info") or {}
+        if extra:
+            entry["extra_info"] = extra
+        benchmarks[bench["name"]] = entry
+    return benchmarks
+
+
+def build_entry(report: dict) -> dict:
+    return {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "git_sha": _git("rev-parse", "--short", "HEAD") or "unknown",
+        "git_branch": _git("rev-parse", "--abbrev-ref", "HEAD") or "unknown",
+        "machine": machine_fingerprint(),
+        "backends": _available_backends(),
+        "dtype": os.environ.get("REPRO_DTYPE", "") or "float64",
+        "backend_env": os.environ.get("REPRO_BACKEND", "") or "numpy",
+        "benchmarks": condense(report),
+    }
+
+
+def load_history() -> list:
+    if not HISTORY_PATH.exists():
+        return []
+    with open(HISTORY_PATH) as fh:
+        history = json.load(fh)
+    if not isinstance(history, list):
+        raise SystemExit(f"{HISTORY_PATH} must hold a JSON list")
+    return history
+
+
+def comparable(old: dict, new: dict) -> bool:
+    """Entries compare only on matching machine, backend set and dtype."""
+    return (
+        old.get("machine") == new.get("machine")
+        and old.get("backends") == new.get("backends")
+        and old.get("dtype") == new.get("dtype")
+        and old.get("backend_env") == new.get("backend_env")
+    )
+
+
+def check_regressions(history: list, entry: dict, floor: float) -> list:
+    """Benchmarks whose new/old throughput ratio fell below ``floor``."""
+    baseline = next(
+        (old for old in reversed(history) if comparable(old, entry)), None
+    )
+    if baseline is None:
+        print("[bench-history] no comparable baseline entry; check skipped")
+        return []
+    regressions = []
+    for name, new_stats in entry["benchmarks"].items():
+        old_stats = baseline["benchmarks"].get(name)
+        if not old_stats:
+            continue  # new benchmark: no baseline yet
+        old_min = old_stats.get("min_seconds")
+        new_min = new_stats.get("min_seconds")
+        if not old_min or not new_min:
+            continue
+        ratio = old_min / new_min  # > 1 means the new run is faster
+        if ratio < floor:
+            regressions.append(
+                f"{name}: {new_min:.6f}s vs baseline {old_min:.6f}s "
+                f"({baseline['git_sha']}) — throughput ratio {ratio:.2f} "
+                f"< floor {floor}"
+            )
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the benchmark suite and persist its trajectory."
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail when a benchmark regressed beyond "
+             f"{REGRESSION_FLOOR_ENV_VAR} vs the last comparable entry",
+    )
+    parser.add_argument(
+        "--no-append", action="store_true",
+        help="do not write the new entry to BENCH_history.json (CI mode: "
+             "compare only, the committed history stays author-curated)",
+    )
+    parser.add_argument(
+        "--dry-run", action="store_true",
+        help="print the condensed entry and exit without touching history",
+    )
+    parser.add_argument(
+        "pytest_args", nargs="*",
+        help="extra arguments forwarded to pytest (after --)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_suite(args.pytest_args)
+    entry = build_entry(report)
+
+    if args.dry_run:
+        json.dump(entry, sys.stdout, indent=2)
+        print()
+        return 0
+
+    history = load_history()
+
+    rc = 0
+    if args.check:
+        floor = float(
+            os.environ.get(REGRESSION_FLOOR_ENV_VAR, "")
+            or DEFAULT_REGRESSION_FLOOR
+        )
+        regressions = check_regressions(history, entry, floor)
+        for line in regressions:
+            print(f"[bench-history] REGRESSION {line}", file=sys.stderr)
+        if regressions:
+            rc = 1
+        else:
+            print("[bench-history] no regressions beyond the floor")
+
+    if not args.no_append:
+        history.append(entry)
+        with open(HISTORY_PATH, "w") as fh:
+            json.dump(history, fh, indent=2)
+            fh.write("\n")
+        print(f"[bench-history] appended entry {entry['git_sha']} "
+              f"({len(history)} total) to {HISTORY_PATH.name}")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())
