@@ -201,6 +201,21 @@ class ArrayBackend:
         """
         return self.asarray(mask.apply(u))
 
+    def streaming_masked_drive(self, mask, u):
+        """Masked drive for the *streaming* sweep (chunk-invariant bits).
+
+        Semantically identical to :meth:`masked_drive`; the NumPy reference
+        overrides it to evaluate the mask GEMM one time step at a time so
+        the result bits never depend on the chunk length a stream happens
+        to arrive in (BLAS picks different kernels for different GEMM
+        shapes).  That exactness is what lets a resumed
+        ``ModularDFR.run_streaming`` chunk sequence reproduce the one-shot
+        sweep bit for bit — the serving layer's correctness contract.
+        Device backends keep the fast full-chunk contraction: off NumPy
+        there is no bitwise contract, only the tolerance contract.
+        """
+        return self.masked_drive(mask, u)
+
     def fused_filter_prep(self, nonlinearity, j_k, x_prev, a_mul, b_mul):
         """One forward step's element-wise chain before the node filter.
 

@@ -124,6 +124,19 @@ class NumpyBackend(ArrayBackend):
     def dphi(self, nonlinearity, s):
         return nonlinearity.dphi(s)
 
+    def streaming_masked_drive(self, mask, u):
+        # one GEMM per time step: the (N, 1, C) @ (C, N_x) kernel is the
+        # same whatever chunk length the stream arrives in, so streaming
+        # drives are bit-identical across any chunking of the same series
+        # (BLAS picks shape-dependent kernels for a full-chunk GEMM, which
+        # shifts last-ulp bits between chunk sizes)
+        u = np.asarray(u, dtype=np.float64)
+        n, t_len, _ = u.shape
+        out = np.empty((n, t_len, mask.n_nodes))
+        for k in range(t_len):
+            out[:, k, :] = mask.apply(u[:, k:k + 1, :])[:, 0, :]
+        return self.asarray(out)
+
     def first_order_filter(self, x, coef: float, zi):
         y, _ = lfilter([1.0], np.array([1.0, -coef]), x, axis=-1, zi=zi)
         if y.dtype != self.float_dtype:  # float32 mode: lfilter upcasts

@@ -49,6 +49,7 @@ sits on a given machine.
 from __future__ import annotations
 
 import os
+import threading
 from collections import OrderedDict
 from typing import Optional
 
@@ -85,6 +86,11 @@ class LRUCache:
     evicting the whole dict on overflow (the previous behaviour) threw the
     entire working set away mid-sweep.  This cache drops exactly one stale
     entry per insert beyond capacity, and a :meth:`get` refreshes recency.
+
+    All operations take an internal lock: the serving engine ticks from
+    whatever thread the caller drives it on while ``REPRO_WORKERS`` feature
+    extraction fans out across a pool, and ``OrderedDict.move_to_end`` under
+    concurrent mutation can corrupt the recency list or raise spuriously.
     """
 
     def __init__(self, maxsize: int = 64):
@@ -92,35 +98,42 @@ class LRUCache:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.maxsize = int(maxsize)
         self._data: OrderedDict = OrderedDict()
+        self._lock = threading.RLock()
 
     def get(self, key):
         """Return the cached value (refreshing recency) or ``None``."""
-        try:
-            self._data.move_to_end(key)
-        except KeyError:
-            return None
-        return self._data[key]
+        with self._lock:
+            try:
+                self._data.move_to_end(key)
+            except KeyError:
+                return None
+            return self._data[key]
 
     def put(self, key, value) -> None:
         """Insert/overwrite ``key``, evicting only the oldest on overflow."""
-        if key in self._data:
-            self._data.move_to_end(key)
-        self._data[key] = value
-        while len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
 
     def clear(self) -> None:
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     def keys(self):
         """Keys in recency order (oldest first)."""
-        return list(self._data.keys())
+        with self._lock:
+            return list(self._data.keys())
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, key) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"LRUCache(maxsize={self.maxsize}, len={len(self._data)})"

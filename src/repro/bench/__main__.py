@@ -14,12 +14,14 @@ Usage (installed as ``repro-bench``, or ``python -m repro.bench``):
     repro-bench ablation-nonlinearity [--datasets JPVOW LIB]
     repro-bench ablation-bitwidth [--dataset JPVOW]
     repro-bench ablation-optimizer [--dataset JPVOW]
+    repro-bench serve [--streams 64] [--max-batch 64] [--json out.json]
     repro-bench all            # everything, in EXPERIMENTS.md order
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.bench.ablations import (
@@ -33,6 +35,7 @@ from repro.bench.ablations import (
     run_truncation_ablation,
 )
 from repro.bench.fig6 import format_fig6, run_fig6
+from repro.bench.serve import format_serve, run_serve_bench
 from repro.bench.table1 import format_table1, run_table1
 from repro.bench.table2 import format_table2, run_table2
 from repro.data.metadata import dataset_keys
@@ -143,6 +146,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dataset", default="JPVOW", choices=list(dataset_keys()))
     _add_common(p)
 
+    p = sub.add_parser(
+        "serve",
+        help="streaming inference under replayed traffic (serial vs "
+             "continuous batching, bitwise-verified)",
+    )
+    p.add_argument("--streams", type=int, default=64,
+                   help="concurrent sessions in the replayed trace")
+    p.add_argument("--chunks", type=int, default=4,
+                   help="chunks each session submits")
+    p.add_argument("--chunk-len", type=int, default=32,
+                   help="time steps per chunk")
+    p.add_argument("--channels", type=int, default=1)
+    p.add_argument("--n-nodes", type=int, default=30)
+    p.add_argument("--models", type=int, default=1,
+                   help="deployed models sharing the feature pipeline "
+                        "(>1 exercises the candidate-axis packing)")
+    p.add_argument(
+        "--max-batch", type=int, default=None,
+        help="sessions per fused sweep for the batched engine. Default: "
+             "--streams (one full-width sweep per round of arrivals)",
+    )
+    p.add_argument(
+        "--max-wait-ms", type=float, default=None,
+        help="continuous-batching deferral budget for partial batches. "
+             "Default: the REPRO_SERVE_MAX_WAIT_MS environment variable, "
+             "else 0 (never defer)",
+    )
+    p.add_argument("--repeats", type=int, default=3,
+                   help="replay repetitions; fastest wall-clock is kept")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also write the result dict as JSON to PATH "
+                        "('-' for stdout)")
+    _add_backend(p)
+    _add_dtype(p)
+
     p = sub.add_parser("all", help="run every harness")
     _add_common(p)
     return parser
@@ -212,6 +251,32 @@ def main(argv=None) -> int:
         )
         print()
         print(format_optimizer_ablation(args.dataset, points))
+    elif args.command == "serve":
+        result = run_serve_bench(
+            streams=args.streams,
+            chunks_per_session=args.chunks,
+            chunk_len=args.chunk_len,
+            n_channels=args.channels,
+            n_nodes=args.n_nodes,
+            n_models=args.models,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            repeats=args.repeats,
+            seed=args.seed,
+            backend=args.backend,
+            dtype=args.dtype,
+        )
+        print()
+        print(format_serve(result))
+        if args.json == "-":
+            json.dump(result, sys.stdout, indent=2)
+            print()
+        elif args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(result, fh, indent=2)
+                fh.write("\n")
+        if result["bitwise_mismatches"]:
+            return 1
     elif args.command == "all":
         print(format_table2(run_table2()))
         print()

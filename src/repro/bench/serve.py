@@ -1,0 +1,189 @@
+"""Serving bench: replayed traffic through serial vs batched engines.
+
+The harness answers two questions about :mod:`repro.serve`:
+
+1. *Is continuous batching worth it?*  The same seeded Poisson trace is
+   replayed through a ``max_batch=1`` engine (per-session serial serving)
+   and a wide-batch engine; the headline is the wall-clock speedup, with
+   p50/p99 chunk latency and batch occupancy alongside.
+2. *Does batching change answers?*  Every chunk's features, scores and
+   label from the two runs are compared **bitwise** — on the NumPy backend
+   the comparison must be exact, and the bench hard-fails otherwise.
+
+The benchmarked path exercises the full deployment loop: train a small
+pipeline, ``save_model`` / ``load_model`` round-trip, deploy the *loaded*
+snapshot, replay.  ``tools/bench_history.py --suite serve`` persists the
+numbers to the committed trajectory.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.pipeline import DFRFeatureExtractor
+from repro.readout.ridge import fit_ridge
+from repro.serve.engine import ServeEngine
+from repro.serve.model_store import ServableModel, load_model, save_model
+from repro.serve.replay import ReplayReport, poisson_trace, replay
+
+__all__ = ["run_serve_bench", "format_serve"]
+
+#: (A, B) pairs handed out round-robin when serving several models
+_MODEL_PARAMS = [(0.4, 0.5), (0.7, 0.2), (0.3, 0.6), (0.55, 0.35)]
+
+
+def _train_models(n_models: int, n_nodes: int, chunk_len: int,
+                  n_channels: int, seed: int) -> List[ServableModel]:
+    """Fit one shared feature pipeline and ridge readouts for each model."""
+    rng = np.random.default_rng(seed)
+    u = rng.standard_normal((48, chunk_len * 2, n_channels))
+    y = rng.integers(0, 3, 48)
+    ext = DFRFeatureExtractor(n_nodes=n_nodes, seed=seed).fit(u)
+    cfg = ext.snapshot()
+    models = []
+    for i in range(n_models):
+        a_par, b_par = _MODEL_PARAMS[i % len(_MODEL_PARAMS)]
+        feats, diverged = ext.features(u, a_par, b_par)
+        ridge = fit_ridge(feats[~diverged], y[~diverged], 1e-2)
+        models.append(ServableModel(
+            name=f"m{i}", A=a_par, B=b_par, config=cfg, readout=ridge,
+        ))
+    return models
+
+
+def _roundtrip(models: List[ServableModel]) -> List[ServableModel]:
+    """Persist and reload every model (the deployed artifact path)."""
+    out = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for model in models:
+            path = save_model(model, os.path.join(tmp, f"{model.name}.json"))
+            out.append(load_model(path))
+    return out
+
+
+def _mismatches(a: List, b: List) -> int:
+    """Count chunk results that are not bit-identical between two runs."""
+    index = {(r.session_id, r.seq): r for r in a}
+    if len(index) != len(a) or set(index) != {(r.session_id, r.seq)
+                                             for r in b}:
+        return max(len(a), len(b))
+    bad = 0
+    for r in b:
+        ref = index[(r.session_id, r.seq)]
+        same = (
+            np.array_equal(ref.features, r.features)
+            and (ref.scores is None) == (r.scores is None)
+            and (ref.scores is None or np.array_equal(ref.scores, r.scores))
+            and ref.label == r.label
+            and ref.diverged == r.diverged
+            and ref.n_steps == r.n_steps
+        )
+        bad += not same
+    return bad
+
+
+def run_serve_bench(
+    *,
+    streams: int = 64,
+    chunks_per_session: int = 4,
+    chunk_len: int = 32,
+    n_channels: int = 1,
+    n_nodes: int = 30,
+    n_models: int = 1,
+    max_batch: Optional[int] = None,
+    max_wait_ms: Optional[float] = None,
+    repeats: int = 3,
+    seed: int = 0,
+    backend: Optional[str] = None,
+    dtype: Optional[str] = None,
+) -> dict:
+    """Replay one trace through serial and batched engines; compare both.
+
+    Returns a JSON-ready dict: the two :class:`ReplayReport` summaries,
+    the speedup, and ``bitwise_mismatches`` (must be 0 on NumPy).  Each
+    configuration runs ``repeats`` times and keeps its fastest wall-clock
+    (per-run outputs are verified every time).
+    """
+    if max_batch is None:
+        max_batch = max(int(streams), 1)
+    models = _roundtrip(_train_models(
+        n_models, n_nodes, chunk_len, n_channels, seed))
+    trace = poisson_trace(
+        [m.name for m in models],
+        n_sessions=streams, chunks_per_session=chunks_per_session,
+        chunk_len=chunk_len, n_channels=n_channels, seed=seed + 1,
+    )
+
+    def run_once(mb: int) -> ReplayReport:
+        engine = ServeEngine(max_batch=mb, max_wait_ms=max_wait_ms,
+                             backend=backend, dtype=dtype)
+        for model in models:
+            engine.deploy(model)
+        return replay(engine, trace)
+
+    serial = batched = None
+    mismatches = 0
+    reference = None
+    for _ in range(max(int(repeats), 1)):
+        rep_s = run_once(1)
+        rep_b = run_once(max_batch)
+        if reference is None:
+            reference = rep_s.results
+        mismatches += _mismatches(reference, rep_s.results)
+        mismatches += _mismatches(reference, rep_b.results)
+        if serial is None or rep_s.wall_s < serial.wall_s:
+            serial = rep_s
+        if batched is None or rep_b.wall_s < batched.wall_s:
+            batched = rep_b
+    speedup = serial.wall_s / batched.wall_s if batched.wall_s > 0 else 0.0
+    return {
+        "streams": streams,
+        "chunks_per_session": chunks_per_session,
+        "chunk_len": chunk_len,
+        "n_channels": n_channels,
+        "n_nodes": n_nodes,
+        "n_models": n_models,
+        "max_batch": max_batch,
+        "max_wait_ms": max_wait_ms,
+        "repeats": repeats,
+        "seed": seed,
+        "backend": backend or "numpy",
+        "dtype": dtype or "float64",
+        "serial": serial.to_dict(),
+        "batched": batched.to_dict(),
+        "speedup": speedup,
+        "bitwise_mismatches": mismatches,
+    }
+
+
+def format_serve(result: dict) -> str:
+    """Render the bench result as the console table."""
+    lines = [
+        f"serving bench: {result['streams']} streams x "
+        f"{result['chunks_per_session']} chunks "
+        f"(T={result['chunk_len']}, C={result['n_channels']}, "
+        f"N_x={result['n_nodes']}), {result['n_models']} model(s), "
+        f"{result['backend']}/{result['dtype']}",
+        f"  {'engine':<22} {'wall_s':>8} {'sess/s':>9} {'chunks/s':>9} "
+        f"{'p50_ms':>8} {'p99_ms':>8} {'occupancy':>9}",
+    ]
+    for label, rep in (
+        ("serial (max_batch=1)", result["serial"]),
+        (f"batched (max_batch={result['max_batch']})", result["batched"]),
+    ):
+        lines.append(
+            f"  {label:<22} {rep['wall_s']:>8.4f} "
+            f"{rep['sessions_per_sec']:>9.1f} {rep['chunks_per_sec']:>9.1f} "
+            f"{rep['p50_ms']:>8.3f} {rep['p99_ms']:>8.3f} "
+            f"{rep['mean_occupancy']:>9.3f}"
+        )
+    verdict = ("bitwise OK" if result["bitwise_mismatches"] == 0
+               else f"{result['bitwise_mismatches']} MISMATCHES")
+    lines.append(
+        f"  speedup: {result['speedup']:.2f}x   batched == serial: {verdict}"
+    )
+    return "\n".join(lines)

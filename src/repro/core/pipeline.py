@@ -41,13 +41,14 @@ from repro.readout.ridge import PAPER_BETAS, RidgeSelection, select_beta
 from repro.representation.dprr import DPRR
 from repro.reservoir.masking import InputMask
 from repro.reservoir.modular import ModularDFR
-from repro.reservoir.nonlinearity import get_nonlinearity
+from repro.reservoir.nonlinearity import NONLINEARITIES, get_nonlinearity
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import as_batch, ensure_1d_labels
 
 __all__ = [
     "DFRFeatureExtractor",
     "ExtractorConfig",
+    "CONFIG_SCHEMA_VERSION",
     "DFRClassifier",
     "FixedParamsEvaluation",
     "evaluate_fixed_params",
@@ -56,6 +57,11 @@ __all__ = [
 
 #: the paper's reservoir size
 PAPER_N_NODES = 30
+
+#: schema version of :meth:`ExtractorConfig.to_dict`; bump on any field
+#: change so persisted snapshots from other releases fail loudly in
+#: :meth:`ExtractorConfig.from_dict` instead of mis-deserializing
+CONFIG_SCHEMA_VERSION = 1
 
 
 class DFRFeatureExtractor:
@@ -242,6 +248,106 @@ class ExtractorConfig:
     #: working float precision ("float64"/"float32"); None defers to the
     #: spec's @dtype suffix / REPRO_DTYPE on build
     dtype: Optional[str] = None
+    #: schema version stamped on every snapshot; :meth:`from_dict` rejects
+    #: versions this release does not know how to read
+    version: int = CONFIG_SCHEMA_VERSION
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable dict of this snapshot (exact round trip).
+
+        Arrays become nested lists and the nonlinearity its registry name
+        plus constructor parameters; Python's ``json`` round-trips finite
+        floats exactly, so :meth:`from_dict` of the serialized form rebuilds
+        a bit-identical config.  This is the on-disk representation the
+        serving layer's :func:`repro.serve.save_model` persists.
+        """
+        nl = get_nonlinearity(self.nonlinearity)
+        return {
+            "version": int(self.version),
+            "n_nodes": int(self.n_nodes),
+            "nonlinearity": {"name": nl.name, "params": dict(vars(nl))},
+            "normalize": self.normalize,
+            "mask_kind": self.mask_kind,
+            "mask_gamma": float(self.mask_gamma),
+            "feature_batch_size": self.feature_batch_size,
+            "mask_matrix": np.asarray(self.mask_matrix,
+                                      dtype=np.float64).tolist(),
+            "mean": np.asarray(self.mean, dtype=np.float64).tolist(),
+            "std": np.asarray(self.std, dtype=np.float64).tolist(),
+            "backend": self.backend,
+            "dtype": self.dtype,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExtractorConfig":
+        """Rebuild a config from :meth:`to_dict` output — strictly.
+
+        Unknown keys, missing keys and unsupported schema versions all
+        raise ``ValueError``: a persisted snapshot from an incompatible
+        release must fail loudly here rather than build a subtly wrong
+        extractor.
+        """
+        if not isinstance(data, dict):
+            raise TypeError(
+                f"ExtractorConfig.from_dict needs a dict, got "
+                f"{type(data).__name__}"
+            )
+        expected = {
+            "version", "n_nodes", "nonlinearity", "normalize", "mask_kind",
+            "mask_gamma", "feature_batch_size", "mask_matrix", "mean", "std",
+            "backend", "dtype",
+        }
+        unknown = sorted(set(data) - expected)
+        missing = sorted(expected - set(data))
+        if unknown or missing:
+            parts = []
+            if unknown:
+                parts.append(f"unknown keys {unknown}")
+            if missing:
+                parts.append(f"missing keys {missing}")
+            raise ValueError(
+                f"ExtractorConfig snapshot does not match schema version "
+                f"{CONFIG_SCHEMA_VERSION}: {'; '.join(parts)}"
+            )
+        version = data["version"]
+        if version != CONFIG_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported ExtractorConfig schema version {version!r}; "
+                f"this release reads version {CONFIG_SCHEMA_VERSION} only"
+            )
+        nl_spec = data["nonlinearity"]
+        if isinstance(nl_spec, dict):
+            extra = sorted(set(nl_spec) - {"name", "params"})
+            if extra or "name" not in nl_spec:
+                raise ValueError(
+                    f"nonlinearity entry must be {{'name', 'params'}}, got "
+                    f"keys {sorted(nl_spec)}"
+                )
+            nl_name = nl_spec["name"]
+            if nl_name not in NONLINEARITIES:
+                raise ValueError(
+                    f"unknown nonlinearity {nl_name!r}; known: "
+                    f"{sorted(NONLINEARITIES)}"
+                )
+            nonlinearity = NONLINEARITIES[nl_name](**nl_spec.get("params", {}))
+        else:
+            nonlinearity = get_nonlinearity(nl_spec)
+        feature_batch_size = data["feature_batch_size"]
+        return cls(
+            n_nodes=int(data["n_nodes"]),
+            nonlinearity=nonlinearity,
+            normalize=data["normalize"],
+            mask_kind=data["mask_kind"],
+            mask_gamma=float(data["mask_gamma"]),
+            feature_batch_size=(None if feature_batch_size is None
+                                else int(feature_batch_size)),
+            mask_matrix=np.asarray(data["mask_matrix"], dtype=np.float64),
+            mean=np.asarray(data["mean"], dtype=np.float64),
+            std=np.asarray(data["std"], dtype=np.float64),
+            backend=data["backend"],
+            dtype=data["dtype"],
+            version=int(version),
+        )
 
     def build(self) -> DFRFeatureExtractor:
         """Reconstruct the fitted extractor this config was snapshot from."""

@@ -89,6 +89,60 @@ class RidgeModel:
         labels = ensure_1d_labels(labels)
         return float((self.predict(features) == labels).mean())
 
+    def to_dict(self) -> dict:
+        """A JSON-serializable dict of the fitted readout (exact round trip).
+
+        Python's ``json`` serializes finite floats via ``repr`` and parses
+        them back to the same IEEE-754 doubles, so :meth:`from_dict` of the
+        serialized form scores bit-identically.
+        """
+        return {
+            "beta": float(self.beta),
+            "coef": np.asarray(self.coef, dtype=np.float64).tolist(),
+            "intercept": np.asarray(self.intercept,
+                                    dtype=np.float64).tolist(),
+            "feature_mean": np.asarray(self.feature_mean,
+                                       dtype=np.float64).tolist(),
+            "feature_std": np.asarray(self.feature_std,
+                                      dtype=np.float64).tolist(),
+            "n_classes": int(self.n_classes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RidgeModel":
+        """Rebuild a readout from :meth:`to_dict` output — strictly.
+
+        Unknown or missing keys raise ``ValueError`` so a snapshot written
+        by an incompatible release fails loudly instead of scoring wrong.
+        """
+        if not isinstance(data, dict):
+            raise TypeError(
+                f"RidgeModel.from_dict needs a dict, got "
+                f"{type(data).__name__}"
+            )
+        expected = {"beta", "coef", "intercept", "feature_mean",
+                    "feature_std", "n_classes"}
+        unknown = sorted(set(data) - expected)
+        missing = sorted(expected - set(data))
+        if unknown or missing:
+            parts = []
+            if unknown:
+                parts.append(f"unknown keys {unknown}")
+            if missing:
+                parts.append(f"missing keys {missing}")
+            raise ValueError(
+                f"RidgeModel snapshot does not match schema: "
+                f"{'; '.join(parts)}"
+            )
+        return cls(
+            beta=float(data["beta"]),
+            coef=np.asarray(data["coef"], dtype=np.float64),
+            intercept=np.asarray(data["intercept"], dtype=np.float64),
+            feature_mean=np.asarray(data["feature_mean"], dtype=np.float64),
+            feature_std=np.asarray(data["feature_std"], dtype=np.float64),
+            n_classes=int(data["n_classes"]),
+        )
+
 
 def _center_or_standardize(
     features: np.ndarray, standardize: bool

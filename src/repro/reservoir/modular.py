@@ -336,7 +336,7 @@ class ModularDFR:
 
     def run_streaming(
         self, u: np.ndarray, A, B, *, window: int = 1,
-        backend=None,
+        backend=None, resume: Optional[StreamingResult] = None,
     ) -> StreamingResult:
         """Run the reservoir keeping only the last ``window + 1`` states.
 
@@ -348,6 +348,18 @@ class ModularDFR:
         prepending a candidate axis to every result array (peak storage
         scales with K accordingly).
 
+        ``resume`` continues a previous streaming run: pass the
+        :class:`StreamingResult` of the preceding chunk (same ``A``/``B``,
+        same batch/candidate layout, same ``window``) and this call picks
+        up the state ring, pre-activation ring and DPRR accumulators where
+        that chunk left them.  Feeding a series chunk by chunk this way is
+        bit-identical to one :meth:`run_streaming` call over the
+        concatenated series (pinned by tests) — the seam the serving layer
+        (:mod:`repro.serve`) builds its per-stream sessions on.  The
+        carried arrays are copied, never mutated, so a caller may retain
+        the old result.  When resuming, every chunk must be at least
+        ``window`` steps long so all chunks agree on the ring width.
+
         Returns
         -------
         StreamingResult
@@ -355,20 +367,27 @@ class ModularDFR:
         u = as_batch(u)
         A, B, n_cand = _check_params(A, B)
         xb = self.backend if backend is None else resolve_backend(backend)
-        j = xb.masked_drive(self.mask, u)
+        j = xb.streaming_masked_drive(self.mask, u)
         n, t_len, nx = j.shape
-        window = _check_window(window, t_len)
         nonlinearity = self.nonlinearity
         stacked = n_cand is not None
         lead = (n_cand, n) if stacked else (n,)
         a_mul = xb.asarray(A)[:, None, None] if stacked else A
         b_mul = xb.asarray(B)[:, None] if stacked else B
 
-        # ring buffer of the last (window + 1) states, logically ordered
-        ring = xb.zeros(lead + (window + 1, nx))
-        pre_ring = xb.zeros(lead + (window, nx))
-        p_acc = xb.zeros(lead + (nx, nx))
-        s_acc = xb.zeros(lead + (nx,))
+        if resume is None:
+            window = _check_window(window, t_len)
+            # ring buffer of the last (window + 1) states, logically ordered
+            ring = xb.zeros(lead + (window + 1, nx))
+            pre_ring = xb.zeros(lead + (window, nx))
+            p_acc = xb.zeros(lead + (nx, nx))
+            s_acc = xb.zeros(lead + (nx,))
+            n_prev = 0
+            carried_diverged = None
+        else:
+            (window, ring, pre_ring, p_acc, s_acc, n_prev,
+             carried_diverged) = _resume_state(xb, resume, window, lead,
+                                               t_len, nx)
         with xb.errstate():
             for k in range(t_len):
                 x_prev = ring[..., -1, :]
@@ -389,12 +408,14 @@ class ModularDFR:
             _divergence_flags(ring.reshape(-1, (window + 1) * nx), xb)
             | _divergence_flags(p_acc.reshape(-1, nx * nx), xb)
         ).reshape(lead)
+        if carried_diverged is not None:
+            diverged = diverged | carried_diverged
         return StreamingResult(
             window_states=ring,
             window_pre_activations=pre_ring,
             dprr_sums=(p_acc, s_acc),
             diverged=diverged,
-            n_steps=t_len,
+            n_steps=n_prev + t_len,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
@@ -436,6 +457,47 @@ def _check_params(A, B) -> tuple:
     if not (np.isfinite(A).all() and np.isfinite(B).all()):
         raise ValueError("all A and B candidates must be finite")
     return A, B, A.shape[0]
+
+
+def _resume_state(xb, resume: StreamingResult, window: int, lead: tuple,
+                  t_len: int, nx: int):
+    """Unpack a carried :class:`StreamingResult` into fresh working state.
+
+    Every carried array is copied onto the executing backend, so the caller
+    may keep (or re-use) the old result; accumulator updates never alias it.
+    """
+    if not isinstance(resume, StreamingResult):
+        raise TypeError(
+            f"resume must be a StreamingResult from a previous "
+            f"run_streaming call, got {type(resume).__name__}"
+        )
+    if resume.dprr_sums is None:
+        raise ValueError(
+            "resume result carries no DPRR accumulators (it was sliced from "
+            "a full trace); resume only from a run_streaming result"
+        )
+    window = _check_window(window, t_len + resume.n_steps)
+    if resume.window != window:
+        raise ValueError(
+            f"resume window mismatch: the carried state has window "
+            f"{resume.window} but this chunk resolves to {window}; keep "
+            f"window <= every chunk length so all chunks agree"
+        )
+    ring = _copy_array(xb.asarray(resume.window_states))
+    expected = tuple(lead) + (window + 1, nx)
+    if tuple(ring.shape) != expected:
+        raise ValueError(
+            f"carried window_states have shape "
+            f"{tuple(resume.window_states.shape)}, expected {expected} — a "
+            f"resumed chunk must keep the batch/candidate layout of the "
+            f"carried stream"
+        )
+    pre_ring = _copy_array(xb.asarray(resume.window_pre_activations))
+    p_acc = _copy_array(xb.asarray(resume.dprr_sums[0]))
+    s_acc = _copy_array(xb.asarray(resume.dprr_sums[1]))
+    carried_diverged = np.asarray(resume.diverged, dtype=bool)
+    return (window, ring, pre_ring, p_acc, s_acc, resume.n_steps,
+            carried_diverged)
 
 
 def _divergence_flags(flat_per_sample, backend=None) -> np.ndarray:

@@ -1,0 +1,71 @@
+"""Streaming inference: model persistence, sessions, continuous batching.
+
+The serving layer turns a *trained* DFR pipeline into a deployable
+artifact and an engine that scores many concurrent input streams through
+the same fused array programs the training stack runs on:
+
+* :mod:`repro.serve.model_store` — one versioned JSON document per model
+  (extractor snapshot + ``(A, B)`` + ridge readout), exact round trip;
+* :mod:`repro.serve.session` — per-stream resumable reservoir state,
+  ``O(window * N_x)`` floats per stream;
+* :mod:`repro.serve.engine` — the continuous-batching scheduler packing
+  waiting sessions onto the batch axis and heterogeneous same-pipeline
+  models onto the candidate axis of one fused sweep;
+* :mod:`repro.serve.replay` — seeded Poisson traffic replay with latency
+  and occupancy accounting (the ``repro-bench serve`` harness).
+
+On the NumPy backend, batched serving is bit-identical to per-session
+serial serving — the scheduler's knobs trade latency for throughput and
+cannot change a score.
+"""
+
+from repro.serve.engine import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_WAIT_MS,
+    SERVE_MAX_BATCH_ENV,
+    SERVE_MAX_WAIT_ENV,
+    ChunkResult,
+    ServeEngine,
+    TickReport,
+    resolve_max_batch,
+    resolve_max_wait_ms,
+)
+from repro.serve.model_store import (
+    MODEL_FORMAT,
+    MODEL_FORMAT_VERSION,
+    ServableModel,
+    load_model,
+    save_model,
+)
+from repro.serve.replay import (
+    ReplayReport,
+    ReplayTrace,
+    TraceEvent,
+    poisson_trace,
+    replay,
+)
+from repro.serve.session import PendingChunk, StreamSession
+
+__all__ = [
+    "MODEL_FORMAT",
+    "MODEL_FORMAT_VERSION",
+    "ServableModel",
+    "save_model",
+    "load_model",
+    "PendingChunk",
+    "StreamSession",
+    "ServeEngine",
+    "ChunkResult",
+    "TickReport",
+    "SERVE_MAX_BATCH_ENV",
+    "SERVE_MAX_WAIT_ENV",
+    "DEFAULT_MAX_BATCH",
+    "DEFAULT_MAX_WAIT_MS",
+    "resolve_max_batch",
+    "resolve_max_wait_ms",
+    "TraceEvent",
+    "ReplayTrace",
+    "poisson_trace",
+    "ReplayReport",
+    "replay",
+]

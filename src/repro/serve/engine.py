@@ -1,0 +1,515 @@
+"""Continuous-batching scheduler over the fused candidate/batch axes.
+
+The training stack earned its throughput by turning per-candidate,
+per-sample Python loops into one fused array program (PR 4/5).  Serving
+has the same shape of problem from the other direction: many independent
+*streams* trickle chunks in at their own pace, and scoring each chunk
+alone wastes the very batch axis the reservoir sweep vectorizes over.
+
+:class:`ServeEngine` closes that gap with continuous batching:
+
+* ``submit()`` appends a chunk to its session's FIFO queue and the session
+  to the admission queue — nothing is computed on the submit path.
+* ``tick()`` packs the longest admissible FIFO prefix of waiting sessions
+  (up to ``max_batch``) into fused sweeps.  Sessions ride the **batch
+  axis**; when the packed sessions belong to *different* deployed models
+  that share a feature pipeline (equal
+  :meth:`~repro.serve.model_store.ServableModel.fingerprint`), the models'
+  ``(A, B)`` pairs ride the **candidate axis** of the same sweep — one
+  ``(K, N, T)`` program serves K heterogeneous models over N streams.
+* Each session's resumable reservoir state (the
+  :meth:`~repro.reservoir.modular.ModularDFR.run_streaming` carry) is
+  assembled into the batch before the sweep and sliced back out after, so
+  a stream may arrive in any chunking.
+
+Batching never changes answers on the NumPy backend: the streaming drive
+is evaluated step-wise (chunk- and batch-invariant bits), and every other
+op in the sweep — standardization, the per-step element-wise chain, the
+``lfilter`` recursion, the DPRR accumulators — is per-sample independent.
+A ``max_batch=64`` engine is therefore *bit-identical* to a
+``max_batch=1`` engine replaying the same chunks (pinned by tests); the
+knobs trade latency against throughput, never correctness.
+
+Scheduling knobs (constructor arguments, falling back to environment
+variables):
+
+* ``max_batch`` / ``REPRO_SERVE_MAX_BATCH`` — most sessions per fused
+  sweep (default 32).
+* ``max_wait_ms`` / ``REPRO_SERVE_MAX_WAIT_MS`` — how long a tick may
+  defer a partial batch hoping for more arrivals (default 0: never defer).
+  A tick defers only while the batch is short *and* the oldest waiting
+  chunk is younger than this; ``tick(force=True)`` (and :meth:`drain`)
+  overrides.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.backend import default_backend, resolve_backend
+from repro.reservoir.modular import StreamingResult
+from repro.serve.model_store import ServableModel
+from repro.serve.session import StreamSession
+
+__all__ = [
+    "SERVE_MAX_BATCH_ENV",
+    "SERVE_MAX_WAIT_ENV",
+    "DEFAULT_MAX_BATCH",
+    "DEFAULT_MAX_WAIT_MS",
+    "resolve_max_batch",
+    "resolve_max_wait_ms",
+    "ChunkResult",
+    "TickReport",
+    "ServeEngine",
+]
+
+#: environment variable bounding sessions per fused sweep
+SERVE_MAX_BATCH_ENV = "REPRO_SERVE_MAX_BATCH"
+#: environment variable bounding how long a partial batch may wait (ms)
+SERVE_MAX_WAIT_ENV = "REPRO_SERVE_MAX_WAIT_MS"
+
+DEFAULT_MAX_BATCH = 32
+DEFAULT_MAX_WAIT_MS = 0.0
+
+
+def resolve_max_batch(value: Optional[int] = None) -> int:
+    """``value`` if given, else ``REPRO_SERVE_MAX_BATCH``, else 32."""
+    if value is None:
+        raw = os.environ.get(SERVE_MAX_BATCH_ENV, "").strip()
+        if not raw:
+            return DEFAULT_MAX_BATCH
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{SERVE_MAX_BATCH_ENV} must be an integer, got {raw!r}"
+            ) from None
+    value = int(value)
+    if value < 1:
+        raise ValueError(f"max_batch must be >= 1, got {value}")
+    return value
+
+
+def resolve_max_wait_ms(value: Optional[float] = None) -> float:
+    """``value`` if given, else ``REPRO_SERVE_MAX_WAIT_MS``, else 0."""
+    if value is None:
+        raw = os.environ.get(SERVE_MAX_WAIT_ENV, "").strip()
+        if not raw:
+            return DEFAULT_MAX_WAIT_MS
+        try:
+            value = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"{SERVE_MAX_WAIT_ENV} must be a number, got {raw!r}"
+            ) from None
+    value = float(value)
+    if not np.isfinite(value) or value < 0.0:
+        raise ValueError(f"max_wait_ms must be finite and >= 0, got {value}")
+    return value
+
+
+@dataclass
+class ChunkResult:
+    """One scored chunk, handed back in completion order."""
+
+    session_id: str
+    model_name: str
+    seq: int                      # per-session chunk index
+    n_steps: int                  # cumulative stream length after this chunk
+    features: np.ndarray          # (N_r,) DPRR features of the whole stream
+    scores: Optional[np.ndarray]  # (N_y,) readout scores, None w/o readout
+    label: Optional[int]          # argmax class, None without a readout
+    diverged: bool
+    arrival: float                # engine-clock submit time
+    completed: float              # engine-clock completion time
+    batch_sessions: int           # sessions in the fused sweep that scored it
+    batch_models: int             # distinct models on that sweep's candidate axis
+
+    @property
+    def latency_ms(self) -> float:
+        return (self.completed - self.arrival) * 1e3
+
+
+@dataclass
+class TickReport:
+    """What one scheduler tick did."""
+
+    processed: int = 0            # chunks completed this tick
+    sweeps: int = 0               # fused reservoir sweeps launched
+    rows_computed: int = 0        # sum of K * N over the sweeps
+    deferred: bool = False        # True: partial batch held for max_wait_ms
+    queue_depth: int = 0          # sessions still waiting after the tick
+    occupancy: float = 0.0        # processed / (sweeps * max_batch)
+
+
+class _Deployment:
+    """A deployed model plus its rebuilt feature pipeline."""
+
+    __slots__ = ("model", "extractor", "fingerprint", "n_channels")
+
+    def __init__(self, model: ServableModel, backend_spec: Optional[str],
+                 dtype: Optional[str]):
+        self.model = model
+        # rebuild under the *engine's* backend/dtype, not the snapshot's
+        # preference — one engine, one numerics contract
+        cfg = model.config
+        self.extractor = cfg.build()
+        self.extractor.dtype = dtype
+        self.extractor.set_backend(backend_spec)
+        self.fingerprint = model.fingerprint()
+        self.n_channels = int(np.asarray(cfg.mask_matrix).shape[1])
+
+
+class ServeEngine:
+    """Streaming inference engine with continuous batching.
+
+    Parameters
+    ----------
+    max_batch, max_wait_ms:
+        Scheduling knobs; ``None`` reads ``REPRO_SERVE_MAX_BATCH`` /
+        ``REPRO_SERVE_MAX_WAIT_MS`` (defaults 32 / 0).
+    window:
+        Streaming ring width handed to ``run_streaming``.  Every submitted
+        chunk must be at least this many steps long (the resumable-state
+        ring invariant); serving needs no backprop window, so the default
+        1 keeps per-stream state minimal.
+    backend, dtype:
+        Array backend spec / precision for the fused sweeps; ``None``
+        defers to ``REPRO_BACKEND`` / ``REPRO_DTYPE``.  The bitwise
+        batched-equals-serial contract holds on NumPy; device backends
+        serve under the usual tolerance contract.
+    clock:
+        Monotonic time source (seconds); injectable for deterministic
+        scheduling tests.  Defaults to :func:`time.monotonic`.
+
+    All public methods take an internal lock, so submits may race ticks
+    from another thread.
+    """
+
+    def __init__(self, *, max_batch: Optional[int] = None,
+                 max_wait_ms: Optional[float] = None, window: int = 1,
+                 backend: Optional[str] = None, dtype: Optional[str] = None,
+                 clock: Optional[Callable[[], float]] = None):
+        self.max_batch = resolve_max_batch(max_batch)
+        self.max_wait_ms = resolve_max_wait_ms(max_wait_ms)
+        self.window = int(window)
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self._backend_spec = backend
+        self._dtype = dtype
+        self.backend = (default_backend(dtype=dtype) if backend is None
+                        else resolve_backend(backend, dtype=dtype))
+        self._clock = clock if clock is not None else time.monotonic
+        self._lock = threading.RLock()
+        self._deployments: Dict[str, _Deployment] = {}
+        self._sessions: Dict[str, StreamSession] = {}
+        self._queue: deque = deque()       # session ids with a pending head
+        self._results: deque = deque()
+        self._session_counter = 0
+        # lifetime stats
+        self.total_ticks = 0
+        self.total_sweeps = 0
+        self.total_chunks = 0
+        self.total_rows_computed = 0
+
+    # -------------------------------------------------------------- #
+    # deployment / session lifecycle
+    # -------------------------------------------------------------- #
+
+    def deploy(self, model: ServableModel) -> str:
+        """Register a model for serving; returns its deployment name."""
+        with self._lock:
+            if model.name in self._deployments:
+                raise ValueError(f"model {model.name!r} is already deployed")
+            dep = _Deployment(model, self._backend_spec, self._dtype)
+            self._deployments[model.name] = dep
+            return model.name
+
+    def models(self) -> List[str]:
+        with self._lock:
+            return list(self._deployments)
+
+    def open_session(self, model_name: str) -> str:
+        """Open a stream against a deployed model; returns the session id."""
+        with self._lock:
+            if model_name not in self._deployments:
+                raise KeyError(f"no deployed model named {model_name!r}")
+            self._session_counter += 1
+            session_id = f"s{self._session_counter:05d}"
+            self._sessions[session_id] = StreamSession(session_id, model_name)
+            return session_id
+
+    def close_session(self, session_id: str, *, discard: bool = False) -> None:
+        """Retire a session; refuses while chunks are pending unless told."""
+        with self._lock:
+            sess = self._session(session_id)
+            if sess.pending and not discard:
+                raise RuntimeError(
+                    f"session {session_id!r} has {len(sess.pending)} pending "
+                    f"chunk(s); drain() first or pass discard=True"
+                )
+            if sess.pending:
+                try:
+                    self._queue.remove(session_id)
+                except ValueError:
+                    pass
+            sess.closed = True
+            del self._sessions[session_id]
+
+    def submit(self, session_id: str, chunk: np.ndarray) -> int:
+        """Queue a ``(T, C)`` chunk on a session; returns its sequence no.
+
+        Nothing is computed here — the chunk waits for the next
+        :meth:`tick`.  ``T`` must be at least the engine ``window`` (every
+        resumed chunk has to fill the state ring) and ``C`` must match the
+        model's channel count.
+        """
+        chunk = np.asarray(chunk, dtype=np.float64)
+        if chunk.ndim != 2:
+            raise ValueError(
+                f"chunk must be (T, C), got shape {chunk.shape}"
+            )
+        with self._lock:
+            sess = self._session(session_id)
+            dep = self._deployments[sess.model_name]
+            if chunk.shape[1] != dep.n_channels:
+                raise ValueError(
+                    f"chunk has {chunk.shape[1]} channels, model "
+                    f"{sess.model_name!r} expects {dep.n_channels}"
+                )
+            if chunk.shape[0] < self.window:
+                raise ValueError(
+                    f"chunk has {chunk.shape[0]} steps, need >= window="
+                    f"{self.window} (streaming ring invariant)"
+                )
+            pending = sess.enqueue(chunk, self._clock())
+            if len(sess.pending) == 1:
+                self._queue.append(session_id)
+            return pending.seq
+
+    # -------------------------------------------------------------- #
+    # scheduling
+    # -------------------------------------------------------------- #
+
+    def tick(self, *, force: bool = False) -> TickReport:
+        """Run one scheduler step: pack waiting sessions, sweep, score.
+
+        Takes the FIFO prefix of the admission queue (at most
+        ``max_batch`` sessions, one head chunk each), buckets it by
+        (pipeline fingerprint, chunk length) — only same-shaped chunks
+        through the same numerics can share a sweep — and launches one
+        fused ``run_streaming`` per bucket.  With ``max_wait_ms > 0`` a
+        short batch is deferred while its oldest chunk is younger than the
+        deadline; ``force=True`` processes whatever is there.
+        """
+        with self._lock:
+            self.total_ticks += 1
+            report = TickReport(queue_depth=len(self._queue))
+            if not self._queue:
+                return report
+            if (not force and len(self._queue) < self.max_batch
+                    and self.max_wait_ms > 0.0):
+                oldest = min(
+                    self._sessions[sid].head.arrival for sid in self._queue
+                )
+                if (self._clock() - oldest) * 1e3 < self.max_wait_ms:
+                    report.deferred = True
+                    return report
+            taken = [self._queue.popleft()
+                     for _ in range(min(self.max_batch, len(self._queue)))]
+            buckets: Dict[tuple, List[str]] = {}
+            for sid in taken:
+                sess = self._sessions[sid]
+                dep = self._deployments[sess.model_name]
+                key = (dep.fingerprint, sess.head.t_len)
+                buckets.setdefault(key, []).append(sid)
+            for (_, t_len), sids in buckets.items():
+                rows = self._run_bucket(sids, t_len)
+                report.sweeps += 1
+                report.rows_computed += rows
+                report.processed += len(sids)
+            # sessions with further queued chunks re-enter at the tail
+            for sid in taken:
+                if self._sessions[sid].pending:
+                    self._queue.append(sid)
+            report.queue_depth = len(self._queue)
+            if report.sweeps:
+                report.occupancy = report.processed / (
+                    report.sweeps * self.max_batch)
+            self.total_sweeps += report.sweeps
+            self.total_chunks += report.processed
+            self.total_rows_computed += report.rows_computed
+            return report
+
+    def drain(self) -> List[TickReport]:
+        """Force ticks until no session has pending chunks."""
+        reports = []
+        while True:
+            with self._lock:
+                if not self._queue:
+                    return reports
+            reports.append(self.tick(force=True))
+
+    def pop_results(self) -> List[ChunkResult]:
+        """All completed chunk results since the last call, in order."""
+        with self._lock:
+            out = list(self._results)
+            self._results.clear()
+            return out
+
+    def stats(self) -> dict:
+        """Lifetime scheduling counters (occupancy, sweeps, rows)."""
+        with self._lock:
+            denom = self.total_sweeps * self.max_batch
+            return {
+                "ticks": self.total_ticks,
+                "sweeps": self.total_sweeps,
+                "chunks": self.total_chunks,
+                "rows_computed": self.total_rows_computed,
+                "mean_occupancy": (self.total_chunks / denom) if denom else 0.0,
+            }
+
+    # -------------------------------------------------------------- #
+    # internals
+    # -------------------------------------------------------------- #
+
+    def _session(self, session_id: str) -> StreamSession:
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise KeyError(f"no open session {session_id!r}") from None
+
+    def _run_bucket(self, sids: List[str], t_len: int) -> int:
+        """One fused sweep over same-fingerprint, same-length chunks.
+
+        Returns the number of (candidate, session) rows computed.
+        """
+        sessions = [self._sessions[sid] for sid in sids]
+        m = len(sessions)
+        dep = self._deployments[sessions[0].model_name]
+        xb = self.backend
+        # distinct models of the bucket -> candidate axis (stable order)
+        model_names: List[str] = []
+        for sess in sessions:
+            if sess.model_name not in model_names:
+                model_names.append(sess.model_name)
+        k = len(model_names)
+        model_row = {name: i for i, name in enumerate(model_names)}
+        chunks = np.stack([sess.head.data for sess in sessions])  # (m, T, C)
+        u_std = dep.extractor.standardizer.transform(chunks)
+        if k == 1:
+            a_par, b_par = dep.model.A, dep.model.B
+            lead = (m,)
+        else:
+            deps = [self._deployments[name] for name in model_names]
+            a_par = np.array([d.model.A for d in deps])
+            b_par = np.array([d.model.B for d in deps])
+            lead = (k, m)
+        resume = self._assemble_carry(sessions, lead)
+        result = dep.extractor.reservoir.run_streaming(
+            u_std, a_par, b_par, window=self.window, backend=xb,
+            resume=resume,
+        )
+        states = xb.to_numpy(result.window_states)
+        pres = xb.to_numpy(result.window_pre_activations)
+        p_acc = xb.to_numpy(result.dprr_sums[0])
+        s_acc = xb.to_numpy(result.dprr_sums[1])
+        diverged = np.asarray(result.diverged, dtype=bool)
+        completed = self._clock()
+        for i, sess in enumerate(sessions):
+            row = (model_row[sess.model_name], i) if k > 1 else (i,)
+            carry = StreamingResult(
+                window_states=states[row][None].copy(),
+                window_pre_activations=pres[row][None].copy(),
+                dprr_sums=(p_acc[row][None].copy(), s_acc[row][None].copy()),
+                diverged=np.array([diverged[row]]),
+                n_steps=sess.n_steps + t_len,
+            )
+            chunk = sess.head
+            sess.advance(carry, t_len)
+            sess_dep = self._deployments[sess.model_name]
+            feats = np.asarray(
+                sess_dep.extractor.dprr.features(carry))[0]
+            readout = sess_dep.model.readout
+            if readout is not None and not carry.diverged[0]:
+                scores = readout.scores(feats)[0]
+                label = int(scores.argmax())
+            else:
+                scores, label = None, None
+            self._results.append(ChunkResult(
+                session_id=sess.session_id,
+                model_name=sess.model_name,
+                seq=chunk.seq,
+                n_steps=sess.n_steps,
+                features=feats,
+                scores=scores,
+                label=label,
+                diverged=bool(carry.diverged[0]),
+                arrival=chunk.arrival,
+                completed=completed,
+                batch_sessions=m,
+                batch_models=k,
+            ))
+        return k * m
+
+    def _assemble_carry(self, sessions: List[StreamSession], lead: tuple
+                        ) -> Optional[StreamingResult]:
+        """Pack per-session carries into one resumable batch state.
+
+        Fresh sessions (no carry yet) contribute zero rows — exactly the
+        fresh-start initial state — so new and resumed streams mix freely
+        in one sweep.  For a stacked (K-model) sweep each session's batch-1
+        carry is replicated across all K candidate rows; only the row of
+        the session's own model is read back afterwards.  Returns ``None``
+        when every session is fresh (the plain fresh-start path).
+        """
+        if all(sess.carry is None for sess in sessions):
+            return None
+        w = self.window
+        nx = int(self._deployments[sessions[0].model_name].model.config.n_nodes)
+        stacked = len(lead) == 2
+        ring = np.zeros(lead + (w + 1, nx))
+        pre_ring = np.zeros(lead + (w, nx))
+        p_acc = np.zeros(lead + (nx, nx))
+        s_acc = np.zeros(lead + (nx,))
+        diverged = np.zeros(lead, dtype=bool)
+        for i, sess in enumerate(sessions):
+            if sess.carry is None:
+                continue
+            c = sess.carry
+            if c.window != w:
+                raise ValueError(
+                    f"session {sess.session_id!r} carries window "
+                    f"{c.window}, engine runs window {w}"
+                )
+            row = (slice(None), i) if stacked else (i,)
+            # broadcast the batch-1 carry across the candidate rows (the
+            # trailing dims align; the K axis, when present, replicates)
+            ring[row] = np.asarray(c.window_states)[0]
+            pre_ring[row] = np.asarray(c.window_pre_activations)[0]
+            p_acc[row] = np.asarray(c.dprr_sums[0])[0]
+            s_acc[row] = np.asarray(c.dprr_sums[1])[0]
+            diverged[row] = bool(np.asarray(c.diverged)[0])
+        return StreamingResult(
+            window_states=ring,
+            window_pre_activations=pre_ring,
+            dprr_sums=(p_acc, s_acc),
+            diverged=diverged,
+            n_steps=0,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"ServeEngine(max_batch={self.max_batch}, "
+            f"max_wait_ms={self.max_wait_ms}, window={self.window}, "
+            f"backend={self.backend.name!r}, "
+            f"models={len(self._deployments)}, "
+            f"sessions={len(self._sessions)})"
+        )

@@ -1,0 +1,97 @@
+"""Per-stream session state for the serving engine.
+
+A session is one live input stream against one deployed model.  Between
+chunks it holds exactly the resumable reservoir state of
+:meth:`~repro.reservoir.modular.ModularDFR.run_streaming` — a batch-1
+:class:`~repro.reservoir.modular.StreamingResult` carrying the state ring,
+pre-activation ring and online DPRR accumulators — plus its own consumed
+step count.  That is ``O(window * N_x)`` floats per stream, independent of
+how long the stream has run: the memory contract that makes thousands of
+concurrent streams cheap.
+
+Sessions do no computation themselves.  The engine assembles the carries
+of many sessions into one fused batch, runs the sweep, and hands each
+session its slice back via :meth:`StreamSession.advance`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+import numpy as np
+
+from repro.reservoir.modular import StreamingResult
+
+__all__ = ["PendingChunk", "StreamSession"]
+
+
+class PendingChunk:
+    """One submitted input chunk waiting in a session's queue."""
+
+    __slots__ = ("data", "arrival", "seq")
+
+    def __init__(self, data: np.ndarray, arrival: float, seq: int):
+        self.data = data          # (T, C) float array, already validated
+        self.arrival = arrival    # engine-clock timestamp of submit()
+        self.seq = seq            # per-session chunk sequence number
+
+    @property
+    def t_len(self) -> int:
+        return self.data.shape[0]
+
+
+class StreamSession:
+    """State of one input stream between scheduler ticks.
+
+    Attributes
+    ----------
+    session_id:
+        Engine-unique identifier.
+    model_name:
+        The deployed model this stream is scored by.
+    carry:
+        Batch-1 :class:`StreamingResult` of the last processed chunk, or
+        ``None`` before the first chunk.  Its ``n_steps`` is kept equal to
+        :attr:`n_steps` so DPRR length-normalization scales by the *whole*
+        stream length, not the last chunk's.
+    n_steps:
+        Total time steps consumed so far.
+    pending:
+        FIFO queue of :class:`PendingChunk`; the engine only ever takes the
+        head (chunks of one stream must update the carry in order).
+    """
+
+    __slots__ = ("session_id", "model_name", "carry", "n_steps", "pending",
+                 "next_seq", "closed")
+
+    def __init__(self, session_id: str, model_name: str):
+        self.session_id = session_id
+        self.model_name = model_name
+        self.carry: Optional[StreamingResult] = None
+        self.n_steps = 0
+        self.pending: deque = deque()
+        self.next_seq = 0
+        self.closed = False
+
+    def enqueue(self, data: np.ndarray, arrival: float) -> PendingChunk:
+        chunk = PendingChunk(data, arrival, self.next_seq)
+        self.next_seq += 1
+        self.pending.append(chunk)
+        return chunk
+
+    @property
+    def head(self) -> Optional[PendingChunk]:
+        return self.pending[0] if self.pending else None
+
+    def advance(self, carry: StreamingResult, t_len: int) -> None:
+        """Commit one processed chunk: new carry, head chunk retired."""
+        self.pending.popleft()
+        self.n_steps += int(t_len)
+        self.carry = carry
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"StreamSession({self.session_id!r}, model={self.model_name!r}, "
+            f"n_steps={self.n_steps}, pending={len(self.pending)})"
+        )

@@ -199,9 +199,14 @@ class TestNumpyBitIdentity:
         dfr = ModularDFR(InputMask.binary(6, 2, seed=1), nonlinearity="tanh")
         sr = dfr.run_streaming(u, 0.2, 0.3, window=2)
         tr = dfr.run(u, 0.2, 0.3)
+        # the streaming sweep computes its masked drive per time step so its
+        # bits are chunk-invariant (the serving contract); the full-trace
+        # sweep keeps the one-shot GEMM, so the two agree only to last-ulp
+        # tolerance, not necessarily bit for bit
         np.testing.assert_allclose(sr.window_states,
-                                   tr.states[:, -3:], rtol=0, atol=0)
-        np.testing.assert_array_equal(DPRR().features(sr), DPRR().features(tr))
+                                   tr.states[:, -3:], rtol=1e-12, atol=1e-14)
+        np.testing.assert_allclose(DPRR().features(sr), DPRR().features(tr),
+                                   rtol=1e-12, atol=1e-14)
 
     def test_trainer_backend_knob_is_noop_for_numpy(self):
         data = make_toy_dataset(n_classes=3, n_channels=2, length=20,

@@ -267,6 +267,44 @@ class TestLRUCache:
         assert isinstance(xb._toeplitz_cache, LRUCache)
         assert xb._toeplitz_cache.maxsize == 64
 
+    def test_concurrent_access_is_safe(self):
+        # the serving engine may tick from one thread while REPRO_WORKERS
+        # extraction hammers the same cache from others; unsynchronized
+        # OrderedDict mutation corrupts the recency list or raises
+        import threading
+
+        cache = LRUCache(maxsize=16)
+        errors = []
+        barrier = threading.Barrier(4)
+
+        def worker(tid):
+            rng = np.random.default_rng(tid)
+            barrier.wait()
+            try:
+                for i in range(2000):
+                    key = int(rng.integers(0, 64))
+                    value = cache.get(key)
+                    if value is not None:
+                        assert value == key * 3
+                    cache.put(key, key * 3)
+                    if i % 500 == 0:
+                        cache.keys()
+                        len(cache)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 16
+        # the cache must still behave: a fresh put/get cycle works
+        cache.put("post", 42)
+        assert cache.get("post") == 42
+
 
 # --------------------------------------------------------------------- #
 # mixed precision (dtype knob and spec grammar)

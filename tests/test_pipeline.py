@@ -151,3 +151,85 @@ class TestEvaluateFixedParams:
         assert ev.beta in (1e-6, 1e-4, 1e-2, 1.0)
         assert 0.0 <= ev.test_accuracy <= 1.0
         assert ev.A == 0.1 and ev.B == 0.2
+
+
+class TestExtractorConfigSchema:
+    """Versioned, strict dict round trip of the extractor snapshot."""
+
+    @staticmethod
+    def _config():
+        rng = np.random.default_rng(0)
+        ext = DFRFeatureExtractor(
+            n_nodes=6, nonlinearity="sine", mask_gamma=0.2, seed=1
+        ).fit(rng.standard_normal((8, 12, 2)))
+        return ext.snapshot()
+
+    def test_json_round_trip_is_exact(self):
+        import json
+
+        from repro.core.pipeline import CONFIG_SCHEMA_VERSION, ExtractorConfig
+
+        cfg = self._config()
+        data = json.loads(json.dumps(cfg.to_dict()))
+        assert data["version"] == CONFIG_SCHEMA_VERSION
+        back = ExtractorConfig.from_dict(data)
+        assert np.array_equal(back.mask_matrix, cfg.mask_matrix)
+        assert np.array_equal(back.mean, cfg.mean)
+        assert np.array_equal(back.std, cfg.std)
+        assert back.nonlinearity == cfg.nonlinearity
+        assert back.normalize == cfg.normalize
+        assert back.mask_kind == cfg.mask_kind
+        assert back.mask_gamma == cfg.mask_gamma
+        # the rebuilt extractor produces bit-identical features
+        rng = np.random.default_rng(5)
+        u = rng.standard_normal((4, 12, 2))
+        f_orig, _ = cfg.build().features(u, 0.4, 0.5)
+        f_back, _ = back.build().features(u, 0.4, 0.5)
+        assert np.array_equal(f_orig, f_back)
+
+    def test_unknown_keys_rejected(self):
+        from repro.core.pipeline import ExtractorConfig
+
+        data = self._config().to_dict()
+        data["surprise"] = 1
+        with pytest.raises(ValueError, match="unknown keys.*surprise"):
+            ExtractorConfig.from_dict(data)
+
+    def test_missing_keys_rejected(self):
+        from repro.core.pipeline import ExtractorConfig
+
+        data = self._config().to_dict()
+        del data["std"]
+        with pytest.raises(ValueError, match="missing keys.*std"):
+            ExtractorConfig.from_dict(data)
+
+    def test_future_version_rejected(self):
+        from repro.core.pipeline import ExtractorConfig
+
+        data = self._config().to_dict()
+        data["version"] = 99
+        with pytest.raises(ValueError, match="schema version"):
+            ExtractorConfig.from_dict(data)
+
+    def test_unknown_nonlinearity_rejected(self):
+        from repro.core.pipeline import ExtractorConfig
+
+        data = self._config().to_dict()
+        data["nonlinearity"] = {"name": "warp-drive", "params": {}}
+        with pytest.raises(ValueError, match="warp-drive"):
+            ExtractorConfig.from_dict(data)
+
+    def test_nonlinearity_params_survive(self):
+        from repro.core.pipeline import ExtractorConfig
+
+        data = self._config().to_dict()
+        assert data["nonlinearity"] == {"name": "sine", "params": {"omega": 1.0}}
+        data["nonlinearity"]["params"]["omega"] = 2.5
+        back = ExtractorConfig.from_dict(data)
+        assert back.nonlinearity.omega == 2.5
+
+    def test_non_dict_rejected(self):
+        from repro.core.pipeline import ExtractorConfig
+
+        with pytest.raises(TypeError):
+            ExtractorConfig.from_dict([1, 2, 3])

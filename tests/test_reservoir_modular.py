@@ -169,3 +169,134 @@ class TestStreaming:
         dfr = ModularDFR(mask)
         with pytest.raises(ValueError):
             dfr.run_streaming(np.ones((1, 5, 1)), 0.2, 0.2, window=0)
+
+
+class TestChunkedResume:
+    """Feeding a series chunk by chunk via ``resume=`` is bit-identical to
+    one ``run_streaming`` call over the concatenated series — the contract
+    the serving layer's per-stream sessions (``repro.serve``) rely on."""
+
+    @staticmethod
+    def _chunked(dfr, u, A, B, window, chunk_sizes):
+        result = None
+        start = 0
+        while start < u.shape[1]:
+            stop = min(start + chunk_sizes[0], u.shape[1])
+            result = dfr.run_streaming(
+                u[:, start:stop], A, B, window=window, resume=result
+            )
+            start = stop
+        return result
+
+    @pytest.mark.parametrize("chunk", [1, 7, 64])
+    @pytest.mark.parametrize("nonlinearity", ["identity", "tanh"])
+    def test_chunked_equals_one_shot_scalar(self, chunk, nonlinearity):
+        rng = np.random.default_rng(11)
+        mask = InputMask.uniform(6, 2, seed=rng)
+        dfr = ModularDFR(mask, nonlinearity=nonlinearity)
+        u = rng.normal(size=(4, 70, 2))
+        full = dfr.run_streaming(u, 0.4, 0.5, window=1)
+        chunked = self._chunked(dfr, u, 0.4, 0.5, 1, [chunk])
+        assert np.array_equal(chunked.window_states, full.window_states)
+        assert np.array_equal(
+            chunked.window_pre_activations, full.window_pre_activations
+        )
+        assert np.array_equal(chunked.dprr_sums[0], full.dprr_sums[0])
+        assert np.array_equal(chunked.dprr_sums[1], full.dprr_sums[1])
+        assert np.array_equal(chunked.diverged, full.diverged)
+        assert chunked.n_steps == full.n_steps == 70
+
+    @pytest.mark.parametrize("chunk", [1, 7, 64])
+    def test_chunked_equals_one_shot_stacked(self, chunk):
+        # K > 1 candidates on the leading axis: every row of every carried
+        # array must survive the chunk boundary bit for bit
+        rng = np.random.default_rng(12)
+        mask = InputMask.uniform(5, 3, seed=rng)
+        dfr = ModularDFR(mask, nonlinearity="tanh")
+        u = rng.normal(size=(3, 70, 3))
+        A = np.array([0.2, 0.5, 0.8])
+        B = np.array([0.6, 0.4, 0.1])
+        full = dfr.run_streaming(u, A, B, window=1)
+        chunked = self._chunked(dfr, u, A, B, 1, [chunk])
+        assert chunked.stacked and chunked.window_states.shape[0] == 3
+        assert np.array_equal(chunked.window_states, full.window_states)
+        assert np.array_equal(chunked.dprr_sums[0], full.dprr_sums[0])
+        assert np.array_equal(chunked.dprr_sums[1], full.dprr_sums[1])
+        assert np.array_equal(chunked.diverged, full.diverged)
+
+    def test_chunked_dprr_features_match_full_run(self):
+        # against the one-shot full-trace pipeline the drives differ by a
+        # GEMM kernel choice, so the contract is tight tolerance, not bits
+        rng = np.random.default_rng(13)
+        mask = InputMask.uniform(6, 2, seed=rng)
+        dfr = ModularDFR(mask)
+        u = rng.normal(size=(4, 40, 2))
+        trace = dfr.run(u, 0.3, 0.4)
+        chunked = self._chunked(dfr, u, 0.3, 0.4, 1, [7])
+        dprr = DPRR(normalize=None)
+        np.testing.assert_allclose(
+            dprr.features(chunked), dprr.features(trace),
+            rtol=1e-12, atol=1e-13,
+        )
+
+    def test_window_wider_than_one_survives_chunking(self):
+        rng = np.random.default_rng(14)
+        mask = InputMask.uniform(4, 2, seed=rng)
+        dfr = ModularDFR(mask, nonlinearity="tanh")
+        u = rng.normal(size=(2, 24, 2))
+        full = dfr.run_streaming(u, 0.4, 0.3, window=4)
+        chunked = self._chunked(dfr, u, 0.4, 0.3, 4, [8])
+        assert np.array_equal(chunked.window_states, full.window_states)
+        assert np.array_equal(
+            chunked.window_pre_activations, full.window_pre_activations
+        )
+
+    def test_resume_from_sliced_trace_rejected(self):
+        mask = InputMask.binary(3, 1, seed=0)
+        dfr = ModularDFR(mask)
+        u = np.random.default_rng(0).normal(size=(1, 10, 1))
+        sliced = dfr.run(u, 0.2, 0.2).final_window(2)
+        assert sliced.dprr_sums is None
+        with pytest.raises(ValueError, match="sliced"):
+            dfr.run_streaming(u, 0.2, 0.2, window=2, resume=sliced)
+
+    def test_resume_window_mismatch_rejected(self):
+        mask = InputMask.binary(3, 1, seed=0)
+        dfr = ModularDFR(mask)
+        u = np.random.default_rng(0).normal(size=(1, 10, 1))
+        first = dfr.run_streaming(u, 0.2, 0.2, window=3)
+        with pytest.raises(ValueError, match="window"):
+            dfr.run_streaming(u, 0.2, 0.2, window=5, resume=first)
+
+    def test_resume_wrong_type_rejected(self):
+        mask = InputMask.binary(3, 1, seed=0)
+        dfr = ModularDFR(mask)
+        u = np.random.default_rng(0).normal(size=(1, 10, 1))
+        with pytest.raises(TypeError):
+            dfr.run_streaming(u, 0.2, 0.2, resume=np.zeros((1, 2, 3)))
+
+    def test_resume_layout_mismatch_rejected(self):
+        # carry from a 2-sample batch cannot resume a 3-sample batch
+        mask = InputMask.binary(3, 1, seed=0)
+        dfr = ModularDFR(mask)
+        rng = np.random.default_rng(0)
+        first = dfr.run_streaming(rng.normal(size=(2, 8, 1)), 0.2, 0.2)
+        with pytest.raises(ValueError):
+            dfr.run_streaming(
+                rng.normal(size=(3, 8, 1)), 0.2, 0.2, resume=first
+            )
+
+    def test_divergence_flag_carries_across_chunks(self):
+        # a sample that diverges in chunk 1 must stay flagged after a
+        # resumed chunk even if the later chunk alone would look finite
+        mask = InputMask.binary(4, 1, seed=1)
+        dfr = ModularDFR(mask)
+        rng = np.random.default_rng(2)
+        u = np.concatenate(
+            [rng.normal(size=(1, 8, 1)) * 1e300, rng.normal(size=(1, 8, 1))],
+            axis=1,
+        )
+        first = dfr.run_streaming(u[:, :8], 0.99, 0.99)
+        assert first.diverged.all()
+        second = dfr.run_streaming(u[:, 8:], 0.99, 0.99, resume=first)
+        assert second.diverged.all()

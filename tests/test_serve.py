@@ -1,0 +1,514 @@
+"""Tests for the streaming inference engine (repro.serve).
+
+The load-bearing contract: on the NumPy backend, a continuously batched
+engine is *bit-identical* to a per-session serial engine replaying the
+same chunks — batching trades latency for throughput, never correctness.
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import DFRFeatureExtractor
+from repro.readout.ridge import RidgeModel, fit_ridge
+from repro.serve import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_WAIT_MS,
+    SERVE_MAX_BATCH_ENV,
+    SERVE_MAX_WAIT_ENV,
+    ServableModel,
+    ServeEngine,
+    load_model,
+    poisson_trace,
+    replay,
+    resolve_max_batch,
+    resolve_max_wait_ms,
+    save_model,
+)
+
+
+@pytest.fixture(scope="module")
+def trained():
+    """A small fitted pipeline: extractor, (A, B), ridge readout."""
+    rng = np.random.default_rng(0)
+    u = rng.standard_normal((40, 32, 2))
+    y = rng.integers(0, 3, 40)
+    ext = DFRFeatureExtractor(n_nodes=8, seed=1).fit(u)
+    A, B = 0.4, 0.5
+    feats, _ = ext.features(u, A, B)
+    ridge = fit_ridge(feats, y, 1e-2)
+    return ext, A, B, ridge
+
+
+def _model(trained, name="m0", A=None, B=None, readout=True):
+    ext, a0, b0, ridge = trained
+    return ServableModel(
+        name=name, A=a0 if A is None else A, B=b0 if B is None else B,
+        config=ext.snapshot(), readout=ridge if readout else None,
+    )
+
+
+# --------------------------------------------------------------------- #
+# persistence
+# --------------------------------------------------------------------- #
+
+
+class TestModelStore:
+    def test_save_load_round_trip_is_exact(self, trained, tmp_path):
+        model = _model(trained)
+        path = save_model(model, str(tmp_path / "m.json"))
+        back = load_model(path)
+        assert back.name == model.name
+        assert back.A == model.A and back.B == model.B
+        assert back.fingerprint() == model.fingerprint()
+        assert np.array_equal(
+            np.asarray(back.config.mask_matrix),
+            np.asarray(model.config.mask_matrix),
+        )
+        assert np.array_equal(back.readout.coef, model.readout.coef)
+        # the reloaded pipeline scores bit-identically
+        rng = np.random.default_rng(9)
+        u = rng.standard_normal((3, 16, 2))
+        f_a, _ = model.config.build().features(u, model.A, model.B)
+        f_b, _ = back.config.build().features(u, back.A, back.B)
+        assert np.array_equal(f_a, f_b)
+        assert np.array_equal(
+            model.readout.scores(f_a), back.readout.scores(f_b)
+        )
+
+    def test_readout_optional(self, trained, tmp_path):
+        model = _model(trained, readout=False)
+        back = load_model(save_model(model, str(tmp_path / "m.json")))
+        assert back.readout is None
+
+    def test_envelope_is_strict(self, trained, tmp_path):
+        model = _model(trained)
+        path = save_model(model, str(tmp_path / "m.json"))
+        with open(path) as fh:
+            doc = json.load(fh)
+
+        bad = dict(doc)
+        bad["extra"] = 1
+        with pytest.raises(ValueError, match="unknown keys"):
+            ServableModel.from_dict(bad)
+
+        bad = {k: v for k, v in doc.items() if k != "A"}
+        with pytest.raises(ValueError, match="missing keys"):
+            ServableModel.from_dict(bad)
+
+        bad = dict(doc)
+        bad["format_version"] = 99
+        with pytest.raises(ValueError, match="format_version"):
+            ServableModel.from_dict(bad)
+
+        bad = dict(doc)
+        bad["format"] = "something-else"
+        with pytest.raises(ValueError, match="not a repro-dfr-model"):
+            ServableModel.from_dict(bad)
+
+    def test_embedded_config_schema_is_strict(self, trained, tmp_path):
+        model = _model(trained)
+        path = save_model(model, str(tmp_path / "m.json"))
+        with open(path) as fh:
+            doc = json.load(fh)
+        doc["config"]["version"] = 99
+        with pytest.raises(ValueError, match="schema version"):
+            ServableModel.from_dict(doc)
+
+    def test_ridge_model_dict_round_trip(self, trained):
+        _, _, _, ridge = trained
+        back = RidgeModel.from_dict(
+            json.loads(json.dumps(ridge.to_dict()))
+        )
+        f = np.random.default_rng(0).standard_normal((5, ridge.coef.shape[0]))
+        assert np.array_equal(back.scores(f), ridge.scores(f))
+        with pytest.raises(ValueError, match="unknown keys"):
+            RidgeModel.from_dict({**ridge.to_dict(), "bonus": 1})
+
+    def test_nonfinite_params_rejected(self, trained):
+        ext, _, _, _ = trained
+        with pytest.raises(ValueError, match="finite"):
+            ServableModel(name="bad", A=np.nan, B=0.5, config=ext.snapshot())
+
+    def test_fingerprint_ignores_parameters_and_backend(self, trained):
+        # same pipeline, different (A, B) / backend prefs -> same sweep
+        a = _model(trained, A=0.2, B=0.7)
+        b = _model(trained, A=0.9, B=0.1)
+        assert a.fingerprint() == b.fingerprint()
+        ext, _, _, _ = trained
+        cfg = ext.snapshot()
+        cfg.dtype = "float32"
+        c = ServableModel(name="c", A=0.2, B=0.7, config=cfg)
+        assert c.fingerprint() == a.fingerprint()
+
+
+# --------------------------------------------------------------------- #
+# engine semantics
+# --------------------------------------------------------------------- #
+
+
+class TestEngineScheduling:
+    def test_submit_computes_nothing_until_tick(self, trained):
+        engine = ServeEngine(max_batch=8)
+        engine.deploy(_model(trained))
+        sid = engine.open_session("m0")
+        engine.submit(sid, np.zeros((4, 2)))
+        assert engine.pop_results() == []
+        engine.tick()
+        results = engine.pop_results()
+        assert len(results) == 1
+        assert results[0].session_id == sid and results[0].seq == 0
+
+    def test_fifo_order_and_requeue(self, trained):
+        # two chunks on one session: only the head goes per tick, the
+        # session re-enters the queue behind the others
+        engine = ServeEngine(max_batch=8)
+        engine.deploy(_model(trained))
+        s1, s2 = engine.open_session("m0"), engine.open_session("m0")
+        rng = np.random.default_rng(0)
+        engine.submit(s1, rng.standard_normal((4, 2)))
+        engine.submit(s1, rng.standard_normal((4, 2)))
+        engine.submit(s2, rng.standard_normal((4, 2)))
+        r1 = engine.tick()
+        assert r1.processed == 2  # one chunk per session
+        r2 = engine.tick()
+        assert r2.processed == 1  # s1's second chunk
+        seqs = [(r.session_id, r.seq) for r in engine.pop_results()]
+        assert seqs == [(s1, 0), (s2, 0), (s1, 1)]
+
+    def test_max_batch_bounds_a_tick(self, trained):
+        engine = ServeEngine(max_batch=2)
+        engine.deploy(_model(trained))
+        sids = [engine.open_session("m0") for _ in range(5)]
+        for sid in sids:
+            engine.submit(sid, np.zeros((4, 2)))
+        assert engine.tick().processed == 2
+        assert engine.tick().processed == 2
+        assert engine.tick().processed == 1
+
+    def test_max_wait_defers_partial_batches(self, trained):
+        t = [0.0]
+        engine = ServeEngine(max_batch=4, max_wait_ms=50.0,
+                             clock=lambda: t[0])
+        engine.deploy(_model(trained))
+        sid = engine.open_session("m0")
+        engine.submit(sid, np.zeros((4, 2)))
+        report = engine.tick()
+        assert report.deferred and report.processed == 0
+        t[0] = 0.010  # 10 ms: still inside the wait budget
+        assert engine.tick().deferred
+        t[0] = 0.051  # deadline passed: the partial batch goes
+        report = engine.tick()
+        assert not report.deferred and report.processed == 1
+
+    def test_full_batch_is_never_deferred(self, trained):
+        t = [0.0]
+        engine = ServeEngine(max_batch=2, max_wait_ms=1e6,
+                             clock=lambda: t[0])
+        engine.deploy(_model(trained))
+        for _ in range(2):
+            sid = engine.open_session("m0")
+            engine.submit(sid, np.zeros((4, 2)))
+        report = engine.tick()
+        assert report.processed == 2 and not report.deferred
+
+    def test_force_overrides_deferral(self, trained):
+        engine = ServeEngine(max_batch=4, max_wait_ms=1e6)
+        engine.deploy(_model(trained))
+        sid = engine.open_session("m0")
+        engine.submit(sid, np.zeros((4, 2)))
+        assert engine.tick().deferred
+        assert engine.tick(force=True).processed == 1
+
+    def test_submit_validation(self, trained):
+        engine = ServeEngine(max_batch=4, window=3)
+        engine.deploy(_model(trained))
+        sid = engine.open_session("m0")
+        with pytest.raises(ValueError, match="channels"):
+            engine.submit(sid, np.zeros((4, 5)))
+        with pytest.raises(ValueError, match="window"):
+            engine.submit(sid, np.zeros((2, 2)))  # shorter than window
+        with pytest.raises(ValueError, match="\\(T, C\\)"):
+            engine.submit(sid, np.zeros(4))
+        with pytest.raises(KeyError):
+            engine.submit("nope", np.zeros((4, 2)))
+
+    def test_lifecycle_errors(self, trained):
+        engine = ServeEngine()
+        model = _model(trained)
+        engine.deploy(model)
+        with pytest.raises(ValueError, match="already deployed"):
+            engine.deploy(model)
+        with pytest.raises(KeyError):
+            engine.open_session("ghost")
+        sid = engine.open_session("m0")
+        engine.submit(sid, np.zeros((4, 2)))
+        with pytest.raises(RuntimeError, match="pending"):
+            engine.close_session(sid)
+        engine.close_session(sid, discard=True)
+        with pytest.raises(KeyError):
+            engine.submit(sid, np.zeros((4, 2)))
+
+    def test_occupancy_accounting(self, trained):
+        engine = ServeEngine(max_batch=4)
+        engine.deploy(_model(trained))
+        for _ in range(2):
+            sid = engine.open_session("m0")
+            engine.submit(sid, np.zeros((4, 2)))
+        report = engine.tick()
+        assert report.sweeps == 1
+        assert report.occupancy == pytest.approx(0.5)
+        assert engine.stats()["mean_occupancy"] == pytest.approx(0.5)
+
+    def test_env_knob_resolution(self, monkeypatch):
+        assert resolve_max_batch() == DEFAULT_MAX_BATCH
+        assert resolve_max_wait_ms() == DEFAULT_MAX_WAIT_MS
+        monkeypatch.setenv(SERVE_MAX_BATCH_ENV, "7")
+        monkeypatch.setenv(SERVE_MAX_WAIT_ENV, "12.5")
+        assert resolve_max_batch() == 7
+        assert resolve_max_wait_ms() == 12.5
+        engine = ServeEngine()
+        assert engine.max_batch == 7 and engine.max_wait_ms == 12.5
+        assert resolve_max_batch(3) == 3  # explicit beats env
+        monkeypatch.setenv(SERVE_MAX_BATCH_ENV, "zero")
+        with pytest.raises(ValueError, match=SERVE_MAX_BATCH_ENV):
+            resolve_max_batch()
+        monkeypatch.setenv(SERVE_MAX_WAIT_ENV, "soon")
+        with pytest.raises(ValueError, match=SERVE_MAX_WAIT_ENV):
+            resolve_max_wait_ms()
+        with pytest.raises(ValueError):
+            resolve_max_batch(0)
+        with pytest.raises(ValueError):
+            resolve_max_wait_ms(-1.0)
+
+    def test_threaded_submit_while_ticking(self, trained):
+        # submits racing ticks from another thread neither crash nor lose
+        # chunks
+        engine = ServeEngine(max_batch=8)
+        engine.deploy(_model(trained))
+        sids = [engine.open_session("m0") for _ in range(4)]
+        rng = np.random.default_rng(0)
+        chunks = rng.standard_normal((4, 6, 4, 2))
+        stop = threading.Event()
+
+        def ticker():
+            while not stop.is_set():
+                engine.tick()
+
+        t = threading.Thread(target=ticker)
+        t.start()
+        try:
+            for c in range(6):
+                for i, sid in enumerate(sids):
+                    engine.submit(sid, chunks[i, c])
+        finally:
+            stop.set()
+            t.join()
+        engine.drain()
+        results = engine.pop_results()
+        assert len(results) == 24
+        for sid in sids:
+            seqs = [r.seq for r in results if r.session_id == sid]
+            assert seqs == sorted(seqs) == list(range(6))
+
+
+# --------------------------------------------------------------------- #
+# correctness: batched == serial == offline
+# --------------------------------------------------------------------- #
+
+
+def _run_engine(models, assignments, chunk_plan, max_batch, window=1):
+    """Push a fixed chunk plan through an engine; return results by stream."""
+    engine = ServeEngine(max_batch=max_batch, window=window)
+    for model in models:
+        engine.deploy(model)
+    sids = [engine.open_session(name) for name in assignments]
+    for round_chunks in chunk_plan:
+        for i, chunk in enumerate(round_chunks):
+            engine.submit(sids[i], chunk)
+    engine.drain()
+    by_stream = {}
+    for r in engine.pop_results():
+        by_stream.setdefault(sids.index(r.session_id), []).append(r)
+    return by_stream
+
+
+class TestBatchedEqualsSerial:
+    def test_single_model_bitwise(self, trained):
+        rng = np.random.default_rng(7)
+        streams = 6
+        chunk_plan = [
+            [rng.standard_normal((8, 2)) for _ in range(streams)]
+            for _ in range(3)
+        ]
+        models = [_model(trained)]
+        names = ["m0"] * streams
+        serial = _run_engine(models, names, chunk_plan, max_batch=1)
+        batched = _run_engine(models, names, chunk_plan, max_batch=64)
+        for i in range(streams):
+            for r_s, r_b in zip(serial[i], batched[i]):
+                assert r_s.seq == r_b.seq
+                assert np.array_equal(r_s.features, r_b.features)
+                assert np.array_equal(r_s.scores, r_b.scores)
+                assert r_s.label == r_b.label
+                assert r_s.n_steps == r_b.n_steps
+
+    def test_heterogeneous_models_bitwise(self, trained):
+        # three models sharing the pipeline: candidate-axis packing must
+        # give every stream exactly its own model's numbers
+        rng = np.random.default_rng(8)
+        models = [
+            _model(trained, name="ma", A=0.3, B=0.6),
+            _model(trained, name="mb", A=0.7, B=0.2),
+            _model(trained, name="mc", A=0.5, B=0.5),
+        ]
+        streams = 9
+        names = [models[i % 3].name for i in range(streams)]
+        chunk_plan = [
+            [rng.standard_normal((8, 2)) for _ in range(streams)]
+            for _ in range(2)
+        ]
+        serial = _run_engine(models, names, chunk_plan, max_batch=1)
+        batched = _run_engine(models, names, chunk_plan, max_batch=64)
+        for i in range(streams):
+            for r_s, r_b in zip(serial[i], batched[i]):
+                assert r_b.model_name == names[i]
+                assert np.array_equal(r_s.features, r_b.features)
+                assert np.array_equal(r_s.scores, r_b.scores)
+        # the batched run actually fused models onto the candidate axis
+        assert any(r.batch_models == 3
+                   for rs in batched.values() for r in rs)
+
+    def test_matches_offline_pipeline(self, trained):
+        # the engine's cumulative features converge on the one-shot
+        # offline extractor (per-step drive vs one-shot GEMM: tight
+        # tolerance, not bits)
+        ext, A, B, ridge = trained
+        rng = np.random.default_rng(9)
+        streams_u = rng.standard_normal((4, 24, 2))
+        chunk_plan = [
+            [streams_u[i, c * 8:(c + 1) * 8] for i in range(4)]
+            for c in range(3)
+        ]
+        out = _run_engine([_model(trained)], ["m0"] * 4, chunk_plan,
+                          max_batch=16)
+        f_off, _ = ext.features(streams_u, A, B)
+        for i in range(4):
+            final = max(out[i], key=lambda r: r.seq)
+            assert final.n_steps == 24
+            np.testing.assert_allclose(
+                final.features, f_off[i], rtol=1e-12, atol=1e-13
+            )
+            np.testing.assert_allclose(
+                final.scores, ridge.scores(f_off[i][None])[0],
+                rtol=1e-12, atol=1e-13,
+            )
+
+    def test_chunking_pattern_is_irrelevant(self, trained):
+        # same stream cut 8+8+8 vs 4+12+8: identical final state bits
+        rng = np.random.default_rng(10)
+        u = rng.standard_normal((24, 2))
+        outs = []
+        for cuts in ((8, 16), (4, 16)):
+            engine = ServeEngine(max_batch=4)
+            engine.deploy(_model(trained))
+            sid = engine.open_session("m0")
+            prev = 0
+            for stop in (*cuts, 24):
+                engine.submit(sid, u[prev:stop])
+                prev = stop
+            engine.drain()
+            outs.append(max(engine.pop_results(), key=lambda r: r.seq))
+        assert np.array_equal(outs[0].features, outs[1].features)
+        assert outs[0].n_steps == outs[1].n_steps == 24
+
+    def test_different_pipelines_never_share_a_sweep(self, trained):
+        # a second model with its own mask gets its own bucket
+        rng = np.random.default_rng(11)
+        other_ext = DFRFeatureExtractor(n_nodes=8, seed=99).fit(
+            rng.standard_normal((10, 16, 2)))
+        other = ServableModel(name="other", A=0.4, B=0.5,
+                              config=other_ext.snapshot())
+        model = _model(trained)
+        assert other.fingerprint() != model.fingerprint()
+        engine = ServeEngine(max_batch=8)
+        engine.deploy(model)
+        engine.deploy(other)
+        s1 = engine.open_session("m0")
+        s2 = engine.open_session("other")
+        chunk = rng.standard_normal((6, 2))
+        engine.submit(s1, chunk)
+        engine.submit(s2, chunk)
+        report = engine.tick()
+        assert report.processed == 2 and report.sweeps == 2
+        results = {r.session_id: r for r in engine.pop_results()}
+        assert results[s1].batch_models == results[s2].batch_models == 1
+        assert not np.array_equal(results[s1].features, results[s2].features)
+
+
+# --------------------------------------------------------------------- #
+# traffic replay
+# --------------------------------------------------------------------- #
+
+
+class TestReplay:
+    def test_trace_is_deterministic(self):
+        a = poisson_trace(["m0"], n_sessions=4, chunks_per_session=3,
+                          chunk_len=8, n_channels=2, seed=5)
+        b = poisson_trace(["m0"], n_sessions=4, chunks_per_session=3,
+                          chunk_len=8, n_channels=2, seed=5)
+        assert len(a.events) == len(b.events) == 12
+        for ea, eb in zip(a.events, b.events):
+            assert ea.t == eb.t and ea.stream == eb.stream
+            assert np.array_equal(ea.data, eb.data)
+        c = poisson_trace(["m0"], n_sessions=4, chunks_per_session=3,
+                          chunk_len=8, n_channels=2, seed=6)
+        assert any(not np.array_equal(ea.data, ec.data)
+                   for ea, ec in zip(a.events, c.events))
+
+    def test_trace_arrivals_are_ordered_per_stream(self):
+        trace = poisson_trace(["m0"], n_sessions=3, chunks_per_session=5,
+                              chunk_len=4, n_channels=1, seed=1)
+        per_stream = {}
+        for event in trace.events:
+            per_stream.setdefault(event.stream, []).append(event)
+        for events in per_stream.values():
+            assert [e.seq for e in events] == sorted(e.seq for e in events)
+            ts = [e.t for e in events]
+            assert ts == sorted(ts)
+
+    def test_replay_outputs_identical_across_engine_configs(self, trained):
+        trace = poisson_trace(["m0"], n_sessions=6, chunks_per_session=3,
+                              chunk_len=8, n_channels=2, seed=3)
+
+        def outputs(max_batch):
+            engine = ServeEngine(max_batch=max_batch)
+            engine.deploy(_model(trained))
+            report = replay(engine, trace)
+            return {(r.session_id, r.seq): r for r in report.results}
+
+        serial, batched = outputs(1), outputs(32)
+        assert set(serial) == set(batched) and len(serial) == 18
+        for key in serial:
+            assert np.array_equal(serial[key].features,
+                                  batched[key].features)
+            assert np.array_equal(serial[key].scores, batched[key].scores)
+
+    def test_replay_report_accounting(self, trained):
+        engine = ServeEngine(max_batch=16)
+        engine.deploy(_model(trained))
+        trace = poisson_trace(["m0"], n_sessions=5, chunks_per_session=2,
+                              chunk_len=8, n_channels=2, seed=4)
+        report = replay(engine, trace)
+        assert report.n_sessions == 5
+        assert report.n_chunks == 10
+        assert report.wall_s > 0
+        assert report.sessions_per_sec > 0
+        assert 0 < report.mean_occupancy <= 1
+        assert report.p99_ms >= report.p50_ms >= 0
+        d = report.to_dict()
+        assert "results" not in d and d["n_chunks"] == 10
+        # every session was closed on the way out
+        assert engine._sessions == {}

@@ -14,14 +14,25 @@ Usage::
     python tools/bench_history.py --check          # also compare vs history
     python tools/bench_history.py --check --no-append   # CI: compare only
     python tools/bench_history.py --dry-run        # print entry, touch nothing
+    python tools/bench_history.py --suite serve    # serving-latency suite
+
+``--suite`` picks which harness feeds the entry: ``training`` (default)
+runs the pytest-benchmark suite in ``benchmarks/``; ``serve`` runs
+``repro-bench serve`` (streaming inference under replayed traffic) and
+condenses its latency/throughput numbers.  Every entry is tagged with its
+suite, and entries from different suites are never compared against each
+other — a serving-latency number regressing against a training-throughput
+baseline would be meaningless.
 
 ``--check`` compares the fresh entry against the most recent *comparable*
-history entry (same machine fingerprint, backend set and dtype) and fails
-when any benchmark regressed beyond ``REPRO_BENCH_REGRESSION_FLOOR``
+history entry (same suite, machine fingerprint, backend set and dtype) and
+fails when any benchmark regressed beyond ``REPRO_BENCH_REGRESSION_FLOOR``
 (default 0.5: flag only when the new run is slower than floor x the old
 throughput, i.e. > 2x slower — wall-clock on shared runners is noisy, so
 the default only catches order-of-magnitude cliffs; tighten it locally).
-Incomparable entries (different machine/backend/dtype) are never compared.
+Incomparable entries (different suite/machine/backend/dtype) are never
+compared; when no comparable baseline exists the check reports a warning
+and passes.
 """
 
 from __future__ import annotations
@@ -77,20 +88,24 @@ def _available_backends() -> list:
         sys.path.pop(0)
 
 
+def _suite_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(REPO_ROOT / "src"),
+                    env.get("PYTHONPATH", "")) if p
+    )
+    return env
+
+
 def run_suite(pytest_args: list) -> dict:
     """Run the benchmark suite, returning the pytest-benchmark JSON."""
     with tempfile.TemporaryDirectory() as tmp:
         json_path = Path(tmp) / "bench.json"
-        env = dict(os.environ)
-        env["PYTHONPATH"] = os.pathsep.join(
-            p for p in (str(REPO_ROOT / "src"),
-                        env.get("PYTHONPATH", "")) if p
-        )
         cmd = [
             sys.executable, "-m", "pytest", "-q", "benchmarks",
             f"--benchmark-json={json_path}", *pytest_args,
         ]
-        proc = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
+        proc = subprocess.run(cmd, cwd=REPO_ROOT, env=_suite_env())
         if proc.returncode != 0:
             raise SystemExit(
                 f"benchmark suite failed (exit {proc.returncode}); "
@@ -98,6 +113,58 @@ def run_suite(pytest_args: list) -> dict:
             )
         with open(json_path) as fh:
             return json.load(fh)
+
+
+def run_serve_suite(extra_args: list) -> dict:
+    """Run ``repro-bench serve`` and condense it to the benchmarks payload.
+
+    The serving bench replays one seeded Poisson trace through a serial
+    (``max_batch=1``) and a continuously batched engine and verifies the
+    outputs bitwise; here each engine becomes one benchmark whose
+    ``min_seconds`` is its best per-chunk wall time, with latency
+    percentiles, occupancy and the speedup kept as ``extra_info``.
+    """
+    with tempfile.TemporaryDirectory() as tmp:
+        json_path = Path(tmp) / "serve.json"
+        cmd = [
+            sys.executable, "-m", "repro.bench", "serve",
+            "--json", str(json_path), *extra_args,
+        ]
+        proc = subprocess.run(cmd, cwd=REPO_ROOT, env=_suite_env())
+        if proc.returncode != 0:
+            raise SystemExit(
+                f"serve bench failed (exit {proc.returncode}); "
+                f"no history entry written"
+            )
+        with open(json_path) as fh:
+            result = json.load(fh)
+    if result.get("bitwise_mismatches"):
+        raise SystemExit(
+            f"serve bench reported {result['bitwise_mismatches']} bitwise "
+            f"mismatches between serial and batched serving; no history "
+            f"entry written"
+        )
+    benchmarks = {}
+    for key, label in (("serial", "serve_serial"), ("batched", "serve_batched")):
+        rep = result[key]
+        n_chunks = max(rep.get("n_chunks", 0), 1)
+        benchmarks[label] = {
+            "min_seconds": rep["wall_s"] / n_chunks,
+            "mean_seconds": rep["wall_s"] / n_chunks,
+            "rounds": result.get("repeats"),
+            "extra_info": {
+                "sessions_per_sec": rep["sessions_per_sec"],
+                "chunks_per_sec": rep["chunks_per_sec"],
+                "p50_ms": rep["p50_ms"],
+                "p99_ms": rep["p99_ms"],
+                "mean_occupancy": rep["mean_occupancy"],
+                "streams": result["streams"],
+                "max_batch": result["max_batch"] if key == "batched" else 1,
+                "speedup_vs_serial": result["speedup"] if key == "batched"
+                else 1.0,
+            },
+        }
+    return benchmarks
 
 
 def condense(report: dict) -> dict:
@@ -117,17 +184,18 @@ def condense(report: dict) -> dict:
     return benchmarks
 
 
-def build_entry(report: dict) -> dict:
+def build_entry(benchmarks: dict, suite: str = "training") -> dict:
     return {
         "timestamp": datetime.datetime.now(datetime.timezone.utc)
         .strftime("%Y-%m-%dT%H:%M:%SZ"),
         "git_sha": _git("rev-parse", "--short", "HEAD") or "unknown",
         "git_branch": _git("rev-parse", "--abbrev-ref", "HEAD") or "unknown",
+        "suite": suite,
         "machine": machine_fingerprint(),
         "backends": _available_backends(),
         "dtype": os.environ.get("REPRO_DTYPE", "") or "float64",
         "backend_env": os.environ.get("REPRO_BACKEND", "") or "numpy",
-        "benchmarks": condense(report),
+        "benchmarks": benchmarks,
     }
 
 
@@ -142,9 +210,15 @@ def load_history() -> list:
 
 
 def comparable(old: dict, new: dict) -> bool:
-    """Entries compare only on matching machine, backend set and dtype."""
+    """Entries compare only on matching suite, machine, backends, dtype.
+
+    Entries written before the ``suite`` field existed are all training
+    runs, so a missing field defaults to ``"training"`` — serving-latency
+    entries never compare against them.
+    """
     return (
-        old.get("machine") == new.get("machine")
+        old.get("suite", "training") == new.get("suite", "training")
+        and old.get("machine") == new.get("machine")
         and old.get("backends") == new.get("backends")
         and old.get("dtype") == new.get("dtype")
         and old.get("backend_env") == new.get("backend_env")
@@ -157,7 +231,14 @@ def check_regressions(history: list, entry: dict, floor: float) -> list:
         (old for old in reversed(history) if comparable(old, entry)), None
     )
     if baseline is None:
-        print("[bench-history] no comparable baseline entry; check skipped")
+        print(
+            f"[bench-history] WARNING: none of the {len(history)} history "
+            f"entries is comparable to this run (suite="
+            f"{entry.get('suite', 'training')!r}, machine/backends/dtype "
+            f"must all match) — nothing to regress against, check passes "
+            f"vacuously; append an entry from this configuration to "
+            f"establish a baseline"
+        )
         return []
     regressions = []
     for name, new_stats in entry["benchmarks"].items():
@@ -197,13 +278,24 @@ def main(argv=None) -> int:
         help="print the condensed entry and exit without touching history",
     )
     parser.add_argument(
+        "--suite", choices=("training", "serve"), default="training",
+        help="which harness feeds the entry: 'training' runs the "
+             "pytest-benchmark suite, 'serve' runs repro-bench serve "
+             "(streaming latency/throughput). Entries only ever compare "
+             "within their own suite",
+    )
+    parser.add_argument(
         "pytest_args", nargs="*",
-        help="extra arguments forwarded to pytest (after --)",
+        help="extra arguments forwarded to pytest (--suite training) or "
+             "to repro-bench serve (--suite serve), after --",
     )
     args = parser.parse_args(argv)
 
-    report = run_suite(args.pytest_args)
-    entry = build_entry(report)
+    if args.suite == "serve":
+        benchmarks = run_serve_suite(args.pytest_args)
+    else:
+        benchmarks = condense(run_suite(args.pytest_args))
+    entry = build_entry(benchmarks, suite=args.suite)
 
     if args.dry_run:
         json.dump(entry, sys.stdout, indent=2)
