@@ -7,6 +7,13 @@ from repro.bench.ablations import (
     run_truncation_ablation,
 )
 from repro.bench.fig6 import Fig6Result, format_fig6, run_fig6
+from repro.bench.matrix import (
+    MATRIX_SEARCHES,
+    MatrixCell,
+    format_matrix,
+    parse_spec_arg,
+    run_matrix,
+)
 from repro.bench.table1 import Table1Row, format_table1, run_dataset, run_table1
 from repro.bench.table2 import Table2Row, format_table2, run_table2
 
@@ -18,6 +25,11 @@ __all__ = [
     "Fig6Result",
     "format_fig6",
     "run_fig6",
+    "MATRIX_SEARCHES",
+    "MatrixCell",
+    "format_matrix",
+    "parse_spec_arg",
+    "run_matrix",
     "Table1Row",
     "format_table1",
     "run_dataset",

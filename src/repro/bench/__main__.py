@@ -15,6 +15,9 @@ Usage (installed as ``repro-bench``, or ``python -m repro.bench``):
     repro-bench ablation-bitwidth [--dataset JPVOW]
     repro-bench ablation-optimizer [--dataset JPVOW]
     repro-bench serve [--streams 64] [--max-batch 64] [--json out.json]
+    repro-bench matrix [--specs harmonic:n_classes=2 LIB ...]
+                       [--backends numpy] [--executors serial vectorized]
+                       [--searches random grid] [--budget 8] [--json -]
     repro-bench all            # everything, in EXPERIMENTS.md order
 """
 
@@ -35,6 +38,12 @@ from repro.bench.ablations import (
     run_truncation_ablation,
 )
 from repro.bench.fig6 import format_fig6, run_fig6
+from repro.bench.matrix import (
+    MATRIX_SEARCHES,
+    format_matrix,
+    parse_spec_arg,
+    run_matrix,
+)
 from repro.bench.serve import format_serve, run_serve_bench
 from repro.bench.table1 import format_table1, run_table1
 from repro.bench.table2 import format_table2, run_table2
@@ -182,6 +191,42 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend(p)
     _add_dtype(p)
 
+    p = sub.add_parser(
+        "matrix",
+        help="scenario matrix: registry dataset specs x backends x "
+             "executors x searches, one comparable table",
+    )
+    p.add_argument(
+        "--specs", nargs="+", metavar="SPEC",
+        default=["harmonic:n_classes=2,n_train=24,n_test=24",
+                 "regime:n_classes=2,n_train=24,n_test=24"],
+        help="dataset specs: a registered generator with optional "
+             "'name:key=value,...' overrides (dotted keys nest, 'seed' "
+             "sets the spec seed), or a bare paper dataset key (e.g. LIB). "
+             "See EXPERIMENTS.md for the grammar",
+    )
+    p.add_argument("--backends", nargs="+", default=[None], metavar="BACKEND",
+                   help="array backends to cross (default: numpy)")
+    p.add_argument("--executors", nargs="+", default=["serial"],
+                   choices=("serial", "vectorized", "multiprocess",
+                            "multiprocess+vectorized"),
+                   help="candidate executors to cross (scores are "
+                        "executor-invariant on numpy; timing moves)")
+    p.add_argument("--searches", nargs="+", default=["random"],
+                   choices=MATRIX_SEARCHES,
+                   help="parameter searches to cross")
+    p.add_argument(
+        "--budget", type=int, default=8,
+        help="per-cell search budget: samples (random), steps (anneal), "
+             "or restarts (descent); grid uses --divisions^2 points",
+    )
+    p.add_argument("--divisions", type=int, default=4,
+                   help="grid divisions per axis for --searches grid")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also write the report dict as JSON to PATH "
+                        "('-' for stdout)")
+    _add_common(p)
+
     p = sub.add_parser("all", help="run every harness")
     _add_common(p)
     return parser
@@ -277,6 +322,29 @@ def main(argv=None) -> int:
                 fh.write("\n")
         if result["bitwise_mismatches"]:
             return 1
+    elif args.command == "matrix":
+        specs = [parse_spec_arg(text, default_seed=args.seed)
+                 for text in args.specs]
+        report = run_matrix(
+            specs,
+            backends=args.backends,
+            executors=args.executors,
+            searches=args.searches,
+            budget=args.budget,
+            divisions=args.divisions,
+            n_nodes=args.n_nodes,
+            epochs=args.epochs,
+            seed=args.seed,
+        )
+        print()
+        print(format_matrix(report))
+        if args.json == "-":
+            json.dump(report, sys.stdout, indent=2)
+            print()
+        elif args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(report, fh, indent=2)
+                fh.write("\n")
     elif args.command == "all":
         print(format_table2(run_table2()))
         print()

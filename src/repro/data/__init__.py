@@ -11,7 +11,21 @@ from repro.data.metadata import (
     get_spec,
 )
 from repro.data.npz_io import load_npz_dataset, save_npz_dataset
-from repro.data.regression import mackey_glass_series, narma10
+from repro.data.regression import mackey_glass_series, narma, narma10
+from repro.data.registry import (
+    GeneratorSpec,
+    concat_chunks,
+    dataset_from_spec,
+    generate,
+    generate_chunks,
+    generator_kind,
+    get_generator,
+    make_spec,
+    register_generator,
+    registered_generators,
+    spec_for_dataset,
+)
+import repro.data.generators  # noqa: F401  (registers the series families)
 from repro.data.preprocessing import (
     ChannelStandardizer,
     pad_or_truncate,
@@ -32,7 +46,19 @@ __all__ = [
     "load_npz_dataset",
     "save_npz_dataset",
     "mackey_glass_series",
+    "narma",
     "narma10",
+    "GeneratorSpec",
+    "concat_chunks",
+    "dataset_from_spec",
+    "generate",
+    "generate_chunks",
+    "generator_kind",
+    "get_generator",
+    "make_spec",
+    "register_generator",
+    "registered_generators",
+    "spec_for_dataset",
     "ChannelStandardizer",
     "pad_or_truncate",
     "stratified_split",

@@ -39,7 +39,8 @@ import numpy as np
 
 from repro.utils.rng import ensure_rng, spawn_rng
 
-__all__ = ["generate_family", "FAMILIES", "class_counts"]
+__all__ = ["generate_family", "family_prototypes", "FAMILIES",
+           "class_counts"]
 
 
 def class_counts(n_samples: int, n_classes: int) -> np.ndarray:
@@ -174,11 +175,16 @@ def _gen_motion(spec, class_rng, sample_rng, label, n_samples):
 # beat family (ECG-like)
 # --------------------------------------------------------------------- #
 
+def _beat_prototypes(class_rng, n_classes):
+    """Class prototype: beat period, pulse width, and R/T amplitude ratio."""
+    periods = class_rng.uniform(18, 30, size=n_classes)
+    widths = class_rng.uniform(1.5, 3.0, size=n_classes)
+    ratios = class_rng.uniform(0.2, 0.6, size=n_classes)
+    return periods, widths, ratios
+
+
 def _gen_beat(spec, class_rng, sample_rng, label, n_samples):
-    # class prototype: beat period, pulse width, and R/T amplitude ratio
-    periods = class_rng.uniform(18, 30, size=spec.n_classes)
-    widths = class_rng.uniform(1.5, 3.0, size=spec.n_classes)
-    ratios = class_rng.uniform(0.2, 0.6, size=spec.n_classes)
+    periods, widths, ratios = _beat_prototypes(class_rng, spec.n_classes)
     sep = spec.separation
     period = periods[label] * (1 + 0.5 * sep * (label - spec.n_classes / 2)
                                / max(spec.n_classes, 1))
@@ -214,11 +220,20 @@ def _gen_beat(spec, class_rng, sample_rng, label, n_samples):
 # regime family (Wafer-like)
 # --------------------------------------------------------------------- #
 
-def _gen_regime(spec, class_rng, sample_rng, label, n_samples):
+def _regime_prototypes(class_rng, n_classes, n_channels, separation):
+    """Class prototype: the piecewise-constant level program per segment."""
     n_segments = 6
     levels = class_rng.uniform(-1.5, 1.5,
-                               size=(spec.n_classes, n_segments, spec.n_channels))
-    levels *= spec.separation * 1.5
+                               size=(n_classes, n_segments, n_channels))
+    levels *= separation * 1.5
+    return levels
+
+
+def _gen_regime(spec, class_rng, sample_rng, label, n_samples):
+    levels = _regime_prototypes(
+        class_rng, spec.n_classes, spec.n_channels, spec.separation
+    )
+    n_segments = levels.shape[1]
     bounds = np.linspace(0, spec.length, n_segments + 1).astype(int)
     out = np.empty((n_samples, spec.length, spec.n_channels))
     for i in range(n_samples):
@@ -244,14 +259,22 @@ def _gen_regime(spec, class_rng, sample_rng, label, n_samples):
 # burst family (NetFlow-like)
 # --------------------------------------------------------------------- #
 
-def _gen_burst(spec, class_rng, sample_rng, label, n_samples):
+def _burst_prototypes(class_rng, n_classes, n_channels, separation):
+    """Class-specific burst windows (position, width, intensity/channel)."""
     n_windows = 4
-    # class-specific burst windows (position, width, intensity per channel)
-    pos = class_rng.uniform(0.05, 0.95, size=(spec.n_classes, n_windows))
-    width = class_rng.uniform(0.03, 0.12, size=(spec.n_classes, n_windows))
+    pos = class_rng.uniform(0.05, 0.95, size=(n_classes, n_windows))
+    width = class_rng.uniform(0.03, 0.12, size=(n_classes, n_windows))
     intensity = class_rng.uniform(
-        1.0, 4.0, size=(spec.n_classes, n_windows, spec.n_channels)
-    ) * spec.separation
+        1.0, 4.0, size=(n_classes, n_windows, n_channels)
+    ) * separation
+    return pos, width, intensity
+
+
+def _gen_burst(spec, class_rng, sample_rng, label, n_samples):
+    pos, width, intensity = _burst_prototypes(
+        class_rng, spec.n_classes, spec.n_channels, spec.separation
+    )
+    n_windows = pos.shape[1]
     t_grid = np.linspace(0, 1, spec.length)[:, np.newaxis]
     out = np.empty((n_samples, spec.length, spec.n_channels))
     base_rate = 1.0
@@ -284,6 +307,72 @@ FAMILIES: Dict[str, Callable] = {
     "burst": _gen_burst,
 }
 
+#: per-family prototype builders — the exact first draws each generator
+#: makes from its class stream, exposed so tests can pin the docstring
+#: claim that class structure never depends on sample counts
+_PROTOTYPE_BUILDERS: Dict[str, Callable] = {
+    "harmonic": lambda spec, rng: dict(zip(
+        ("freqs", "amps"),
+        _harmonic_prototypes(rng, spec.n_classes, spec.n_channels,
+                             spec.separation),
+    )),
+    "motion": lambda spec, rng: {
+        "protos": _motion_prototypes(rng, spec.n_classes, spec.length,
+                                     spec.n_channels, spec.separation),
+    },
+    "beat": lambda spec, rng: dict(zip(
+        ("periods", "widths", "ratios"),
+        _beat_prototypes(rng, spec.n_classes),
+    )),
+    "regime": lambda spec, rng: {
+        "levels": _regime_prototypes(rng, spec.n_classes, spec.n_channels,
+                                     spec.separation),
+    },
+    "burst": lambda spec, rng: dict(zip(
+        ("pos", "width", "intensity"),
+        _burst_prototypes(rng, spec.n_classes, spec.n_channels,
+                          spec.separation),
+    )),
+}
+
+
+def _class_seed(spec, seed):
+    """The prototype-stream seed for ``(seed, spec.key)``.
+
+    Shared by :func:`generate_family` and :func:`family_prototypes`, so
+    the prototypes the latter reports are *exactly* the ones every
+    generated sample was built from.
+    """
+    key_hash = zlib.crc32(spec.key.encode())
+    if seed is None:
+        master = ensure_rng(None)
+    else:
+        # fold the dataset key into the seed so each dataset gets its own
+        # deterministic stream for a given base seed
+        master = np.random.default_rng([int(seed), key_hash])
+    seed_rng, sample_rng = spawn_rng(master, 2)
+    return int(seed_rng.integers(2**63 - 1)), sample_rng
+
+
+def family_prototypes(spec, seed=None) -> Dict[str, np.ndarray]:
+    """The class prototypes a ``(spec, seed)`` pair generates from.
+
+    Returns the named prototype arrays of ``spec.family`` (e.g. ``freqs``
+    and ``amps`` for ``harmonic``).  These depend only on ``(seed,
+    spec.key)`` and the structural parameters — never on sample counts —
+    which is the invariant that keeps class structure identical across
+    train/test and across dataset sizes.
+    """
+    try:
+        builder = _PROTOTYPE_BUILDERS[spec.family]
+    except KeyError:
+        known = ", ".join(sorted(_PROTOTYPE_BUILDERS))
+        raise ValueError(
+            f"unknown family {spec.family!r}; known: {known}"
+        ) from None
+    class_seed, _ = _class_seed(spec, seed)
+    return builder(spec, np.random.default_rng(class_seed))
+
 
 def generate_family(spec, n_train: int, n_test: int, seed=None):
     """Generate a balanced train/test split for a dataset spec.
@@ -309,17 +398,9 @@ def generate_family(spec, n_train: int, n_test: int, seed=None):
     except KeyError:
         known = ", ".join(sorted(FAMILIES))
         raise ValueError(f"unknown family {spec.family!r}; known: {known}") from None
-    key_hash = zlib.crc32(spec.key.encode())
-    if seed is None:
-        master = ensure_rng(None)
-    else:
-        # fold the dataset key into the seed so each dataset gets its own
-        # deterministic stream for a given base seed
-        master = np.random.default_rng([int(seed), key_hash])
-    seed_rng, sample_rng = spawn_rng(master, 2)
     # prototypes depend only on (seed, key), never on sample counts: every
     # generator call rebuilds the identical prototype stream from this seed
-    class_seed = int(seed_rng.integers(2**63 - 1))
+    class_seed, sample_rng = _class_seed(spec, seed)
 
     def build(n_samples):
         counts = class_counts(n_samples, spec.n_classes)

@@ -43,6 +43,7 @@ from repro.serve.replay import (
     TraceEvent,
     poisson_trace,
     replay,
+    spec_trace,
 )
 from repro.serve.session import PendingChunk, StreamSession
 
@@ -66,6 +67,7 @@ __all__ = [
     "TraceEvent",
     "ReplayTrace",
     "poisson_trace",
+    "spec_trace",
     "ReplayReport",
     "replay",
 ]

@@ -26,8 +26,8 @@ import numpy as np
 from repro.serve.engine import ChunkResult, ServeEngine
 from repro.utils.rng import SeedLike, ensure_rng
 
-__all__ = ["TraceEvent", "ReplayTrace", "poisson_trace", "ReplayReport",
-           "replay"]
+__all__ = ["TraceEvent", "ReplayTrace", "poisson_trace", "spec_trace",
+           "ReplayReport", "replay"]
 
 
 @dataclass
@@ -93,6 +93,100 @@ def poisson_trace(
             data = rng.standard_normal((chunk_len, n_channels))
             events.append(TraceEvent(t=t, stream=stream, seq=seq, data=data))
     # stable sort: simultaneous arrivals keep stream order deterministic
+    events.sort(key=lambda e: (e.t, e.stream, e.seq))
+    seed_tag = int(seed) if isinstance(seed, (int, np.integer)) else -1
+    return ReplayTrace(stream_models=stream_models, events=events,
+                       rate_hz=float(rate_hz), seed=seed_tag)
+
+
+def _primary_series(arrays: Dict[str, np.ndarray]) -> np.ndarray:
+    """Pick the input series from a generator's array dict as ``(T, C)``."""
+    for key in ("u", "x"):
+        if key in arrays:
+            arr = np.asarray(arrays[key], dtype=np.float64)
+            break
+    else:
+        floats = [k for k, v in arrays.items()
+                  if np.issubdtype(np.asarray(v).dtype, np.floating)]
+        if not floats:
+            raise ValueError(
+                f"no float array to serve in generator output: {sorted(arrays)}"
+            )
+        arr = np.asarray(arrays[floats[0]], dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr[:, None]
+    if arr.ndim != 2:
+        raise ValueError(f"expected a (T,) or (T, C) series, got {arr.shape}")
+    return arr
+
+
+def spec_trace(
+    model_names: Sequence[str],
+    spec,
+    *,
+    n_sessions: int,
+    chunks_per_session: int,
+    chunk_len: int,
+    rate_hz: float = 200.0,
+    seed: SeedLike = 0,
+) -> ReplayTrace:
+    """Build a Poisson-arrival trace fed by a registry dataset spec.
+
+    Like :func:`poisson_trace`, but instead of white noise each stream
+    replays a *series-kind* :class:`~repro.data.registry.GeneratorSpec`
+    (e.g. ``narma``, ``mackey_glass``, ``eeg_pink``, ``am_fm``, or a
+    ``drift`` wrapper) through the registry's streaming path: stream ``s``
+    regenerates the spec with seed ``spec.seed + s`` and chunks it with
+    ``generate_chunks`` — so payloads are bit-identical to eager
+    generation, and the whole trace is reproducible from ``(spec, seed)``.
+    Arrival times come from an independent ``seed``-derived stream, so the
+    schedule and the signal content can be varied separately.
+
+    The spec must yield at least ``chunks_per_session`` full chunks of
+    ``chunk_len`` (i.e. cover ``chunks_per_session * chunk_len`` steps).
+    """
+    from repro.data.registry import GeneratorSpec, generate_chunks, \
+        generator_kind
+
+    if n_sessions < 1 or chunks_per_session < 1:
+        raise ValueError("need at least one session and one chunk each")
+    if chunk_len < 1:
+        raise ValueError("chunk_len must be >= 1")
+    if not np.isfinite(rate_hz) or rate_hz <= 0:
+        raise ValueError(f"rate_hz must be positive, got {rate_hz!r}")
+    if generator_kind(spec) != "series":
+        raise ValueError(
+            f"spec_trace needs a series-kind spec, got {spec.label()!r} "
+            f"(kind {generator_kind(spec)!r})"
+        )
+    arrival_rng = ensure_rng(seed)
+    stream_models = [model_names[i % len(model_names)]
+                     for i in range(n_sessions)]
+    events: List[TraceEvent] = []
+    for stream in range(n_sessions):
+        stream_spec = GeneratorSpec(
+            name=spec.name, params=spec.params, seed=spec.seed + stream
+        )
+        chunks = generate_chunks(stream_spec, chunk_len)
+        t = 0.0
+        for seq in range(chunks_per_session):
+            try:
+                arrays = next(chunks)
+            except StopIteration:
+                raise ValueError(
+                    f"spec {spec.label()!r} ran dry after {seq} chunks of "
+                    f"{chunk_len}; raise n_steps to cover "
+                    f"{chunks_per_session * chunk_len} steps"
+                ) from None
+            data = _primary_series(arrays)
+            if data.shape[0] != chunk_len:
+                raise ValueError(
+                    f"spec {spec.label()!r} yielded a partial chunk "
+                    f"({data.shape[0]} < {chunk_len}); raise n_steps to "
+                    f"cover {chunks_per_session * chunk_len} steps"
+                )
+            t += float(arrival_rng.exponential(1.0 / rate_hz))
+            events.append(TraceEvent(t=t, stream=stream, seq=seq, data=data))
     events.sort(key=lambda e: (e.t, e.stream, e.seq))
     seed_tag = int(seed) if isinstance(seed, (int, np.integer)) else -1
     return ReplayTrace(stream_models=stream_models, events=events,

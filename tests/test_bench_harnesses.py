@@ -5,13 +5,24 @@ pytest-benchmark suite; here we test the pure logic: row assembly, paper
 comparison, formatting, and the CLI parser.
 """
 
+import copy
+import json
+
 import pytest
 
 from repro.bench.__main__ import build_parser
 from repro.bench.fig6 import Fig6Result
+from repro.bench.matrix import (
+    MATRIX_FORMAT,
+    MATRIX_FORMAT_VERSION,
+    format_matrix,
+    parse_spec_arg,
+    run_matrix,
+)
 from repro.bench.table1 import Table1Row, format_table1
 from repro.bench.table2 import format_table2, run_table2
 from repro.data.metadata import PAPER_TABLE2, dataset_keys
+from repro.data.registry import spec_for_dataset
 
 
 class TestTable2Harness:
@@ -88,6 +99,115 @@ class TestFig6Result:
         assert not found.zoom_missed_optimum
 
 
+class TestParseSpecArg:
+    def test_bare_generator(self):
+        spec = parse_spec_arg("harmonic")
+        assert spec.name == "harmonic" and spec.params == {} and spec.seed == 0
+
+    def test_params_and_seed(self):
+        spec = parse_spec_arg("harmonic:n_classes=2,noise=0.1,seed=5")
+        assert spec.params == {"n_classes": 2, "noise": 0.1}
+        assert isinstance(spec.params["n_classes"], int)
+        assert spec.seed == 5
+
+    def test_dotted_keys_nest(self):
+        spec = parse_spec_arg(
+            "drift:base.name=harmonic,base.params.n_classes=2,gain_depth=0.3"
+        )
+        assert spec.params["base"] == {"name": "harmonic",
+                                      "params": {"n_classes": 2}}
+        assert spec.params["gain_depth"] == 0.3
+
+    def test_paper_key_resolves(self):
+        assert parse_spec_arg("LIB", default_seed=3) == spec_for_dataset(
+            "LIB", seed=3
+        )
+
+    def test_paper_key_takes_no_params(self):
+        with pytest.raises(ValueError, match="no parameters"):
+            parse_spec_arg("LIB:n_classes=2")
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_spec_arg("")
+        with pytest.raises(ValueError, match="key=value"):
+            parse_spec_arg("harmonic:oops")
+        with pytest.raises(KeyError):
+            parse_spec_arg("no_such_generator")
+        with pytest.raises(ValueError, match="unknown param"):
+            parse_spec_arg("harmonic:wavelength=2")
+
+
+class TestMatrixHarness:
+    """Smoke-scale scenario matrix: 2 specs x 2 executors, random search."""
+
+    SPECS = [
+        parse_spec_arg("harmonic:n_classes=2,n_train=12,n_test=12,length=16"),
+        parse_spec_arg("regime:n_classes=2,n_train=12,n_test=12,length=16"),
+    ]
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_matrix(
+            self.SPECS, executors=("serial", "vectorized"),
+            searches=("random",), budget=3, n_nodes=10, seed=0,
+        )
+
+    def test_versioned_schema(self, report):
+        assert report["format"] == MATRIX_FORMAT
+        assert report["format_version"] == MATRIX_FORMAT_VERSION
+        assert len(report["cells"]) == 4  # 2 specs x 2 executors x 1 search
+        for cell in report["cells"]:
+            assert set(cell) == {
+                "spec", "backend", "executor", "search", "val_accuracy",
+                "test_accuracy", "best_A", "best_B", "best_beta",
+                "diverged", "n_evaluations", "total_seconds",
+                "compute_seconds", "error",
+            }
+            assert cell["n_evaluations"] == 3
+        # the report is JSON-serializable as-is
+        json.dumps(report)
+
+    def test_executor_axis_is_score_invariant(self, report):
+        by_exec = {}
+        for cell in report["cells"]:
+            by_exec.setdefault(cell["executor"], []).append(cell)
+        for serial, vectorized in zip(by_exec["serial"],
+                                      by_exec["vectorized"]):
+            assert serial["spec"] == vectorized["spec"]
+            for field in ("val_accuracy", "test_accuracy", "best_A",
+                          "best_B", "best_beta", "diverged"):
+                assert serial[field] == vectorized[field], field
+
+    def test_deterministic_under_fixed_seed(self, report):
+        again = run_matrix(
+            self.SPECS, executors=("serial", "vectorized"),
+            searches=("random",), budget=3, n_nodes=10, seed=0,
+        )
+
+        def strip(r):
+            r = copy.deepcopy(r)
+            for cell in r["cells"]:
+                cell.pop("total_seconds")
+                cell.pop("compute_seconds")
+            return r
+
+        assert strip(again) == strip(report)
+
+    def test_formatting(self, report):
+        text = format_matrix(report)
+        assert "dataset spec" in text and "serial" in text
+        assert "harmonic" in text and "regime" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            run_matrix([])
+        with pytest.raises(ValueError, match="unknown search"):
+            run_matrix(self.SPECS, searches=("bogus",))
+        with pytest.raises(ValueError, match="budget"):
+            run_matrix(self.SPECS, budget=0)
+
+
 class TestCLI:
     def test_parser_commands(self):
         parser = build_parser()
@@ -101,6 +221,22 @@ class TestCLI:
         for cmd in ("ablation-truncation", "ablation-nonlinearity",
                     "ablation-bitwidth", "ablation-optimizer", "all"):
             assert build_parser().parse_args([cmd]).command == cmd
+
+    def test_parser_matrix_command(self):
+        args = build_parser().parse_args([
+            "matrix", "--specs", "harmonic:n_classes=2", "LIB",
+            "--executors", "serial", "vectorized",
+            "--searches", "random", "grid", "--budget", "4",
+        ])
+        assert args.command == "matrix"
+        assert args.specs == ["harmonic:n_classes=2", "LIB"]
+        assert args.executors == ["serial", "vectorized"]
+        assert args.searches == ["random", "grid"]
+        assert args.budget == 4
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["matrix", "--searches", "bogus"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["matrix", "--executors", "bogus"])
 
     def test_parser_rejects_unknown_dataset(self):
         with pytest.raises(SystemExit):

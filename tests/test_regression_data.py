@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.data.regression import mackey_glass_series, narma10
+from repro.data.regression import mackey_glass_series, narma, narma10
 from repro.readout.metrics import nrmse
 from repro.readout.ridge import RidgeRegressor, fit_ridge_regressor
 from repro.representation.dprr import DPRR
@@ -53,6 +53,42 @@ class TestNarma10:
 
         model = fit_ridge_regressor(features(train_u), train_y, beta=1e-9)
         assert nrmse(test_y, model.predict(features(test_u))) < 0.7
+
+
+class TestNarmaGeneral:
+    """The parametric NARMA-N family behind the registered generator."""
+
+    def test_narma10_is_order_10(self):
+        """``narma10`` must stay bit-identical to its historical output,
+        i.e. exactly ``narma(order=10, washout=50)``."""
+        u_named, y_named = narma10(300, seed=7)
+        u_gen, y_gen = narma(300, order=10, seed=7, washout=50)
+        np.testing.assert_array_equal(u_named, u_gen)
+        np.testing.assert_array_equal(y_named, y_gen)
+
+    @pytest.mark.parametrize("order", [2, 5, 10, 20])
+    def test_orders_produce_finite_series(self, order):
+        u, y = narma(400, order=order, seed=0)
+        assert u.shape == y.shape == (400,)
+        assert np.all(np.isfinite(u)) and np.all(np.isfinite(y))
+
+    def test_orders_differ(self):
+        _, y5 = narma(200, order=5, seed=0)
+        _, y15 = narma(200, order=15, seed=0)
+        assert not np.allclose(y5, y15)
+
+    def test_default_washout_scales_with_order(self):
+        # order 30 needs a longer transient than the classic 50 steps
+        u, y = narma(100, order=30, seed=0)
+        assert u.shape == (100,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            narma(0)
+        with pytest.raises(ValueError):
+            narma(100, order=0)
+        with pytest.raises(ValueError, match="washout must cover"):
+            narma(100, order=20, washout=10)
 
 
 class TestMackeyGlassSeries:

@@ -12,6 +12,7 @@ import numpy as np
 import pytest
 
 from repro.core.pipeline import DFRFeatureExtractor
+from repro.data.registry import GeneratorSpec, generate, make_spec
 from repro.readout.ridge import RidgeModel, fit_ridge
 from repro.serve import (
     DEFAULT_MAX_BATCH,
@@ -23,6 +24,7 @@ from repro.serve import (
     load_model,
     poisson_trace,
     replay,
+    spec_trace,
     resolve_max_batch,
     resolve_max_wait_ms,
     save_model,
@@ -495,6 +497,45 @@ class TestReplay:
             assert np.array_equal(serial[key].features,
                                   batched[key].features)
             assert np.array_equal(serial[key].scores, batched[key].scores)
+
+    def test_spec_trace_payloads_match_eager_generation(self):
+        spec = make_spec("narma", seed=3, n_steps=64, order=5)
+        trace = spec_trace(["m0"], spec, n_sessions=2, chunks_per_session=4,
+                           chunk_len=16, seed=9)
+        again = spec_trace(["m0"], spec, n_sessions=2, chunks_per_session=4,
+                           chunk_len=16, seed=9)
+        assert len(trace.events) == 8
+        for ea, eb in zip(trace.events, again.events):
+            assert ea.t == eb.t
+            np.testing.assert_array_equal(ea.data, eb.data)
+        # stream s replays the spec regenerated with seed spec.seed + s,
+        # bit-identical to eager generation
+        for stream in range(2):
+            chunks = sorted((e for e in trace.events if e.stream == stream),
+                            key=lambda e: e.seq)
+            replayed = np.concatenate([e.data[:, 0] for e in chunks])
+            eager = generate(GeneratorSpec("narma", dict(spec.params),
+                                           seed=spec.seed + stream))["u"]
+            np.testing.assert_array_equal(replayed, eager)
+
+    def test_spec_trace_validation(self):
+        series = make_spec("narma", seed=0, n_steps=64, order=5)
+        with pytest.raises(ValueError, match="series-kind"):
+            spec_trace(["m0"], make_spec("harmonic", seed=0), n_sessions=1,
+                       chunks_per_session=1, chunk_len=4)
+        with pytest.raises(ValueError, match="ran dry"):
+            spec_trace(["m0"], series, n_sessions=1, chunks_per_session=99,
+                       chunk_len=16)
+
+    def test_spec_trace_replays_through_engine(self, trained):
+        spec = make_spec("eeg_pink", seed=1, n_steps=32, n_channels=2)
+        trace = spec_trace(["m0"], spec, n_sessions=3, chunks_per_session=2,
+                           chunk_len=16, seed=2)
+        assert trace.events[0].data.shape == (16, 2)
+        engine = ServeEngine(max_batch=8)
+        engine.deploy(_model(trained))
+        report = replay(engine, trace)
+        assert report.n_chunks == 6
 
     def test_replay_report_accounting(self, trained):
         engine = ServeEngine(max_batch=16)

@@ -19,7 +19,9 @@ Usage::
 ``--suite`` picks which harness feeds the entry: ``training`` (default)
 runs the pytest-benchmark suite in ``benchmarks/``; ``serve`` runs
 ``repro-bench serve`` (streaming inference under replayed traffic) and
-condenses its latency/throughput numbers.  Every entry is tagged with its
+condenses its latency/throughput numbers; ``matrix`` runs ``repro-bench
+matrix`` (scenario cells over registry dataset specs) and records one
+benchmark per cell.  Every entry is tagged with its
 suite, and entries from different suites are never compared against each
 other — a serving-latency number regressing against a training-throughput
 baseline would be meaningless.
@@ -167,6 +169,48 @@ def run_serve_suite(extra_args: list) -> dict:
     return benchmarks
 
 
+def run_matrix_suite(extra_args: list) -> dict:
+    """Run ``repro-bench matrix`` and condense it to the benchmarks payload.
+
+    Each scenario cell (dataset spec x backend x executor x search)
+    becomes one benchmark keyed by its axes, timed by its search
+    wall-clock, with the accuracy columns kept as ``extra_info`` — so the
+    trajectory records throughput *and* flags a score drift (scores are
+    deterministic per seed on NumPy, so any change is a real behavior
+    change, not noise).
+    """
+    with tempfile.TemporaryDirectory() as tmp:
+        json_path = Path(tmp) / "matrix.json"
+        cmd = [
+            sys.executable, "-m", "repro.bench", "matrix",
+            "--json", str(json_path), *extra_args,
+        ]
+        proc = subprocess.run(cmd, cwd=REPO_ROOT, env=_suite_env())
+        if proc.returncode != 0:
+            raise SystemExit(
+                f"matrix bench failed (exit {proc.returncode}); "
+                f"no history entry written"
+            )
+        with open(json_path) as fh:
+            report = json.load(fh)
+    benchmarks = {}
+    for cell in report.get("cells", []):
+        label = "|".join((cell["spec"], cell["backend"], cell["executor"],
+                          cell["search"]))
+        benchmarks[label] = {
+            "min_seconds": cell["total_seconds"],
+            "mean_seconds": cell["total_seconds"],
+            "rounds": 1,
+            "extra_info": {
+                "val_accuracy": cell["val_accuracy"],
+                "test_accuracy": cell["test_accuracy"],
+                "n_evaluations": cell["n_evaluations"],
+                "compute_seconds": cell["compute_seconds"],
+            },
+        }
+    return benchmarks
+
+
 def condense(report: dict) -> dict:
     """Reduce a pytest-benchmark report to the trajectory payload."""
     benchmarks = {}
@@ -199,13 +243,29 @@ def build_entry(benchmarks: dict, suite: str = "training") -> dict:
     }
 
 
-def load_history() -> list:
-    if not HISTORY_PATH.exists():
+def load_history(path: Path = None) -> list:
+    """Load the trajectory list, tolerating a missing or empty file.
+
+    A history file that exists but is empty (or whitespace-only — e.g. a
+    freshly ``touch``-ed file, or a truncated write) means "no entries
+    yet", exactly like a missing file; invalid JSON is a clean error
+    instead of a traceback.
+    """
+    path = HISTORY_PATH if path is None else Path(path)
+    if not path.exists():
         return []
-    with open(HISTORY_PATH) as fh:
-        history = json.load(fh)
+    text = path.read_text()
+    if not text.strip():
+        return []
+    try:
+        history = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SystemExit(
+            f"{path} is not valid JSON ({exc}); fix or delete it to reset "
+            f"the trajectory"
+        ) from None
     if not isinstance(history, list):
-        raise SystemExit(f"{HISTORY_PATH} must hold a JSON list")
+        raise SystemExit(f"{path} must hold a JSON list")
     return history
 
 
@@ -278,21 +338,26 @@ def main(argv=None) -> int:
         help="print the condensed entry and exit without touching history",
     )
     parser.add_argument(
-        "--suite", choices=("training", "serve"), default="training",
+        "--suite", choices=("training", "serve", "matrix"),
+        default="training",
         help="which harness feeds the entry: 'training' runs the "
              "pytest-benchmark suite, 'serve' runs repro-bench serve "
-             "(streaming latency/throughput). Entries only ever compare "
-             "within their own suite",
+             "(streaming latency/throughput), 'matrix' runs repro-bench "
+             "matrix (scenario cells). Entries only ever compare within "
+             "their own suite",
     )
     parser.add_argument(
         "pytest_args", nargs="*",
-        help="extra arguments forwarded to pytest (--suite training) or "
-             "to repro-bench serve (--suite serve), after --",
+        help="extra arguments forwarded to pytest (--suite training), "
+             "repro-bench serve (--suite serve), or repro-bench matrix "
+             "(--suite matrix), after --",
     )
     args = parser.parse_args(argv)
 
     if args.suite == "serve":
         benchmarks = run_serve_suite(args.pytest_args)
+    elif args.suite == "matrix":
+        benchmarks = run_matrix_suite(args.pytest_args)
     else:
         benchmarks = condense(run_suite(args.pytest_args))
     entry = build_entry(benchmarks, suite=args.suite)
