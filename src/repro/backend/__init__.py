@@ -42,12 +42,17 @@ from __future__ import annotations
 import os
 from typing import Dict, List, Optional, Tuple, Union
 
-from repro.backend.base import ArrayBackend, BackendUnavailableError
+from repro.backend.base import (
+    ArrayBackend,
+    BackendUnavailableError,
+    TransferStats,
+)
 from repro.backend.numpy_backend import NumpyBackend
 
 __all__ = [
     "ArrayBackend",
     "BackendUnavailableError",
+    "TransferStats",
     "NumpyBackend",
     "BACKEND_ENV_VAR",
     "DTYPE_ENV_VAR",

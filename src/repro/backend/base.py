@@ -60,13 +60,62 @@ tolerance contract lives in ``docs/ARCHITECTURE.md``).
 from __future__ import annotations
 
 from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
-__all__ = ["ArrayBackend", "BackendUnavailableError"]
+__all__ = ["ArrayBackend", "BackendUnavailableError", "TransferStats"]
 
 
 class BackendUnavailableError(ImportError):
     """Raised when a requested backend's library cannot be imported."""
+
+
+@dataclass
+class TransferStats:
+    """Counters for array crossings of the numpy <-> backend seam.
+
+    The serving layer's device-residency contract is *structural*: between
+    scheduler ticks every carried array stays backend-native, and host
+    conversions happen only at declared result boundaries.  These counters
+    make that contract assertable.  A "transfer" is one array conversion
+    at the seam — a real device copy when the backend sits on an
+    accelerator, a cheap (often zero-copy) type hop on CPU backends; the
+    count is the same either way, which is exactly what lets the NumPy
+    reference pin the *structure* of the hot loop in tests.
+
+    Attributes
+    ----------
+    to_device:
+        ``asarray`` calls that converted a host ``numpy.ndarray`` into a
+        native backend array (input boundary: chunk uploads, parameter
+        stacks).
+    to_host:
+        Plain ``to_numpy`` calls that converted a native backend array to
+        NumPy.  The serving hot loop must keep this at **zero** for
+        resident sessions — any growth means a per-tick host round-trip
+        crept back in.
+    boundary_to_host:
+        Host conversions routed through :meth:`ArrayBackend.to_numpy_boundary`
+        — declared result/control-flow boundaries (final features and
+        scores, per-sweep divergence flags).  These are expected and
+        excluded from the residency assertion.
+    """
+
+    to_device: int = 0
+    to_host: int = 0
+    boundary_to_host: int = 0
+
+    def reset(self) -> None:
+        self.to_device = 0
+        self.to_host = 0
+        self.boundary_to_host = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "to_device": self.to_device,
+            "to_host": self.to_host,
+            "boundary_to_host": self.boundary_to_host,
+        }
 
 
 class ArrayBackend:
@@ -105,6 +154,40 @@ class ArrayBackend:
     def to_numpy(self, a):
         """Convert a backend array to ``numpy.ndarray`` (host transfer)."""
         raise NotImplementedError
+
+    @property
+    def transfers(self) -> TransferStats:
+        """Seam-crossing counters (lazily created per backend instance).
+
+        Device backends increment these from :meth:`asarray` /
+        :meth:`to_numpy`; the NumPy reference leaves them at zero (there
+        is no seam to cross), but instrumented test subclasses may count
+        through the same property to pin hot-loop structure.
+        """
+        stats = self.__dict__.get("_transfer_stats")
+        if stats is None:
+            stats = TransferStats()
+            self.__dict__["_transfer_stats"] = stats
+        return stats
+
+    def to_numpy_boundary(self, a):
+        """Host conversion at a *declared* result boundary.
+
+        Same conversion as :meth:`to_numpy`, but any seam crossing it
+        performs is booked under ``transfers.boundary_to_host`` instead of
+        ``transfers.to_host`` — so the serving layer can export final
+        features/scores (and the per-sweep divergence flags, which are
+        control flow) while the hot-loop residency assertion
+        ``transfers.to_host == 0`` stays meaningful.
+        """
+        stats = self.transfers
+        before = stats.to_host
+        out = self.to_numpy(a)
+        crossed = stats.to_host - before
+        if crossed:
+            stats.to_host = before
+            stats.boundary_to_host += crossed
+        return out
 
     def zeros(self, shape):
         raise NotImplementedError

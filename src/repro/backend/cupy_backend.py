@@ -95,6 +95,9 @@ class CupyBackend(ArrayBackend):
         self._fused_cache: dict = {}
 
     def asarray(self, a, dtype=None):
+        if isinstance(a, np.ndarray):
+            # host array entering the backend: one H2D seam crossing
+            self.transfers.to_device += 1
         with cp.cuda.Device(self._device_id):
             out = cp.asarray(a, dtype=dtype)
             if (dtype is None and self.float_dtype is not cp.float64
@@ -104,6 +107,7 @@ class CupyBackend(ArrayBackend):
 
     def to_numpy(self, a):
         if isinstance(a, cp.ndarray):
+            self.transfers.to_host += 1
             return cp.asnumpy(a)
         return np.asarray(a)
 

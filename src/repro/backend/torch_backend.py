@@ -142,10 +142,16 @@ class TorchBackend(ArrayBackend):
             else:
                 # Python scalars/lists promote to the working precision
                 dtype = self.float_dtype
+        if isinstance(a, np.ndarray):
+            # a host array entering the backend: one seam crossing (a real
+            # H2D copy on CUDA, a zero-copy wrap on CPU — counted either
+            # way so residency is assertable structurally)
+            self.transfers.to_device += 1
         return torch.as_tensor(a, dtype=dtype, device=self._device)
 
     def to_numpy(self, a):
         if isinstance(a, torch.Tensor):
+            self.transfers.to_host += 1
             return a.detach().cpu().numpy()
         return np.asarray(a)
 

@@ -39,6 +39,8 @@ from repro.bench.ablations import (
 )
 from repro.bench.fig6 import format_fig6, run_fig6
 from repro.bench.matrix import (
+    compare_matrix_reports,
+    format_matrix_compare,
     MATRIX_SEARCHES,
     format_matrix,
     parse_spec_arg,
@@ -182,6 +184,21 @@ def build_parser() -> argparse.ArgumentParser:
              "Default: the REPRO_SERVE_MAX_WAIT_MS environment variable, "
              "else 0 (never defer)",
     )
+    p.add_argument(
+        "--deadline-ms", type=float, default=10.0,
+        help="per-chunk deadline budget for the paced deadline legs "
+             "(sync tick-on-submit vs async background loop)",
+    )
+    p.add_argument(
+        "--slack-margin-ms", type=float, default=5.0,
+        help="how early the async engine's background loop fires a "
+             "deadline-held batch",
+    )
+    p.add_argument(
+        "--deadline-rate-hz", type=float, default=4.0,
+        help="per-stream arrival rate the deadline legs are paced at "
+             "(the recorded 200 Hz trace is stretched to this)",
+    )
     p.add_argument("--repeats", type=int, default=3,
                    help="replay repetitions; fastest wall-clock is kept")
     p.add_argument("--seed", type=int, default=0)
@@ -222,6 +239,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--divisions", type=int, default=4,
                    help="grid divisions per axis for --searches grid")
+    p.add_argument(
+        "--compare", nargs=2, metavar=("OLD.json", "NEW.json"), default=None,
+        help="instead of running, diff two saved matrix reports "
+             "cell-by-cell (accuracy + timing deltas); exits non-zero on "
+             "a regression beyond the floors",
+    )
+    p.add_argument("--accuracy-floor", type=float, default=0.05,
+                   help="allowed absolute test-accuracy drop per cell "
+                        "before --compare flags a regression")
+    p.add_argument("--time-floor", type=float, default=0.5,
+                   help="allowed fractional slowdown per cell before "
+                        "--compare flags a regression (0.5 = 1.5x)")
     p.add_argument("--json", default=None, metavar="PATH",
                    help="also write the report dict as JSON to PATH "
                         "('-' for stdout)")
@@ -306,6 +335,9 @@ def main(argv=None) -> int:
             n_models=args.models,
             max_batch=args.max_batch,
             max_wait_ms=args.max_wait_ms,
+            deadline_ms=args.deadline_ms,
+            slack_margin_ms=args.slack_margin_ms,
+            deadline_rate_hz=args.deadline_rate_hz,
             repeats=args.repeats,
             seed=args.seed,
             backend=args.backend,
@@ -323,6 +355,27 @@ def main(argv=None) -> int:
         if result["bitwise_mismatches"]:
             return 1
     elif args.command == "matrix":
+        if args.compare is not None:
+            old_path, new_path = args.compare
+            with open(old_path, "r", encoding="utf-8") as fh:
+                old_report = json.load(fh)
+            with open(new_path, "r", encoding="utf-8") as fh:
+                new_report = json.load(fh)
+            diff = compare_matrix_reports(
+                old_report, new_report,
+                accuracy_floor=args.accuracy_floor,
+                time_floor=args.time_floor,
+            )
+            print()
+            print(format_matrix_compare(diff))
+            if args.json == "-":
+                json.dump(diff, sys.stdout, indent=2)
+                print()
+            elif args.json:
+                with open(args.json, "w", encoding="utf-8") as fh:
+                    json.dump(diff, fh, indent=2)
+                    fh.write("\n")
+            return 0 if diff["ok"] else 1
         specs = [parse_spec_arg(text, default_seed=args.seed)
                  for text in args.specs]
         report = run_matrix(

@@ -33,6 +33,8 @@ import json
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.bench.reporting import format_table
 from repro.core.grid_search import GridSearch
 from repro.core.hyperopt import (
@@ -59,6 +61,8 @@ __all__ = [
     "parse_spec_arg",
     "run_matrix",
     "format_matrix",
+    "compare_matrix_reports",
+    "format_matrix_compare",
 ]
 
 MATRIX_FORMAT = "repro-matrix-report"
@@ -304,6 +308,148 @@ def run_matrix(
         "searches": list(searches),
         "cells": [cell.to_dict() for cell in cells],
     }
+
+
+def _validate_matrix_report(report: dict, which: str) -> None:
+    """Refuse anything but a well-formed matrix-report envelope."""
+    if not isinstance(report, dict):
+        raise TypeError(
+            f"{which} report must be a dict, got {type(report).__name__}"
+        )
+    if report.get("format") != MATRIX_FORMAT:
+        raise ValueError(
+            f"{which} report is not a {MATRIX_FORMAT} document "
+            f"(format={report.get('format')!r})"
+        )
+    if report.get("format_version") != MATRIX_FORMAT_VERSION:
+        raise ValueError(
+            f"{which} report has format_version "
+            f"{report.get('format_version')!r}; this release reads version "
+            f"{MATRIX_FORMAT_VERSION} only"
+        )
+    if not isinstance(report.get("cells"), list):
+        raise ValueError(f"{which} report has no 'cells' list")
+
+
+def _cell_key(cell: dict) -> tuple:
+    return (cell["spec"], cell["backend"], cell["executor"], cell["search"])
+
+
+def compare_matrix_reports(old: dict, new: dict, *,
+                           accuracy_floor: float = 0.05,
+                           time_floor: float = 0.5) -> dict:
+    """Cell-by-cell diff of two matrix reports (``repro-bench matrix``).
+
+    Cells match on ``(spec, backend, executor, search)``.  A matched cell
+    *regresses* when its test accuracy drops by more than
+    ``accuracy_floor`` (absolute), or when it slows down by more than
+    ``time_floor`` (fractional: 0.5 allows up to 1.5x the old wall time —
+    generous because CI timing is noisy), or when it newly reports an
+    error.  Added/removed cells are listed but are not regressions; cells
+    that errored in *both* runs are skipped.  Returns a JSON-ready dict
+    whose ``regressions`` list is the exit-status signal.
+    """
+    _validate_matrix_report(old, "old")
+    _validate_matrix_report(new, "new")
+    for name, value in (("accuracy_floor", accuracy_floor),
+                        ("time_floor", time_floor)):
+        if not np.isfinite(value) or value < 0:
+            raise ValueError(f"{name} must be finite and >= 0, got {value}")
+    old_cells = {_cell_key(c): c for c in old["cells"]}
+    new_cells = {_cell_key(c): c for c in new["cells"]}
+    added = sorted(set(new_cells) - set(old_cells))
+    removed = sorted(set(old_cells) - set(new_cells))
+    rows: List[dict] = []
+    regressions: List[str] = []
+    for key in sorted(set(old_cells) & set(new_cells)):
+        o, n = old_cells[key], new_cells[key]
+        label = "/".join(key)
+        if o.get("error") and n.get("error"):
+            continue  # broken on both sides; nothing comparable
+        if n.get("error"):
+            regressions.append(f"{label}: now errors ({n['error']})")
+            rows.append({"key": list(key), "error": n["error"]})
+            continue
+        if o.get("error"):
+            rows.append({"key": list(key), "recovered": True})
+            continue
+        acc_delta = n["test_accuracy"] - o["test_accuracy"]
+        val_delta = n["val_accuracy"] - o["val_accuracy"]
+        ratio = (n["total_seconds"] / o["total_seconds"]
+                 if o["total_seconds"] > 0 else 1.0)
+        row = {
+            "key": list(key),
+            "old_test_accuracy": o["test_accuracy"],
+            "new_test_accuracy": n["test_accuracy"],
+            "test_accuracy_delta": acc_delta,
+            "val_accuracy_delta": val_delta,
+            "old_seconds": o["total_seconds"],
+            "new_seconds": n["total_seconds"],
+            "time_ratio": ratio,
+        }
+        if acc_delta < -accuracy_floor:
+            regressions.append(
+                f"{label}: test accuracy {o['test_accuracy']:.3f} -> "
+                f"{n['test_accuracy']:.3f} (drop {-acc_delta:.3f} > floor "
+                f"{accuracy_floor:.3f})"
+            )
+        if ratio > 1.0 + time_floor:
+            regressions.append(
+                f"{label}: wall time {o['total_seconds']:.3f}s -> "
+                f"{n['total_seconds']:.3f}s ({ratio:.2f}x > allowed "
+                f"{1.0 + time_floor:.2f}x)"
+            )
+        rows.append(row)
+    return {
+        "matched": len(rows),
+        "added": ["/".join(k) for k in added],
+        "removed": ["/".join(k) for k in removed],
+        "accuracy_floor": float(accuracy_floor),
+        "time_floor": float(time_floor),
+        "cells": rows,
+        "regressions": regressions,
+        "ok": not regressions,
+    }
+
+
+def format_matrix_compare(diff: dict) -> str:
+    """Render a :func:`compare_matrix_reports` diff for the console."""
+    headers = ("dataset spec", "backend", "executor", "search",
+               "test acc old", "new", "delta", "time old s", "new s",
+               "ratio")
+    rows = []
+    for cell in diff["cells"]:
+        key = cell["key"]
+        if "error" in cell or "recovered" in cell:
+            status = (f"ERROR: {cell['error']}" if "error" in cell
+                      else "recovered")
+            rows.append(tuple(key) + (status, "", "", "", "", ""))
+            continue
+        rows.append(tuple(key) + (
+            f"{cell['old_test_accuracy']:.3f}",
+            f"{cell['new_test_accuracy']:.3f}",
+            f"{cell['test_accuracy_delta']:+.3f}",
+            f"{cell['old_seconds']:.3f}",
+            f"{cell['new_seconds']:.3f}",
+            f"{cell['time_ratio']:.2f}x",
+        ))
+    title = (
+        f"Matrix compare — {diff['matched']} matched cell(s), "
+        f"{len(diff['added'])} added, {len(diff['removed'])} removed"
+    )
+    lines = [format_table(headers, rows, title=title)]
+    for name in ("added", "removed"):
+        if diff[name]:
+            lines.append(f"  {name}: " + ", ".join(diff[name]))
+    if diff["regressions"]:
+        lines.append("REGRESSIONS:")
+        lines.extend(f"  - {msg}" for msg in diff["regressions"])
+    else:
+        lines.append(
+            f"no regressions (accuracy floor {diff['accuracy_floor']:.3f}, "
+            f"time floor {diff['time_floor']:.2f})"
+        )
+    return "\n".join(lines)
 
 
 def format_matrix(report: dict) -> str:

@@ -10,6 +10,17 @@ The harness answers two questions about :mod:`repro.serve`:
    label from the two runs are compared **bitwise** — on the NumPy backend
    the comparison must be exact, and the bench hard-fails otherwise.
 
+Since PR 9 the harness also answers a third question: *do deadlines get
+met?*  The same trace is replayed **at its recorded rate** with a
+per-chunk deadline budget through (a) the passive engine ticked by the
+replay loop with no slack margin — which fires partial batches exactly
+*at* their deadline, so deadline-triggered chunks finish one sweep late —
+and (b) the :class:`~repro.serve.async_engine.AsyncServeEngine`, whose
+background loop wakes a slack margin *early*.  The headline is the
+violation count: the async engine meets deadlines the synchronous
+fire-at-deadline policy structurally misses, on identical traffic, with
+bit-identical outputs.
+
 The benchmarked path exercises the full deployment loop: train a small
 pipeline, ``save_model`` / ``load_model`` round-trip, deploy the *loaded*
 snapshot, replay.  ``tools/bench_history.py --suite serve`` persists the
@@ -18,6 +29,7 @@ numbers to the committed trajectory.
 
 from __future__ import annotations
 
+import asyncio
 import os
 import tempfile
 from typing import List, Optional
@@ -26,9 +38,15 @@ import numpy as np
 
 from repro.core.pipeline import DFRFeatureExtractor
 from repro.readout.ridge import fit_ridge
+from repro.serve.async_engine import AsyncServeEngine
 from repro.serve.engine import ServeEngine
 from repro.serve.model_store import ServableModel, load_model, save_model
-from repro.serve.replay import ReplayReport, poisson_trace, replay
+from repro.serve.replay import (
+    ReplayReport,
+    poisson_trace,
+    replay,
+    replay_async,
+)
 
 __all__ = ["run_serve_bench", "format_serve"]
 
@@ -96,6 +114,9 @@ def run_serve_bench(
     n_models: int = 1,
     max_batch: Optional[int] = None,
     max_wait_ms: Optional[float] = None,
+    deadline_ms: float = 10.0,
+    slack_margin_ms: float = 5.0,
+    deadline_rate_hz: float = 4.0,
     repeats: int = 3,
     seed: int = 0,
     backend: Optional[str] = None,
@@ -107,6 +128,17 @@ def run_serve_bench(
     the speedup, and ``bitwise_mismatches`` (must be 0 on NumPy).  Each
     configuration runs ``repeats`` times and keeps its fastest wall-clock
     (per-run outputs are verified every time).
+
+    Two further legs replay the trace slowed to ``deadline_rate_hz``
+    chunks/s per stream (a rate the engine can serve — the recorded 200 Hz
+    trace is a stress test, not an SLO scenario) with ``deadline_ms`` as
+    every chunk's budget: a caller-driven synchronous engine that ticks
+    only on submits (``sync_deadline`` — no background thread, so fire
+    points falling between arrivals are served late) and the
+    background-loop :class:`AsyncServeEngine` waking at each fire point
+    ``slack_margin_ms`` early (``async_deadline``).  Their outputs join
+    the bitwise comparison; their violation counts are the deadline
+    headline.
     """
     if max_batch is None:
         max_batch = max(int(streams), 1)
@@ -125,6 +157,32 @@ def run_serve_bench(
             engine.deploy(model)
         return replay(engine, trace)
 
+    # the trace records arrivals at poisson_trace's default rate; the
+    # deadline legs stretch the time axis to deadline_rate_hz per stream
+    # (exponential gaps scale linearly, payload bits are untouched)
+    dl_scale = trace.rate_hz / float(deadline_rate_hz)
+
+    def run_sync_deadline() -> ReplayReport:
+        engine = ServeEngine(max_batch=max_batch, deadline_ms=deadline_ms,
+                             backend=backend, dtype=dtype)
+        for model in models:
+            engine.deploy(model)
+        return replay(engine, trace, time_scale=dl_scale,
+                      tick_on="submit")
+
+    def run_async_deadline() -> ReplayReport:
+        async def go() -> ReplayReport:
+            async with AsyncServeEngine(
+                max_batch=max_batch, deadline_ms=deadline_ms,
+                slack_margin_ms=slack_margin_ms,
+                backend=backend, dtype=dtype,
+            ) as engine:
+                for model in models:
+                    engine.deploy(model)
+                return await replay_async(engine, trace,
+                                          time_scale=dl_scale)
+        return asyncio.run(go())
+
     serial = batched = None
     mismatches = 0
     reference = None
@@ -139,6 +197,10 @@ def run_serve_bench(
             serial = rep_s
         if batched is None or rep_b.wall_s < batched.wall_s:
             batched = rep_b
+    sync_dl = run_sync_deadline()
+    async_dl = run_async_deadline()
+    mismatches += _mismatches(reference, sync_dl.results)
+    mismatches += _mismatches(reference, async_dl.results)
     speedup = serial.wall_s / batched.wall_s if batched.wall_s > 0 else 0.0
     return {
         "streams": streams,
@@ -149,12 +211,17 @@ def run_serve_bench(
         "n_models": n_models,
         "max_batch": max_batch,
         "max_wait_ms": max_wait_ms,
+        "deadline_ms": deadline_ms,
+        "slack_margin_ms": slack_margin_ms,
+        "deadline_rate_hz": float(deadline_rate_hz),
         "repeats": repeats,
         "seed": seed,
         "backend": backend or "numpy",
         "dtype": dtype or "float64",
         "serial": serial.to_dict(),
         "batched": batched.to_dict(),
+        "sync_deadline": sync_dl.to_dict(),
+        "async_deadline": async_dl.to_dict(),
         "speedup": speedup,
         "bitwise_mismatches": mismatches,
     }
@@ -181,9 +248,29 @@ def format_serve(result: dict) -> str:
             f"{rep['p50_ms']:>8.3f} {rep['p99_ms']:>8.3f} "
             f"{rep['mean_occupancy']:>9.3f}"
         )
+    lines.append(
+        f"  deadline legs (budget {result['deadline_ms']:.1f} ms, "
+        f"{result.get('deadline_rate_hz', 4.0):g} Hz/stream):"
+    )
+    lines.append(
+        f"  {'engine':<22} {'p50_ms':>8} {'p99_ms':>8} {'met':>6} "
+        f"{'missed':>7} {'min_slack_ms':>13}"
+    )
+    for label, rep in (
+        ("sync (tick on submit)", result["sync_deadline"]),
+        ("async (background)", result["async_deadline"]),
+    ):
+        slack = rep.get("min_slack_ms")
+        met = rep["deadline_chunks"] - rep["violations"]
+        lines.append(
+            f"  {label:<22} {rep['p50_ms']:>8.3f} {rep['p99_ms']:>8.3f} "
+            f"{met:>6d} {rep['violations']:>7d} "
+            f"{'-' if slack is None else format(slack, '>13.3f')}"
+        )
     verdict = ("bitwise OK" if result["bitwise_mismatches"] == 0
                else f"{result['bitwise_mismatches']} MISMATCHES")
     lines.append(
-        f"  speedup: {result['speedup']:.2f}x   batched == serial: {verdict}"
+        f"  speedup: {result['speedup']:.2f}x   all engines == serial: "
+        f"{verdict}"
     )
     return "\n".join(lines)

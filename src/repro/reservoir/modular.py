@@ -514,4 +514,7 @@ def _divergence_flags(flat_per_sample, backend=None) -> np.ndarray:
         bad = ~xb.isfinite(flat_per_sample) | (
             xb.abs(flat_per_sample) > _DIVERGENCE_LIMIT
         )
-    return xb.to_numpy(xb.any(bad, axis=1)).astype(bool, copy=False)
+    # boundary conversion: divergence flags are control flow by contract,
+    # so this crossing is booked as boundary_to_host — the serving layer's
+    # residency assertion (zero plain to_host per tick) stays clean
+    return xb.to_numpy_boundary(xb.any(bad, axis=1)).astype(bool, copy=False)

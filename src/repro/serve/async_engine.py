@@ -1,0 +1,289 @@
+"""Asyncio front door for the serving engine: an always-on tick loop.
+
+:class:`~repro.serve.engine.ServeEngine` is deliberately passive — nothing
+happens until somebody calls ``tick()``.  That makes it deterministic and
+replayable, but a real deployment wants the opposite ergonomics: callers
+``await`` their chunk results and *somebody else* worries about when to
+fire fused sweeps.  :class:`AsyncServeEngine` is that somebody:
+
+* ``await session.submit(chunk)`` returns an :class:`asyncio.Future` that
+  resolves to the chunk's :class:`~repro.serve.engine.ChunkResult` when a
+  background sweep scores it — callers never poll ``pop_results()``;
+* a single background task owns the tick cadence: it sleeps until the
+  scheduler's next deadline (minus the engine's slack margin) or until a
+  submit wakes it, then runs ``engine.tick()`` on a one-worker thread
+  pool via ``run_in_executor`` — the NumPy/torch sweep never blocks the
+  event loop, and the single worker serializes ticks so the engine's
+  prepare/sweep/commit pipeline stays race-free;
+* ``async with AsyncServeEngine(...)`` brackets startup and shutdown:
+  exit drains every in-flight and queued chunk (resolving their futures),
+  stops the loop, and releases the executor.
+
+Because the inner engine's lock only guards bookkeeping (sweeps run
+off-lock), submits from the event loop — or from plain threads via
+``asyncio.run_coroutine_threadsafe`` — enqueue in microseconds even while
+a sweep is running.  The async layer adds no numerics of its own: on the
+NumPy backend the stream of results per session is bit-identical to
+driving the same chunks through a synchronous ``ServeEngine`` (pinned by
+tests).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.serve.engine import ChunkResult, ServeEngine, TickReport
+from repro.serve.model_store import ServableModel
+
+__all__ = ["AsyncServeEngine", "AsyncServeSession"]
+
+#: default idle heartbeat between ticks when no deadline is scheduled
+DEFAULT_TICK_INTERVAL_MS = 50.0
+
+
+class AsyncServeSession:
+    """Handle for one stream on an :class:`AsyncServeEngine`.
+
+    Usable as an async context manager; exit closes the session
+    (discarding nothing — pending chunks are awaited by their futures, so
+    close only after they resolve, or call ``close(discard=True)``).
+    """
+
+    def __init__(self, engine: "AsyncServeEngine", session_id: str):
+        self.engine = engine
+        self.session_id = session_id
+
+    async def submit(self, chunk: np.ndarray, *,
+                     deadline_ms: Optional[float] = None) -> "asyncio.Future":
+        """Queue a chunk; returns a future resolving to its ChunkResult."""
+        return await self.engine.submit(self.session_id, chunk,
+                                        deadline_ms=deadline_ms)
+
+    async def close(self, *, discard: bool = False) -> None:
+        await self.engine.close_session(self.session_id, discard=discard)
+
+    async def __aenter__(self) -> "AsyncServeSession":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close(discard=exc_type is not None)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"AsyncServeSession({self.session_id!r})"
+
+
+class AsyncServeEngine:
+    """Deadline-aware asyncio wrapper around a :class:`ServeEngine`.
+
+    Parameters
+    ----------
+    engine:
+        An existing synchronous engine to wrap; ``None`` builds one from
+        the remaining keyword arguments (which are passed through to
+        :class:`ServeEngine` verbatim — ``max_batch``, ``deadline_ms``,
+        ``slack_margin_ms``, ``backend`` ...).
+    tick_interval_ms:
+        Idle heartbeat: how long the background loop sleeps when no
+        deadline is scheduled and nothing wakes it.  With deadlines set
+        this is only a safety net — the loop normally sleeps *exactly*
+        until the next deadline minus the slack margin.
+
+    Use as ``async with AsyncServeEngine(...) as eng:``; the context exit
+    drains and shuts the loop down.  All coroutine methods must be called
+    from the event loop that entered the context (threads interoperate
+    via ``asyncio.run_coroutine_threadsafe``).
+    """
+
+    def __init__(self, engine: Optional[ServeEngine] = None, *,
+                 tick_interval_ms: float = DEFAULT_TICK_INTERVAL_MS,
+                 **engine_kwargs):
+        if engine is not None and engine_kwargs:
+            raise ValueError(
+                "pass either a prebuilt engine or ServeEngine keyword "
+                "arguments, not both"
+            )
+        self.engine = engine if engine is not None else ServeEngine(
+            **engine_kwargs)
+        tick_interval_ms = float(tick_interval_ms)
+        if not tick_interval_ms > 0.0:
+            raise ValueError(
+                f"tick_interval_ms must be > 0, got {tick_interval_ms}"
+            )
+        self._tick_interval_s = tick_interval_ms / 1e3
+        self._futures: Dict[Tuple[str, int], asyncio.Future] = {}
+        self._orphans: deque = deque()  # results with no registered future
+        self._reports: List[TickReport] = []
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._loop_task: Optional[asyncio.Task] = None
+        self._wake: Optional[asyncio.Event] = None
+        self._stopping = False
+        self._started = False
+
+    # -------------------------------------------------------------- #
+    # lifecycle
+    # -------------------------------------------------------------- #
+
+    async def start(self) -> "AsyncServeEngine":
+        """Launch the background tick loop (idempotent)."""
+        if self._started:
+            return self
+        self._loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        # one worker: ticks are serialized, sweeps never block the loop
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-tick")
+        self._stopping = False
+        self._started = True
+        self._loop_task = self._loop.create_task(self._run())
+        return self
+
+    async def close(self) -> None:
+        """Drain every queued chunk, stop the loop, release the executor."""
+        if not self._started:
+            return
+        await self.drain()
+        self._stopping = True
+        self._wake.set()
+        try:
+            await self._loop_task
+        except Exception:
+            # the loop already failed every waiting future with this
+            # exception; shutdown itself should still complete
+            pass
+        for session_id in self.engine.sessions():
+            self.engine.close_session(session_id, discard=True)
+        self._executor.shutdown(wait=True)
+        self._executor = None
+        self._loop_task = None
+        self._started = False
+
+    async def __aenter__(self) -> "AsyncServeEngine":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    # -------------------------------------------------------------- #
+    # serving API
+    # -------------------------------------------------------------- #
+
+    def deploy(self, model: ServableModel) -> str:
+        return self.engine.deploy(model)
+
+    async def open_session(self, model_name: str, *,
+                           deadline_ms: Optional[float] = None
+                           ) -> AsyncServeSession:
+        session_id = self.engine.open_session(model_name,
+                                              deadline_ms=deadline_ms)
+        return AsyncServeSession(self, session_id)
+
+    async def submit(self, session_id: str, chunk: np.ndarray, *,
+                     deadline_ms: Optional[float] = None) -> "asyncio.Future":
+        """Queue a chunk and return the future of its result.
+
+        The future is registered before control returns to the event
+        loop, so the background dispatcher (which runs on the same loop)
+        can never complete the chunk first.
+        """
+        if not self._started:
+            raise RuntimeError(
+                "AsyncServeEngine is not running; use 'async with' or "
+                "await start() first"
+            )
+        seq = self.engine.submit(session_id, chunk, deadline_ms=deadline_ms)
+        future = self._loop.create_future()
+        self._futures[(session_id, seq)] = future
+        self._wake.set()
+        return future
+
+    async def close_session(self, session_id: str, *,
+                            discard: bool = False) -> None:
+        if discard:
+            for key in [k for k in self._futures if k[0] == session_id]:
+                future = self._futures.pop(key)
+                if not future.done():
+                    future.cancel()
+        self.engine.close_session(session_id, discard=discard)
+
+    async def drain(self) -> None:
+        """Force ticks until every submitted chunk's future is resolved."""
+        while self._futures:
+            await self._loop.run_in_executor(self._executor,
+                                             self.engine.drain)
+            self._dispatch()
+            await asyncio.sleep(0)
+
+    def pop_results(self) -> List[ChunkResult]:
+        """Results that arrived without a registered future (rare: direct
+        submits on the inner engine)."""
+        out = list(self._orphans)
+        self._orphans.clear()
+        return out
+
+    def pop_reports(self) -> List[TickReport]:
+        """Tick reports accumulated by the background loop."""
+        out = self._reports
+        self._reports = []
+        return out
+
+    def stats(self) -> dict:
+        return self.engine.stats()
+
+    # -------------------------------------------------------------- #
+    # background loop
+    # -------------------------------------------------------------- #
+
+    async def _run(self) -> None:
+        try:
+            while not self._stopping:
+                report = await self._loop.run_in_executor(
+                    self._executor, self.engine.tick)
+                self._reports.append(report)
+                self._dispatch()
+                if report.processed:
+                    continue  # keep sweeping while work is flowing
+                await self._sleep_until_due()
+        except Exception as exc:  # a sweep blew up: fail every waiter
+            for future in self._futures.values():
+                if not future.done():
+                    future.set_exception(exc)
+            self._futures.clear()
+            raise
+
+    async def _sleep_until_due(self) -> None:
+        """Sleep until the next deadline (minus margin), a wake, or the
+        idle heartbeat — whichever comes first."""
+        deadline = self.engine.next_deadline()
+        if deadline is None:
+            timeout = self._tick_interval_s
+        else:
+            timeout = deadline - self.engine.margin_s - self.engine.now()
+            timeout = min(max(timeout, 0.0), self._tick_interval_s)
+        self._wake.clear()
+        if timeout > 0.0:
+            try:
+                await asyncio.wait_for(self._wake.wait(), timeout)
+            except asyncio.TimeoutError:
+                pass
+
+    def _dispatch(self) -> None:
+        """Resolve futures for every freshly completed chunk."""
+        for result in self.engine.pop_results():
+            key = (result.session_id, result.seq)
+            future = self._futures.pop(key, None)
+            if future is None:
+                self._orphans.append(result)
+            elif not future.done():
+                future.set_result(result)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"AsyncServeEngine(running={self._started}, "
+            f"waiting={len(self._futures)}, engine={self.engine!r})"
+        )

@@ -8,19 +8,32 @@ alone wastes the very batch axis the reservoir sweep vectorizes over.
 
 :class:`ServeEngine` closes that gap with continuous batching:
 
-* ``submit()`` appends a chunk to its session's FIFO queue and the session
-  to the admission queue — nothing is computed on the submit path.
-* ``tick()`` packs the longest admissible FIFO prefix of waiting sessions
-  (up to ``max_batch``) into fused sweeps.  Sessions ride the **batch
-  axis**; when the packed sessions belong to *different* deployed models
-  that share a feature pipeline (equal
+* ``submit()`` appends a chunk to its session's FIFO queue and makes the
+  session's head schedulable — nothing is computed on the submit path.
+* ``tick()`` asks the :class:`~repro.serve.scheduler.DeadlineScheduler`
+  which (pipeline fingerprint, chunk length) buckets are *due* — full, or
+  holding a head chunk whose deadline (minus the slack margin) has
+  arrived — and launches one fused ``run_streaming`` per due bucket.
+  Sessions ride the **batch axis**; when the packed sessions belong to
+  *different* deployed models that share a feature pipeline (equal
   :meth:`~repro.serve.model_store.ServableModel.fingerprint`), the models'
   ``(A, B)`` pairs ride the **candidate axis** of the same sweep — one
   ``(K, N, T)`` program serves K heterogeneous models over N streams.
-* Each session's resumable reservoir state (the
-  :meth:`~repro.reservoir.modular.ModularDFR.run_streaming` carry) is
-  assembled into the batch before the sweep and sliced back out after, so
-  a stream may arrive in any chunking.
+* Each session's resumable reservoir state lives **backend-native** in a
+  :class:`~repro.serve.carry.CarryStore` between ticks: the batch is
+  assembled device-side before the sweep and sliced back device-side
+  after it, and arrays cross to the host only at declared boundaries
+  (final features/scores, divergence flags, checkpoints) — so torch/CuPy
+  serving pays zero per-tick device-to-host round-trips for resident
+  sessions (assertable via ``backend.transfers``).
+
+The tick itself is split into three phases: *prepare* (under the engine
+lock: select due buckets, mark their sessions in-flight, assemble inputs
+and carries), *sweep* (off-lock: the fused array program — so submits
+from other threads, or an asyncio event loop, never wait on compute), and
+*commit* (under the lock: advance sessions, store carries, score, resolve
+results).  :class:`~repro.serve.async_engine.AsyncServeEngine` builds its
+background tick loop on exactly this property.
 
 Batching never changes answers on the NumPy backend: the streaming drive
 is evaluated step-wise (chunk- and batch-invariant bits), and every other
@@ -35,11 +48,18 @@ variables):
 
 * ``max_batch`` / ``REPRO_SERVE_MAX_BATCH`` — most sessions per fused
   sweep (default 32).
-* ``max_wait_ms`` / ``REPRO_SERVE_MAX_WAIT_MS`` — how long a tick may
-  defer a partial batch hoping for more arrivals (default 0: never defer).
-  A tick defers only while the batch is short *and* the oldest waiting
-  chunk is younger than this; ``tick(force=True)`` (and :meth:`drain`)
-  overrides.
+* ``deadline_ms`` / ``REPRO_SERVE_DEADLINE_MS`` — default per-chunk
+  deadline budget (default 0: due immediately).  Overridable per session
+  (``open_session``) and per chunk (``submit``).  ``max_wait_ms`` /
+  ``REPRO_SERVE_MAX_WAIT_MS`` is kept as a compatibility alias feeding
+  the same default.
+* ``slack_margin_ms`` — fire a due bucket this early (``"auto"`` = an
+  EWMA of measured sweep durations, so results *land* before deadlines
+  instead of starting at them; default 0 preserves the legacy
+  fire-at-deadline behavior).
+* ``idle_ttl_ms`` / ``REPRO_SERVE_IDLE_TTL_MS`` — checkpoint-and-evict
+  sessions idle longer than this (default 0: never); a submit to an
+  evicted session restores it transparently.
 """
 
 from __future__ import annotations
@@ -54,15 +74,23 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro.backend import default_backend, resolve_backend
-from repro.reservoir.modular import StreamingResult
+from repro.reservoir.modular import StreamingResult, _copy_array
+from repro.serve.carry import CarryStore
 from repro.serve.model_store import ServableModel
-from repro.serve.session import StreamSession
+from repro.serve.scheduler import (
+    DeadlineScheduler,
+    resolve_deadline_ms,
+    resolve_idle_ttl_ms,
+)
+from repro.serve.session import PendingChunk, StreamSession
 
 __all__ = [
     "SERVE_MAX_BATCH_ENV",
     "SERVE_MAX_WAIT_ENV",
     "DEFAULT_MAX_BATCH",
     "DEFAULT_MAX_WAIT_MS",
+    "SESSION_FORMAT",
+    "SESSION_FORMAT_VERSION",
     "resolve_max_batch",
     "resolve_max_wait_ms",
     "ChunkResult",
@@ -72,11 +100,21 @@ __all__ = [
 
 #: environment variable bounding sessions per fused sweep
 SERVE_MAX_BATCH_ENV = "REPRO_SERVE_MAX_BATCH"
-#: environment variable bounding how long a partial batch may wait (ms)
+#: environment variable bounding how long a partial batch may wait (ms);
+#: the legacy alias of REPRO_SERVE_DEADLINE_MS
 SERVE_MAX_WAIT_ENV = "REPRO_SERVE_MAX_WAIT_MS"
 
 DEFAULT_MAX_BATCH = 32
 DEFAULT_MAX_WAIT_MS = 0.0
+
+#: magic string identifying a serialized session checkpoint
+SESSION_FORMAT = "repro-serve-session"
+#: session-checkpoint schema version; bump on any field change
+SESSION_FORMAT_VERSION = 1
+
+_SESSION_KEYS = {"format", "format_version", "session_id", "model_name",
+                 "fingerprint", "n_steps", "next_seq", "deadline_ms",
+                 "window", "carry"}
 
 
 def resolve_max_batch(value: Optional[int] = None) -> int:
@@ -131,10 +169,23 @@ class ChunkResult:
     completed: float              # engine-clock completion time
     batch_sessions: int           # sessions in the fused sweep that scored it
     batch_models: int             # distinct models on that sweep's candidate axis
+    deadline: Optional[float] = None  # absolute due time; None w/o a budget
 
     @property
     def latency_ms(self) -> float:
         return (self.completed - self.arrival) * 1e3
+
+    @property
+    def slack_ms(self) -> Optional[float]:
+        """Milliseconds to spare against the deadline (negative = missed)."""
+        if self.deadline is None:
+            return None
+        return (self.deadline - self.completed) * 1e3
+
+    @property
+    def violated(self) -> bool:
+        slack = self.slack_ms
+        return slack is not None and slack < 0.0
 
 
 @dataclass
@@ -144,15 +195,19 @@ class TickReport:
     processed: int = 0            # chunks completed this tick
     sweeps: int = 0               # fused reservoir sweeps launched
     rows_computed: int = 0        # sum of K * N over the sweeps
-    deferred: bool = False        # True: partial batch held for max_wait_ms
-    queue_depth: int = 0          # sessions still waiting after the tick
+    deferred: bool = False        # True: every waiting bucket was held back
+    queue_depth: int = 0          # schedulable session heads after the tick
     occupancy: float = 0.0        # processed / (sweeps * max_batch)
+    violations: int = 0           # deadline chunks completed past their due
+    min_slack_ms: Optional[float] = None  # tightest slack seen this tick
+    evicted: int = 0              # idle sessions checkpointed out
 
 
 class _Deployment:
     """A deployed model plus its rebuilt feature pipeline."""
 
-    __slots__ = ("model", "extractor", "fingerprint", "n_channels")
+    __slots__ = ("model", "extractor", "fingerprint", "n_channels",
+                 "_readout_native")
 
     def __init__(self, model: ServableModel, backend_spec: Optional[str],
                  dtype: Optional[str]):
@@ -165,6 +220,47 @@ class _Deployment:
         self.extractor.set_backend(backend_spec)
         self.fingerprint = model.fingerprint()
         self.n_channels = int(np.asarray(cfg.mask_matrix).shape[1])
+        self._readout_native = None
+
+    def readout_native(self, xb) -> tuple:
+        """The ridge readout's arrays on the engine backend, cached.
+
+        Uploaded once per deployment (an input-boundary ``asarray``), so
+        per-tick scoring stays device-resident.  Kept in the backend's
+        double precision to mirror ``RidgeModel.scores`` exactly — on
+        NumPy the native scoring path is bit-identical to it.
+        """
+        if self._readout_native is None:
+            r = self.model.readout
+            f64 = xb.float64
+            self._readout_native = (
+                xb.asarray(np.asarray(r.feature_mean), dtype=f64),
+                xb.asarray(np.asarray(r.feature_std), dtype=f64),
+                xb.asarray(np.asarray(r.coef), dtype=f64),
+                xb.asarray(np.asarray(r.intercept), dtype=f64),
+            )
+        return self._readout_native
+
+
+class _PlannedBucket:
+    """One due bucket, frozen under the lock for an off-lock sweep."""
+
+    __slots__ = ("sids", "t_len", "dep", "model_names", "model_row", "k",
+                 "u_std", "a_par", "b_par", "resume", "heads")
+
+    def __init__(self, sids, t_len, dep, model_names, model_row, k, u_std,
+                 a_par, b_par, resume, heads):
+        self.sids = sids
+        self.t_len = t_len
+        self.dep = dep
+        self.model_names = model_names
+        self.model_row = model_row
+        self.k = k
+        self.u_std = u_std
+        self.a_par = a_par
+        self.b_par = b_par
+        self.resume = resume
+        self.heads = heads
 
 
 class ServeEngine:
@@ -172,9 +268,10 @@ class ServeEngine:
 
     Parameters
     ----------
-    max_batch, max_wait_ms:
-        Scheduling knobs; ``None`` reads ``REPRO_SERVE_MAX_BATCH`` /
-        ``REPRO_SERVE_MAX_WAIT_MS`` (defaults 32 / 0).
+    max_batch, max_wait_ms, deadline_ms, slack_margin_ms, idle_ttl_ms:
+        Scheduling knobs; see the module docstring.  ``None`` defers to
+        the environment.  ``deadline_ms`` wins over the legacy
+        ``max_wait_ms`` alias when both are given.
     window:
         Streaming ring width handed to ``run_streaming``.  Every submitted
         chunk must be at least this many steps long (the resumable-state
@@ -187,18 +284,41 @@ class ServeEngine:
         serve under the usual tolerance contract.
     clock:
         Monotonic time source (seconds); injectable for deterministic
-        scheduling tests.  Defaults to :func:`time.monotonic`.
+        scheduling tests (and replaced wholesale by the virtual-clock
+        replay mode via :meth:`set_clock`).  Defaults to
+        :func:`time.monotonic`.
 
-    All public methods take an internal lock, so submits may race ticks
-    from another thread.
+    All public methods take an internal lock; fused sweeps run *outside*
+    it, so submits may race ticks from other threads (or an event loop)
+    without waiting on compute.
     """
 
     def __init__(self, *, max_batch: Optional[int] = None,
-                 max_wait_ms: Optional[float] = None, window: int = 1,
+                 max_wait_ms: Optional[float] = None,
+                 deadline_ms: Optional[float] = None,
+                 slack_margin_ms=0.0,
+                 idle_ttl_ms: Optional[float] = None,
+                 window: int = 1,
                  backend: Optional[str] = None, dtype: Optional[str] = None,
                  clock: Optional[Callable[[], float]] = None):
         self.max_batch = resolve_max_batch(max_batch)
-        self.max_wait_ms = resolve_max_wait_ms(max_wait_ms)
+        # deadline default resolution: explicit deadline_ms, then its env
+        # var, then the legacy max_wait chain (argument, env var, 0)
+        self.deadline_ms = resolve_deadline_ms(
+            deadline_ms, default=resolve_max_wait_ms(max_wait_ms))
+        if slack_margin_ms == "auto":
+            self._auto_margin = True
+            self._fixed_margin_s = 0.0
+        else:
+            self._auto_margin = False
+            margin = float(slack_margin_ms)
+            if not np.isfinite(margin) or margin < 0.0:
+                raise ValueError(
+                    f"slack_margin_ms must be 'auto' or a finite number "
+                    f">= 0, got {slack_margin_ms!r}"
+                )
+            self._fixed_margin_s = margin / 1e3
+        self.idle_ttl_ms = resolve_idle_ttl_ms(idle_ttl_ms)
         self.window = int(window)
         if self.window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
@@ -210,7 +330,9 @@ class ServeEngine:
         self._lock = threading.RLock()
         self._deployments: Dict[str, _Deployment] = {}
         self._sessions: Dict[str, StreamSession] = {}
-        self._queue: deque = deque()       # session ids with a pending head
+        self._scheduler = DeadlineScheduler()
+        self._carries = CarryStore(self.backend)
+        self._evicted: Dict[str, dict] = {}
         self._results: deque = deque()
         self._session_counter = 0
         # lifetime stats
@@ -218,6 +340,32 @@ class ServeEngine:
         self.total_sweeps = 0
         self.total_chunks = 0
         self.total_rows_computed = 0
+        self.total_deadline_chunks = 0
+        self.total_violations = 0
+        self.total_evictions = 0
+        self.total_restores = 0
+        self.min_slack_ms: Optional[float] = None
+
+    @property
+    def max_wait_ms(self) -> float:
+        """Legacy alias: the resolved default deadline budget."""
+        return self.deadline_ms
+
+    @property
+    def margin_s(self) -> float:
+        """Current slack margin in seconds (EWMA when ``"auto"``)."""
+        if self._auto_margin:
+            return self._scheduler.sweep_ewma_s
+        return self._fixed_margin_s
+
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        """Swap the engine's time source (virtual-clock replay mode)."""
+        with self._lock:
+            self._clock = clock
+
+    def now(self) -> float:
+        """The engine clock's current reading (seconds)."""
+        return self._clock()
 
     # -------------------------------------------------------------- #
     # deployment / session lifecycle
@@ -236,40 +384,58 @@ class ServeEngine:
         with self._lock:
             return list(self._deployments)
 
-    def open_session(self, model_name: str) -> str:
-        """Open a stream against a deployed model; returns the session id."""
+    def sessions(self) -> List[str]:
+        """Ids of the currently open (non-evicted) sessions."""
+        with self._lock:
+            return list(self._sessions)
+
+    def open_session(self, model_name: str, *,
+                     deadline_ms: Optional[float] = None) -> str:
+        """Open a stream against a deployed model; returns the session id.
+
+        ``deadline_ms`` sets this session's default per-chunk budget;
+        ``None`` inherits the engine default.
+        """
         with self._lock:
             if model_name not in self._deployments:
                 raise KeyError(f"no deployed model named {model_name!r}")
+            budget = (self.deadline_ms if deadline_ms is None
+                      else resolve_deadline_ms(deadline_ms))
             self._session_counter += 1
             session_id = f"s{self._session_counter:05d}"
-            self._sessions[session_id] = StreamSession(session_id, model_name)
+            self._sessions[session_id] = StreamSession(
+                session_id, model_name, deadline_ms=budget,
+                opened_at=self._clock(),
+            )
             return session_id
 
     def close_session(self, session_id: str, *, discard: bool = False) -> None:
         """Retire a session; refuses while chunks are pending unless told."""
         with self._lock:
+            if session_id in self._evicted and session_id not in self._sessions:
+                del self._evicted[session_id]
+                return
             sess = self._session(session_id)
-            if sess.pending and not discard:
+            if (sess.pending or sess.in_flight) and not discard:
                 raise RuntimeError(
                     f"session {session_id!r} has {len(sess.pending)} pending "
                     f"chunk(s); drain() first or pass discard=True"
                 )
-            if sess.pending:
-                try:
-                    self._queue.remove(session_id)
-                except ValueError:
-                    pass
+            self._scheduler.remove(session_id)
             sess.closed = True
+            self._carries.pop(session_id)
             del self._sessions[session_id]
 
-    def submit(self, session_id: str, chunk: np.ndarray) -> int:
+    def submit(self, session_id: str, chunk: np.ndarray, *,
+               deadline_ms: Optional[float] = None) -> int:
         """Queue a ``(T, C)`` chunk on a session; returns its sequence no.
 
         Nothing is computed here — the chunk waits for the next
         :meth:`tick`.  ``T`` must be at least the engine ``window`` (every
         resumed chunk has to fill the state ring) and ``C`` must match the
-        model's channel count.
+        model's channel count.  ``deadline_ms`` overrides the session's
+        default budget for this chunk only.  Submitting to an evicted
+        session restores it transparently from its checkpoint.
         """
         chunk = np.asarray(chunk, dtype=np.float64)
         if chunk.ndim != 2:
@@ -277,6 +443,8 @@ class ServeEngine:
                 f"chunk must be (T, C), got shape {chunk.shape}"
             )
         with self._lock:
+            if session_id in self._evicted and session_id not in self._sessions:
+                self.restore_session(self._evicted[session_id])
             sess = self._session(session_id)
             dep = self._deployments[sess.model_name]
             if chunk.shape[1] != dep.n_channels:
@@ -289,73 +457,228 @@ class ServeEngine:
                     f"chunk has {chunk.shape[0]} steps, need >= window="
                     f"{self.window} (streaming ring invariant)"
                 )
-            pending = sess.enqueue(chunk, self._clock())
-            if len(sess.pending) == 1:
-                self._queue.append(session_id)
+            budget = (sess.deadline_ms if deadline_ms is None
+                      else resolve_deadline_ms(deadline_ms))
+            pending = sess.enqueue(chunk, self._clock(), budget)
+            if len(sess.pending) == 1 and not sess.in_flight:
+                self._schedule_head(sess)
             return pending.seq
+
+    # -------------------------------------------------------------- #
+    # checkpoint / restore / eviction
+    # -------------------------------------------------------------- #
+
+    def checkpoint_session(self, session_id: str) -> dict:
+        """Snapshot an idle session as a versioned JSON-ready document.
+
+        The carry crosses the backend seam once (a declared boundary) as
+        float64 lists; on NumPy the round trip through
+        :meth:`restore_session` is bit-exact (CPython ``json`` preserves
+        finite doubles).  Refuses while chunks are pending or in flight —
+        a checkpoint must capture a quiescent stream.
+        """
+        with self._lock:
+            sess = self._session(session_id)
+            if sess.pending or sess.in_flight:
+                raise RuntimeError(
+                    f"session {session_id!r} has pending or in-flight "
+                    f"chunks; drain() before checkpointing"
+                )
+            dep = self._deployments[sess.model_name]
+            return {
+                "format": SESSION_FORMAT,
+                "format_version": SESSION_FORMAT_VERSION,
+                "session_id": sess.session_id,
+                "model_name": sess.model_name,
+                "fingerprint": dep.fingerprint,
+                "n_steps": int(sess.n_steps),
+                "next_seq": int(sess.next_seq),
+                "deadline_ms": float(sess.deadline_ms),
+                "window": int(self.window),
+                "carry": self._carries.to_host_doc(session_id),
+            }
+
+    def restore_session(self, doc: dict) -> str:
+        """Re-open a checkpointed session; strict on schema and pipeline.
+
+        The document must target a *currently deployed* model whose
+        pipeline fingerprint matches the checkpoint — restoring a carry
+        into different numerics would serve subtly wrong scores.
+        """
+        if not isinstance(doc, dict):
+            raise TypeError(
+                f"restore_session needs a dict, got {type(doc).__name__}"
+            )
+        unknown = sorted(set(doc) - _SESSION_KEYS)
+        missing = sorted(_SESSION_KEYS - set(doc))
+        if unknown or missing:
+            parts = []
+            if unknown:
+                parts.append(f"unknown keys {unknown}")
+            if missing:
+                parts.append(f"missing keys {missing}")
+            raise ValueError(
+                f"session document does not match the {SESSION_FORMAT} "
+                f"v{SESSION_FORMAT_VERSION} envelope: {'; '.join(parts)}"
+            )
+        if doc["format"] != SESSION_FORMAT:
+            raise ValueError(
+                f"not a {SESSION_FORMAT} document (format={doc['format']!r})"
+            )
+        if doc["format_version"] != SESSION_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported {SESSION_FORMAT} format_version "
+                f"{doc['format_version']!r}; this release reads version "
+                f"{SESSION_FORMAT_VERSION} only"
+            )
+        with self._lock:
+            session_id = str(doc["session_id"])
+            if session_id in self._sessions:
+                raise ValueError(
+                    f"session {session_id!r} is already open"
+                )
+            model_name = str(doc["model_name"])
+            dep = self._deployments.get(model_name)
+            if dep is None:
+                raise KeyError(
+                    f"checkpoint targets model {model_name!r}, which is "
+                    f"not deployed"
+                )
+            if doc["fingerprint"] != dep.fingerprint:
+                raise ValueError(
+                    f"checkpoint fingerprint does not match the deployed "
+                    f"{model_name!r} pipeline; refusing to restore a carry "
+                    f"into different numerics"
+                )
+            if int(doc["window"]) != self.window:
+                raise ValueError(
+                    f"checkpoint was taken at window {doc['window']}, "
+                    f"engine runs window {self.window}"
+                )
+            sess = StreamSession(
+                session_id, model_name,
+                deadline_ms=float(doc["deadline_ms"]),
+                opened_at=self._clock(),
+            )
+            sess.n_steps = int(doc["n_steps"])
+            sess.next_seq = int(doc["next_seq"])
+            self._sessions[session_id] = sess
+            self._carries.from_host_doc(session_id, doc["carry"])
+            self._evicted.pop(session_id, None)
+            self.total_restores += 1
+            # keep the id space collision-free after restores
+            try:
+                numeric = int(session_id.lstrip("s"))
+            except ValueError:
+                numeric = 0
+            self._session_counter = max(self._session_counter, numeric)
+            return session_id
+
+    def evicted_sessions(self) -> List[str]:
+        """Ids currently parked as eviction checkpoints."""
+        with self._lock:
+            return list(self._evicted)
+
+    def _evict_idle(self, report: TickReport) -> None:
+        """Checkpoint-and-drop sessions idle beyond ``idle_ttl_ms``."""
+        if self.idle_ttl_ms <= 0.0:
+            return
+        now = self._clock()
+        for sid in list(self._sessions):
+            sess = self._sessions[sid]
+            if sess.pending or sess.in_flight:
+                continue
+            if (now - sess.last_active) * 1e3 < self.idle_ttl_ms:
+                continue
+            self._evicted[sid] = self.checkpoint_session(sid)
+            self._scheduler.remove(sid)
+            self._carries.pop(sid)
+            del self._sessions[sid]
+            report.evicted += 1
+            self.total_evictions += 1
 
     # -------------------------------------------------------------- #
     # scheduling
     # -------------------------------------------------------------- #
 
     def tick(self, *, force: bool = False) -> TickReport:
-        """Run one scheduler step: pack waiting sessions, sweep, score.
+        """Run one scheduler step: pack due buckets, sweep, score.
 
-        Takes the FIFO prefix of the admission queue (at most
-        ``max_batch`` sessions, one head chunk each), buckets it by
-        (pipeline fingerprint, chunk length) — only same-shaped chunks
-        through the same numerics can share a sweep — and launches one
-        fused ``run_streaming`` per bucket.  With ``max_wait_ms > 0`` a
-        short batch is deferred while its oldest chunk is younger than the
-        deadline; ``force=True`` processes whatever is there.
+        The :class:`~repro.serve.scheduler.DeadlineScheduler` yields every
+        due (pipeline fingerprint, chunk length) bucket — full, past its
+        earliest deadline minus the slack margin, or forced — each as at
+        most ``max_batch`` session heads in earliest-deadline-first order,
+        and each bucket becomes one fused ``run_streaming`` sweep.  The
+        sweeps run *outside* the engine lock (prepare/commit bracket them
+        under it), so concurrent submits never wait on compute.
         """
+        report = TickReport()
+        prepared: List[_PlannedBucket] = []
         with self._lock:
             self.total_ticks += 1
-            report = TickReport(queue_depth=len(self._queue))
-            if not self._queue:
+            self._evict_idle(report)
+            report.queue_depth = len(self._scheduler)
+            if not self._scheduler:
                 return report
-            if (not force and len(self._queue) < self.max_batch
-                    and self.max_wait_ms > 0.0):
-                oldest = min(
-                    self._sessions[sid].head.arrival for sid in self._queue
-                )
-                if (self._clock() - oldest) * 1e3 < self.max_wait_ms:
-                    report.deferred = True
-                    return report
-            taken = [self._queue.popleft()
-                     for _ in range(min(self.max_batch, len(self._queue)))]
-            buckets: Dict[tuple, List[str]] = {}
-            for sid in taken:
-                sess = self._sessions[sid]
-                dep = self._deployments[sess.model_name]
-                key = (dep.fingerprint, sess.head.t_len)
-                buckets.setdefault(key, []).append(sid)
-            for (_, t_len), sids in buckets.items():
-                rows = self._run_bucket(sids, t_len)
-                report.sweeps += 1
-                report.rows_computed += rows
-                report.processed += len(sids)
-            # sessions with further queued chunks re-enter at the tail
-            for sid in taken:
-                if self._sessions[sid].pending:
-                    self._queue.append(sid)
-            report.queue_depth = len(self._queue)
+            now = self._clock()
+            plan, held = self._scheduler.select(
+                now, force=force, max_batch=self.max_batch,
+                margin_s=self.margin_s,
+            )
+            if not plan:
+                report.deferred = held
+                return report
+            for _, sids in plan:
+                prepared.append(self._prepare_bucket(sids))
+        for prep in prepared:
+            t0 = self._clock()
+            try:
+                result = self._sweep(prep)
+            except BaseException:
+                with self._lock:
+                    self._abort_bucket(prep)
+                raise
+            elapsed = self._clock() - t0
+            with self._lock:
+                if self._auto_margin:
+                    self._scheduler.observe_sweep(elapsed)
+                self._commit_bucket(prep, result, report)
+        with self._lock:
+            report.queue_depth = len(self._scheduler)
             if report.sweeps:
                 report.occupancy = report.processed / (
                     report.sweeps * self.max_batch)
             self.total_sweeps += report.sweeps
             self.total_chunks += report.processed
             self.total_rows_computed += report.rows_computed
-            return report
+            self.total_violations += report.violations
+            if report.min_slack_ms is not None:
+                if (self.min_slack_ms is None
+                        or report.min_slack_ms < self.min_slack_ms):
+                    self.min_slack_ms = report.min_slack_ms
+        return report
 
     def drain(self) -> List[TickReport]:
-        """Force ticks until no session has pending chunks."""
+        """Force ticks until no session has pending or in-flight chunks."""
         reports = []
         while True:
             with self._lock:
-                if not self._queue:
+                busy = len(self._scheduler) > 0 or any(
+                    sess.in_flight or sess.pending
+                    for sess in self._sessions.values()
+                )
+                if not busy:
                     return reports
             reports.append(self.tick(force=True))
+
+    def next_deadline(self) -> Optional[float]:
+        """Earliest schedulable deadline (engine-clock), or ``None``.
+
+        The async tick loop sleeps until ``next_deadline() - margin_s``
+        instead of polling.
+        """
+        with self._lock:
+            return self._scheduler.next_deadline()
 
     def pop_results(self) -> List[ChunkResult]:
         """All completed chunk results since the last call, in order."""
@@ -365,7 +688,7 @@ class ServeEngine:
             return out
 
     def stats(self) -> dict:
-        """Lifetime scheduling counters (occupancy, sweeps, rows)."""
+        """Lifetime scheduling counters (occupancy, deadlines, residency)."""
         with self._lock:
             denom = self.total_sweeps * self.max_batch
             return {
@@ -374,6 +697,13 @@ class ServeEngine:
                 "chunks": self.total_chunks,
                 "rows_computed": self.total_rows_computed,
                 "mean_occupancy": (self.total_chunks / denom) if denom else 0.0,
+                "deadline_chunks": self.total_deadline_chunks,
+                "violations": self.total_violations,
+                "min_slack_ms": self.min_slack_ms,
+                "evictions": self.total_evictions,
+                "restores": self.total_restores,
+                "carry_domain": self._carries.key,
+                "transfers": self.backend.transfers.as_dict(),
             }
 
     # -------------------------------------------------------------- #
@@ -386,15 +716,21 @@ class ServeEngine:
         except KeyError:
             raise KeyError(f"no open session {session_id!r}") from None
 
-    def _run_bucket(self, sids: List[str], t_len: int) -> int:
-        """One fused sweep over same-fingerprint, same-length chunks.
+    def _schedule_head(self, sess: StreamSession) -> None:
+        """Make a session's (new) head chunk schedulable."""
+        dep = self._deployments[sess.model_name]
+        key = (dep.fingerprint, sess.head.t_len)
+        self._scheduler.enqueue(sess.session_id, key, sess.head.deadline)
 
-        Returns the number of (candidate, session) rows computed.
+    def _prepare_bucket(self, sids: List[str]) -> _PlannedBucket:
+        """Freeze one due bucket for an off-lock sweep (lock held).
+
+        Marks every taken session in-flight, stacks the head chunks,
+        standardizes them, builds the candidate-axis parameter stacks, and
+        assembles the backend-native resume state.
         """
         sessions = [self._sessions[sid] for sid in sids]
-        m = len(sessions)
         dep = self._deployments[sessions[0].model_name]
-        xb = self.backend
         # distinct models of the bucket -> candidate axis (stable order)
         model_names: List[str] = []
         for sess in sessions:
@@ -402,47 +738,95 @@ class ServeEngine:
                 model_names.append(sess.model_name)
         k = len(model_names)
         model_row = {name: i for i, name in enumerate(model_names)}
+        t_len = sessions[0].head.t_len
         chunks = np.stack([sess.head.data for sess in sessions])  # (m, T, C)
         u_std = dep.extractor.standardizer.transform(chunks)
         if k == 1:
             a_par, b_par = dep.model.A, dep.model.B
-            lead = (m,)
+            lead = (len(sessions),)
         else:
             deps = [self._deployments[name] for name in model_names]
             a_par = np.array([d.model.A for d in deps])
             b_par = np.array([d.model.B for d in deps])
-            lead = (k, m)
+            lead = (k, len(sessions))
         resume = self._assemble_carry(sessions, lead)
-        result = dep.extractor.reservoir.run_streaming(
-            u_std, a_par, b_par, window=self.window, backend=xb,
-            resume=resume,
+        heads = [sess.head for sess in sessions]
+        for sess in sessions:
+            sess.in_flight = True
+        return _PlannedBucket(sids, t_len, dep, model_names, model_row, k,
+                              u_std, a_par, b_par, resume, heads)
+
+    def _sweep(self, prep: _PlannedBucket) -> StreamingResult:
+        """The fused array program of one bucket (no lock held)."""
+        return prep.dep.extractor.reservoir.run_streaming(
+            prep.u_std, prep.a_par, prep.b_par, window=self.window,
+            backend=self.backend, resume=prep.resume,
         )
-        states = xb.to_numpy(result.window_states)
-        pres = xb.to_numpy(result.window_pre_activations)
-        p_acc = xb.to_numpy(result.dprr_sums[0])
-        s_acc = xb.to_numpy(result.dprr_sums[1])
+
+    def _abort_bucket(self, prep: _PlannedBucket) -> None:
+        """A sweep failed: put its sessions back where they were (lock held)."""
+        for sid in prep.sids:
+            sess = self._sessions.get(sid)
+            if sess is None:
+                continue
+            sess.in_flight = False
+            if sess.pending and sid not in self._scheduler:
+                self._schedule_head(sess)
+
+    def _commit_bucket(self, prep: _PlannedBucket, result: StreamingResult,
+                       report: TickReport) -> None:
+        """Slice one sweep back into sessions and results (lock held).
+
+        Per-session carries are sliced *device-side* (a same-device copy,
+        never a host transfer) and features/scores are computed natively;
+        arrays cross to the host only through ``to_numpy_boundary`` when
+        the :class:`ChunkResult` is materialized.
+        """
+        xb = self.backend
+        states = result.window_states
+        pres = result.window_pre_activations
+        p_acc, s_acc = result.dprr_sums
         diverged = np.asarray(result.diverged, dtype=bool)
+        k = prep.k
+        m = len(prep.sids)
         completed = self._clock()
-        for i, sess in enumerate(sessions):
-            row = (model_row[sess.model_name], i) if k > 1 else (i,)
+        for i, sid in enumerate(prep.sids):
+            sess = self._sessions.get(sid)
+            if sess is None or sess.closed:
+                continue  # closed (discarded) while the sweep ran
+            row = ((prep.model_row[sess.model_name], i) if k > 1 else (i,))
             carry = StreamingResult(
-                window_states=states[row][None].copy(),
-                window_pre_activations=pres[row][None].copy(),
-                dprr_sums=(p_acc[row][None].copy(), s_acc[row][None].copy()),
+                window_states=_copy_array(states[row])[None],
+                window_pre_activations=_copy_array(pres[row])[None],
+                dprr_sums=(_copy_array(p_acc[row])[None],
+                           _copy_array(s_acc[row])[None]),
                 diverged=np.array([diverged[row]]),
-                n_steps=sess.n_steps + t_len,
+                n_steps=sess.n_steps + prep.t_len,
             )
-            chunk = sess.head
-            sess.advance(carry, t_len)
-            sess_dep = self._deployments[sess.model_name]
-            feats = np.asarray(
-                sess_dep.extractor.dprr.features(carry))[0]
-            readout = sess_dep.model.readout
-            if readout is not None and not carry.diverged[0]:
-                scores = readout.scores(feats)[0]
+            chunk = sess.advance(prep.t_len, completed)
+            sess.in_flight = False
+            self._carries.put(sid, carry)
+            dep = self._deployments[sess.model_name]
+            feats_native = dep.extractor.dprr.features(carry)  # (1, N_r)
+            is_diverged = bool(carry.diverged[0])
+            readout = dep.model.readout
+            if readout is not None and not is_diverged:
+                mean, std, coef, intercept = dep.readout_native(xb)
+                z = (xb.asarray(feats_native, dtype=xb.float64) - mean) / std
+                scores_native = z @ coef + intercept
+                scores = np.asarray(xb.to_numpy_boundary(scores_native))[0]
                 label = int(scores.argmax())
             else:
                 scores, label = None, None
+            feats = np.asarray(xb.to_numpy_boundary(feats_native))[0]
+            if chunk.has_deadline:
+                slack_ms = (chunk.deadline - completed) * 1e3
+                self.total_deadline_chunks += 1
+                if slack_ms < 0.0:
+                    report.violations += 1
+                if (report.min_slack_ms is None
+                        or slack_ms < report.min_slack_ms):
+                    report.min_slack_ms = slack_ms
             self._results.append(ChunkResult(
                 session_id=sess.session_id,
                 model_name=sess.model_name,
@@ -451,13 +835,18 @@ class ServeEngine:
                 features=feats,
                 scores=scores,
                 label=label,
-                diverged=bool(carry.diverged[0]),
+                diverged=is_diverged,
                 arrival=chunk.arrival,
                 completed=completed,
                 batch_sessions=m,
                 batch_models=k,
+                deadline=chunk.deadline if chunk.has_deadline else None,
             ))
-        return k * m
+            report.processed += 1
+            if sess.pending:
+                self._schedule_head(sess)
+        report.sweeps += 1
+        report.rows_computed += k * m
 
     def _assemble_carry(self, sessions: List[StreamSession], lead: tuple
                         ) -> Optional[StreamingResult]:
@@ -467,23 +856,26 @@ class ServeEngine:
         fresh-start initial state — so new and resumed streams mix freely
         in one sweep.  For a stacked (K-model) sweep each session's batch-1
         carry is replicated across all K candidate rows; only the row of
-        the session's own model is read back afterwards.  Returns ``None``
-        when every session is fresh (the plain fresh-start path).
+        the session's own model is read back afterwards.  All assembly is
+        backend-native (the carries already live on the engine backend);
+        returns ``None`` when every session is fresh (the plain
+        fresh-start path).
         """
-        if all(sess.carry is None for sess in sessions):
+        carries = [self._carries.get(sess.session_id) for sess in sessions]
+        if all(c is None for c in carries):
             return None
+        xb = self.backend
         w = self.window
         nx = int(self._deployments[sessions[0].model_name].model.config.n_nodes)
         stacked = len(lead) == 2
-        ring = np.zeros(lead + (w + 1, nx))
-        pre_ring = np.zeros(lead + (w, nx))
-        p_acc = np.zeros(lead + (nx, nx))
-        s_acc = np.zeros(lead + (nx,))
+        ring = xb.zeros(lead + (w + 1, nx))
+        pre_ring = xb.zeros(lead + (w, nx))
+        p_acc = xb.zeros(lead + (nx, nx))
+        s_acc = xb.zeros(lead + (nx,))
         diverged = np.zeros(lead, dtype=bool)
-        for i, sess in enumerate(sessions):
-            if sess.carry is None:
+        for i, (sess, c) in enumerate(zip(sessions, carries)):
+            if c is None:
                 continue
-            c = sess.carry
             if c.window != w:
                 raise ValueError(
                     f"session {sess.session_id!r} carries window "
@@ -492,10 +884,10 @@ class ServeEngine:
             row = (slice(None), i) if stacked else (i,)
             # broadcast the batch-1 carry across the candidate rows (the
             # trailing dims align; the K axis, when present, replicates)
-            ring[row] = np.asarray(c.window_states)[0]
-            pre_ring[row] = np.asarray(c.window_pre_activations)[0]
-            p_acc[row] = np.asarray(c.dprr_sums[0])[0]
-            s_acc[row] = np.asarray(c.dprr_sums[1])[0]
+            ring[row] = c.window_states[0]
+            pre_ring[row] = c.window_pre_activations[0]
+            p_acc[row] = c.dprr_sums[0][0]
+            s_acc[row] = c.dprr_sums[1][0]
             diverged[row] = bool(np.asarray(c.diverged)[0])
         return StreamingResult(
             window_states=ring,
@@ -508,7 +900,7 @@ class ServeEngine:
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (
             f"ServeEngine(max_batch={self.max_batch}, "
-            f"max_wait_ms={self.max_wait_ms}, window={self.window}, "
+            f"deadline_ms={self.deadline_ms}, window={self.window}, "
             f"backend={self.backend.name!r}, "
             f"models={len(self._deployments)}, "
             f"sessions={len(self._sessions)})"

@@ -13,10 +13,24 @@ exactly even though their batch compositions differ.
 submit every chunk whose arrival has passed, tick, repeat.  Latency is
 wall-clock from submit to completion; throughput counts whole sessions
 retired per second.
+
+Two additional drivers share the trace format:
+
+* ``replay(..., clock="virtual")`` replays on a :class:`VirtualClock`
+  instead of the wall: time jumps straight from one arrival or deadline
+  to the next, so a trace that *describes* seconds of traffic replays in
+  milliseconds of CPU with fully deterministic latencies — deadline
+  semantics (EDF packing, slack-margin firing, violations) are exercised
+  exactly, which is what the CI smoke leg runs;
+* :func:`replay_async` drives an :class:`~repro.serve.async_engine.
+  AsyncServeEngine` on the real clock: arrivals become ``asyncio.sleep``
+  delays and completions are awaited futures, measuring what the
+  background tick loop actually delivers.
 """
 
 from __future__ import annotations
 
+import asyncio
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
@@ -27,7 +41,37 @@ from repro.serve.engine import ChunkResult, ServeEngine
 from repro.utils.rng import SeedLike, ensure_rng
 
 __all__ = ["TraceEvent", "ReplayTrace", "poisson_trace", "spec_trace",
-           "ReplayReport", "replay"]
+           "ReplayReport", "VirtualClock", "replay", "replay_async"]
+
+
+class VirtualClock:
+    """A manually advanced, monotonic time source for deterministic replay.
+
+    Calling it reads the current virtual time (seconds); :meth:`set`
+    moves forward to an absolute time (backward moves are ignored — the
+    clock never violates monotonicity) and :meth:`advance` steps by a
+    delta.  Handed to :meth:`ServeEngine.set_clock`, it makes every
+    arrival stamp, deadline and latency a pure function of the trace.
+    """
+
+    __slots__ = ("now_s",)
+
+    def __init__(self, start: float = 0.0):
+        self.now_s = float(start)
+
+    def __call__(self) -> float:
+        return self.now_s
+
+    def set(self, t: float) -> None:
+        t = float(t)
+        if t > self.now_s:
+            self.now_s = t
+
+    def advance(self, dt: float) -> None:
+        dt = float(dt)
+        if dt < 0.0:
+            raise ValueError(f"cannot advance a clock backward by {dt}")
+        self.now_s += dt
 
 
 @dataclass
@@ -208,6 +252,10 @@ class ReplayReport:
     sweeps: int
     rows_computed: int
     results: List[ChunkResult]
+    deadline_chunks: int = 0    # chunks submitted with a nonzero budget
+    violations: int = 0         # of those, how many finished late
+    min_slack_ms: Optional[float] = None  # tightest margin to a deadline
+    clock: str = "wall"         # "wall" | "virtual" | "async"
 
     def to_dict(self) -> dict:
         """JSON-ready summary (results themselves excluded)."""
@@ -222,57 +270,18 @@ class ReplayReport:
             "mean_occupancy": self.mean_occupancy,
             "sweeps": self.sweeps,
             "rows_computed": self.rows_computed,
+            "deadline_chunks": self.deadline_chunks,
+            "violations": self.violations,
+            "min_slack_ms": self.min_slack_ms,
+            "clock": self.clock,
         }
 
 
-def replay(
-    engine: ServeEngine,
-    trace: ReplayTrace,
-    *,
-    time_scale: float = 0.0,
-    clock=None,
-) -> ReplayReport:
-    """Replay ``trace`` through ``engine`` and measure latency/throughput.
-
-    ``time_scale`` compresses the trace's arrival schedule: 1.0 replays at
-    the recorded rate, 0.0 (the default) releases arrivals as fast as the
-    engine can absorb them — arrival *order* is preserved either way, so
-    outputs are identical and only the measured latencies change.  The
-    engine is ticked between arrival batches and drained at the end; every
-    session is closed before returning.
-    """
-    if time_scale < 0:
-        raise ValueError(f"time_scale must be >= 0, got {time_scale!r}")
-    now = clock if clock is not None else time.perf_counter
-    session_ids: Dict[int, str] = {}
-    t0 = now()
-    i = 0
-    events = trace.events
-    while i < len(events):
-        elapsed = now() - t0
-        due = i
-        while due < len(events) and events[due].t * time_scale <= elapsed:
-            due += 1
-        if due == i:
-            # nothing due yet: tick anyway (may flush a deferred batch),
-            # then let the clock advance
-            engine.tick()
-            continue
-        for event in events[i:due]:
-            sid = session_ids.get(event.stream)
-            if sid is None:
-                sid = engine.open_session(trace.stream_models[event.stream])
-                session_ids[event.stream] = sid
-            engine.submit(sid, event.data)
-        i = due
-        engine.tick()
-    engine.drain()
-    wall_s = now() - t0
-    results = engine.pop_results()
-    for stream, sid in session_ids.items():
-        engine.close_session(sid)
-    stats = engine.stats()
+def _build_report(trace: ReplayTrace, results: List[ChunkResult],
+                  wall_s: float, stats: dict, clock: str) -> ReplayReport:
+    """Summarize one finished replay (any driver) into a ReplayReport."""
     lat = np.array([r.latency_ms for r in results]) if results else np.zeros(1)
+    slacks = [r.slack_ms for r in results if r.slack_ms is not None]
     return ReplayReport(
         n_sessions=trace.n_sessions,
         n_chunks=len(results),
@@ -285,4 +294,187 @@ def replay(
         sweeps=stats["sweeps"],
         rows_computed=stats["rows_computed"],
         results=results,
+        deadline_chunks=len(slacks),
+        violations=sum(1 for s in slacks if s < 0.0),
+        min_slack_ms=float(min(slacks)) if slacks else None,
+        clock=clock,
     )
+
+
+def replay(
+    engine: ServeEngine,
+    trace: ReplayTrace,
+    *,
+    time_scale: float = 0.0,
+    clock=None,
+    deadline_ms: Optional[float] = None,
+    tick_on: str = "poll",
+) -> ReplayReport:
+    """Replay ``trace`` through ``engine`` and measure latency/throughput.
+
+    ``time_scale`` compresses the trace's arrival schedule: 1.0 replays at
+    the recorded rate, 0.0 (the default) releases arrivals as fast as the
+    engine can absorb them — arrival *order* is preserved either way, so
+    outputs are identical and only the measured latencies change.  The
+    engine is ticked between arrival batches and drained at the end; every
+    session is closed before returning.
+
+    ``clock`` is either a callable time source (wall replay against an
+    injected clock) or the string ``"virtual"``, which installs a
+    :class:`VirtualClock` on the engine and jumps it from event to event:
+    no real time passes, deadline scheduling behaves exactly as on the
+    wall, and latencies/violations are deterministic functions of the
+    trace.  ``deadline_ms``, when given, is passed to every submit as the
+    per-chunk budget override.
+
+    ``tick_on`` models who drives the passive engine.  ``"poll"`` (the
+    default) busy-ticks between arrivals — a dedicated ticker that hits
+    every scheduler fire point as soon as it comes due.  ``"submit"``
+    ticks only right after submitting, the way a caller-driven
+    synchronous deployment behaves: a partial batch whose fire point
+    falls between arrivals waits for the *next* arrival (or the final
+    drain), which is exactly the failure mode the background tick loop
+    of :class:`~repro.serve.async_engine.AsyncServeEngine` removes.
+    """
+    if time_scale < 0:
+        raise ValueError(f"time_scale must be >= 0, got {time_scale!r}")
+    if tick_on not in ("poll", "submit"):
+        raise ValueError(
+            f"tick_on must be 'poll' or 'submit', got {tick_on!r}"
+        )
+    if clock == "virtual":
+        return _replay_virtual(engine, trace, time_scale=time_scale,
+                               deadline_ms=deadline_ms)
+    now = clock if clock is not None else time.perf_counter
+    session_ids: Dict[int, str] = {}
+    t0 = now()
+    i = 0
+    events = trace.events
+    while i < len(events):
+        elapsed = now() - t0
+        due = i
+        while due < len(events) and events[due].t * time_scale <= elapsed:
+            due += 1
+        if due == i:
+            # nothing due yet
+            if tick_on == "poll":
+                # dedicated ticker: may flush a deferred batch right at
+                # its fire point
+                engine.tick()
+            elif clock is None:
+                # caller-driven: nobody ticks until the next submit
+                wait = events[i].t * time_scale - elapsed
+                if wait > 0:
+                    time.sleep(min(wait, 0.001))
+            continue
+        for event in events[i:due]:
+            sid = session_ids.get(event.stream)
+            if sid is None:
+                sid = engine.open_session(trace.stream_models[event.stream])
+                session_ids[event.stream] = sid
+            engine.submit(sid, event.data, deadline_ms=deadline_ms)
+        i = due
+        engine.tick()
+    engine.drain()
+    wall_s = now() - t0
+    results = engine.pop_results()
+    for stream, sid in session_ids.items():
+        engine.close_session(sid)
+    return _build_report(trace, results, wall_s, engine.stats(), "wall")
+
+
+def _replay_virtual(
+    engine: ServeEngine,
+    trace: ReplayTrace,
+    *,
+    time_scale: float,
+    deadline_ms: Optional[float],
+) -> ReplayReport:
+    """Deterministic event-driven replay on a :class:`VirtualClock`.
+
+    Time never idles: it jumps to the earlier of the next arrival and the
+    next scheduled fire point (earliest deadline minus the slack margin),
+    ticking at each stop.  A trace describing minutes of traffic replays
+    in however long the sweeps themselves take — this is the CI smoke
+    path for the deadline machinery.
+    """
+    vclock = VirtualClock()
+    engine.set_clock(vclock)
+    session_ids: Dict[int, str] = {}
+    t0 = vclock()
+    i = 0
+    events = trace.events
+    while i < len(events):
+        arrival = t0 + events[i].t * time_scale
+        fire = engine.next_deadline()
+        if fire is not None:
+            fire = fire - engine.margin_s
+        if fire is not None and fire < arrival:
+            # a deadline lands before the next arrival: jump there, fire
+            vclock.set(fire)
+            engine.tick()
+            continue
+        vclock.set(arrival)
+        while i < len(events) and t0 + events[i].t * time_scale <= vclock():
+            event = events[i]
+            sid = session_ids.get(event.stream)
+            if sid is None:
+                sid = engine.open_session(trace.stream_models[event.stream])
+                session_ids[event.stream] = sid
+            engine.submit(sid, event.data, deadline_ms=deadline_ms)
+            i += 1
+        engine.tick()
+    # all arrivals in: walk the remaining deadlines, then drain
+    while True:
+        fire = engine.next_deadline()
+        if fire is None:
+            break
+        vclock.set(fire - engine.margin_s)
+        engine.tick()
+    engine.drain()
+    wall_s = vclock() - t0
+    results = engine.pop_results()
+    for stream, sid in session_ids.items():
+        engine.close_session(sid)
+    return _build_report(trace, results, wall_s, engine.stats(), "virtual")
+
+
+async def replay_async(
+    async_engine,
+    trace: ReplayTrace,
+    *,
+    time_scale: float = 1.0,
+    deadline_ms: Optional[float] = None,
+) -> ReplayReport:
+    """Replay ``trace`` through an :class:`~repro.serve.async_engine.
+    AsyncServeEngine` on the real clock.
+
+    Arrivals become ``asyncio.sleep`` delays on the event loop and every
+    chunk's completion is an awaited future — so the measured latencies
+    include exactly what a caller of the async API would see: queueing,
+    the background loop's deadline-driven wake-ups, and the fused sweeps
+    on the executor thread.  The engine must already be started
+    (``async with``).  Sessions are closed before returning.
+    """
+    if time_scale < 0:
+        raise ValueError(f"time_scale must be >= 0, got {time_scale!r}")
+    sessions: Dict[int, object] = {}
+    futures = []
+    t0 = time.perf_counter()
+    for event in trace.events:
+        delay = event.t * time_scale - (time.perf_counter() - t0)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        sess = sessions.get(event.stream)
+        if sess is None:
+            sess = await async_engine.open_session(
+                trace.stream_models[event.stream])
+            sessions[event.stream] = sess
+        futures.append(await sess.submit(event.data,
+                                         deadline_ms=deadline_ms))
+    results = list(await asyncio.gather(*futures))
+    wall_s = time.perf_counter() - t0
+    for sess in sessions.values():
+        await sess.close()
+    return _build_report(trace, results, wall_s, async_engine.stats(),
+                         "async")

@@ -1,17 +1,20 @@
 """Per-stream session state for the serving engine.
 
 A session is one live input stream against one deployed model.  Between
-chunks it holds exactly the resumable reservoir state of
-:meth:`~repro.reservoir.modular.ModularDFR.run_streaming` — a batch-1
+chunks its resumable reservoir state — a batch-1
 :class:`~repro.reservoir.modular.StreamingResult` carrying the state ring,
-pre-activation ring and online DPRR accumulators — plus its own consumed
-step count.  That is ``O(window * N_x)`` floats per stream, independent of
-how long the stream has run: the memory contract that makes thousands of
-concurrent streams cheap.
+pre-activation ring and online DPRR accumulators — lives *backend-native*
+in the engine's :class:`~repro.serve.carry.CarryStore`; the session itself
+holds only host-side bookkeeping: the FIFO of pending chunks, sequence and
+step counters, its deadline default, and the liveness timestamps that
+drive idle eviction.  State per stream is still ``O(window * N_x)``
+floats, independent of how long the stream has run.
 
-Sessions do no computation themselves.  The engine assembles the carries
-of many sessions into one fused batch, runs the sweep, and hands each
-session its slice back via :meth:`StreamSession.advance`.
+Sessions do no computation.  The engine assembles many sessions' carries
+into one fused batch, runs the sweep off-lock, and commits each session's
+slice back via :meth:`StreamSession.advance`; while a session's head chunk
+rides a sweep the session is marked ``in_flight`` so submits and closes
+stay race-free without waiting on the compute.
 """
 
 from __future__ import annotations
@@ -21,28 +24,34 @@ from typing import Optional
 
 import numpy as np
 
-from repro.reservoir.modular import StreamingResult
-
 __all__ = ["PendingChunk", "StreamSession"]
 
 
 class PendingChunk:
     """One submitted input chunk waiting in a session's queue."""
 
-    __slots__ = ("data", "arrival", "seq")
+    __slots__ = ("data", "arrival", "seq", "deadline", "budget_ms")
 
-    def __init__(self, data: np.ndarray, arrival: float, seq: int):
+    def __init__(self, data: np.ndarray, arrival: float, seq: int,
+                 deadline: float, budget_ms: float):
         self.data = data          # (T, C) float array, already validated
         self.arrival = arrival    # engine-clock timestamp of submit()
         self.seq = seq            # per-session chunk sequence number
+        self.deadline = deadline  # absolute engine-clock due time (seconds)
+        self.budget_ms = budget_ms  # resolved budget; 0 = due immediately
 
     @property
     def t_len(self) -> int:
         return self.data.shape[0]
 
+    @property
+    def has_deadline(self) -> bool:
+        """Whether this chunk takes part in slack/violation accounting."""
+        return self.budget_ms > 0.0
+
 
 class StreamSession:
-    """State of one input stream between scheduler ticks.
+    """Host-side state of one input stream between scheduler ticks.
 
     Attributes
     ----------
@@ -50,48 +59,62 @@ class StreamSession:
         Engine-unique identifier.
     model_name:
         The deployed model this stream is scored by.
-    carry:
-        Batch-1 :class:`StreamingResult` of the last processed chunk, or
-        ``None`` before the first chunk.  Its ``n_steps`` is kept equal to
-        :attr:`n_steps` so DPRR length-normalization scales by the *whole*
-        stream length, not the last chunk's.
     n_steps:
-        Total time steps consumed so far.
+        Total time steps consumed so far (the carry's ``n_steps`` mirror).
     pending:
         FIFO queue of :class:`PendingChunk`; the engine only ever takes the
         head (chunks of one stream must update the carry in order).
+    deadline_ms:
+        Per-session default deadline budget, applied when a submit gives
+        no explicit override.
+    last_active:
+        Engine-clock time of the last submit or commit — what the idle-TTL
+        eviction measures against.
+    in_flight:
+        True while the head chunk rides a fused sweep (taken by a tick,
+        not yet committed).
     """
 
-    __slots__ = ("session_id", "model_name", "carry", "n_steps", "pending",
-                 "next_seq", "closed")
+    __slots__ = ("session_id", "model_name", "n_steps", "pending",
+                 "next_seq", "closed", "deadline_ms", "last_active",
+                 "in_flight")
 
-    def __init__(self, session_id: str, model_name: str):
+    def __init__(self, session_id: str, model_name: str, *,
+                 deadline_ms: float = 0.0, opened_at: float = 0.0):
         self.session_id = session_id
         self.model_name = model_name
-        self.carry: Optional[StreamingResult] = None
         self.n_steps = 0
         self.pending: deque = deque()
         self.next_seq = 0
         self.closed = False
+        self.deadline_ms = float(deadline_ms)
+        self.last_active = float(opened_at)
+        self.in_flight = False
 
-    def enqueue(self, data: np.ndarray, arrival: float) -> PendingChunk:
-        chunk = PendingChunk(data, arrival, self.next_seq)
+    def enqueue(self, data: np.ndarray, arrival: float,
+                budget_ms: float) -> PendingChunk:
+        deadline = arrival + budget_ms / 1e3
+        chunk = PendingChunk(data, arrival, self.next_seq, deadline,
+                             budget_ms)
         self.next_seq += 1
         self.pending.append(chunk)
+        self.last_active = arrival
         return chunk
 
     @property
     def head(self) -> Optional[PendingChunk]:
         return self.pending[0] if self.pending else None
 
-    def advance(self, carry: StreamingResult, t_len: int) -> None:
-        """Commit one processed chunk: new carry, head chunk retired."""
-        self.pending.popleft()
+    def advance(self, t_len: int, completed: float) -> PendingChunk:
+        """Commit one processed chunk: head retired, counters advanced."""
+        chunk = self.pending.popleft()
         self.n_steps += int(t_len)
-        self.carry = carry
+        self.last_active = completed
+        return chunk
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (
             f"StreamSession({self.session_id!r}, model={self.model_name!r}, "
-            f"n_steps={self.n_steps}, pending={len(self.pending)})"
+            f"n_steps={self.n_steps}, pending={len(self.pending)}, "
+            f"in_flight={self.in_flight})"
         )

@@ -15,7 +15,9 @@ from repro.bench.fig6 import Fig6Result
 from repro.bench.matrix import (
     MATRIX_FORMAT,
     MATRIX_FORMAT_VERSION,
+    compare_matrix_reports,
     format_matrix,
+    format_matrix_compare,
     parse_spec_arg,
     run_matrix,
 )
@@ -206,6 +208,91 @@ class TestMatrixHarness:
             run_matrix(self.SPECS, searches=("bogus",))
         with pytest.raises(ValueError, match="budget"):
             run_matrix(self.SPECS, budget=0)
+
+
+def _matrix_report(cells):
+    """A minimal well-formed matrix report around the given cells."""
+    return {
+        "format": MATRIX_FORMAT,
+        "format_version": MATRIX_FORMAT_VERSION,
+        "seed": 0, "budget": 3, "divisions": 4, "n_nodes": 10, "epochs": 1,
+        "specs": [], "backends": ["numpy"], "executors": ["serial"],
+        "searches": ["random"],
+        "cells": cells,
+    }
+
+
+def _cell(spec="harmonic#0", *, test=0.9, val=0.9, seconds=1.0, error=None,
+          executor="serial"):
+    return {
+        "spec": spec, "backend": "numpy", "executor": executor,
+        "search": "random", "val_accuracy": val, "test_accuracy": test,
+        "best_A": 0.4, "best_B": 0.5, "best_beta": 1e-2, "diverged": False,
+        "n_evaluations": 3, "total_seconds": seconds,
+        "compute_seconds": seconds, "error": error,
+    }
+
+
+class TestMatrixCompare:
+    def test_clean_diff_is_ok(self):
+        old = _matrix_report([_cell(test=0.90, seconds=1.0)])
+        new = _matrix_report([_cell(test=0.92, seconds=1.1)])
+        diff = compare_matrix_reports(old, new)
+        assert diff["ok"] and diff["regressions"] == []
+        assert diff["matched"] == 1
+        (row,) = diff["cells"]
+        assert row["test_accuracy_delta"] == pytest.approx(0.02)
+        assert row["time_ratio"] == pytest.approx(1.1)
+        json.dumps(diff)  # JSON-ready as-is
+
+    def test_accuracy_regression_beyond_floor(self):
+        old = _matrix_report([_cell(test=0.90)])
+        new = _matrix_report([_cell(test=0.80)])
+        diff = compare_matrix_reports(old, new, accuracy_floor=0.05)
+        assert not diff["ok"]
+        assert any("test accuracy" in msg for msg in diff["regressions"])
+        # the same drop passes under a wider floor
+        assert compare_matrix_reports(old, new, accuracy_floor=0.2)["ok"]
+
+    def test_timing_regression_beyond_floor(self):
+        old = _matrix_report([_cell(seconds=1.0)])
+        new = _matrix_report([_cell(seconds=2.0)])
+        diff = compare_matrix_reports(old, new, time_floor=0.5)
+        assert not diff["ok"]
+        assert any("wall time" in msg for msg in diff["regressions"])
+        assert compare_matrix_reports(old, new, time_floor=1.5)["ok"]
+
+    def test_added_removed_and_errors(self):
+        old = _matrix_report([_cell("a#0"), _cell("b#0"),
+                              _cell("both_broken#0", error="boom")])
+        new = _matrix_report([_cell("a#0", error="exploded"), _cell("c#0"),
+                              _cell("both_broken#0", error="boom")])
+        diff = compare_matrix_reports(old, new)
+        assert diff["added"] == ["c#0/numpy/serial/random"]
+        assert diff["removed"] == ["b#0/numpy/serial/random"]
+        # newly erroring cell is a regression; error-on-both is skipped
+        assert not diff["ok"]
+        assert any("now errors" in msg for msg in diff["regressions"])
+
+    def test_envelope_is_strict(self):
+        good = _matrix_report([_cell()])
+        with pytest.raises(ValueError, match="format"):
+            compare_matrix_reports({"format": "other"}, good)
+        with pytest.raises(ValueError, match="format_version"):
+            compare_matrix_reports(
+                {**good, "format_version": 99}, good)
+        with pytest.raises(TypeError, match="dict"):
+            compare_matrix_reports([], good)
+        with pytest.raises(ValueError, match="accuracy_floor"):
+            compare_matrix_reports(good, good, accuracy_floor=-1.0)
+
+    def test_formatting(self):
+        old = _matrix_report([_cell(test=0.90)])
+        new = _matrix_report([_cell(test=0.70)])
+        text = format_matrix_compare(compare_matrix_reports(old, new))
+        assert "REGRESSIONS" in text and "test accuracy" in text
+        ok_text = format_matrix_compare(compare_matrix_reports(old, old))
+        assert "no regressions" in ok_text
 
 
 class TestCLI:

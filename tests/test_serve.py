@@ -7,6 +7,7 @@ same chunks — batching trades latency for throughput, never correctness.
 
 import json
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -17,13 +18,17 @@ from repro.readout.ridge import RidgeModel, fit_ridge
 from repro.serve import (
     DEFAULT_MAX_BATCH,
     DEFAULT_MAX_WAIT_MS,
+    SERVE_DEADLINE_ENV,
+    SERVE_IDLE_TTL_ENV,
     SERVE_MAX_BATCH_ENV,
     SERVE_MAX_WAIT_ENV,
+    DeadlineScheduler,
     ServableModel,
     ServeEngine,
     load_model,
     poisson_trace,
     replay,
+    resolve_deadline_ms,
     spec_trace,
     resolve_max_batch,
     resolve_max_wait_ms,
@@ -553,3 +558,378 @@ class TestReplay:
         assert "results" not in d and d["n_chunks"] == 10
         # every session was closed on the way out
         assert engine._sessions == {}
+
+
+# --------------------------------------------------------------------- #
+# deadline scheduling (PR 9)
+# --------------------------------------------------------------------- #
+
+
+class TestDeadlineScheduler:
+    """Unit pins on the EDF scheduler itself (no engine, no clock)."""
+
+    def test_edf_order_within_a_bucket(self):
+        sched = DeadlineScheduler()
+        key = ("fp", 8)
+        sched.enqueue("a", key, 3.0)
+        sched.enqueue("b", key, 1.0)
+        sched.enqueue("c", key, 2.0)
+        plan, held = sched.select(0.0, force=True, max_batch=8)
+        assert plan == [(key, ["b", "c", "a"])]
+        assert not held and len(sched) == 0
+
+    def test_fifo_among_equal_deadlines(self):
+        sched = DeadlineScheduler()
+        key = ("fp", 8)
+        for sid in ("a", "b", "c"):
+            sched.enqueue(sid, key, 5.0)
+        plan, _ = sched.select(10.0, force=False, max_batch=8)
+        assert plan == [(key, ["a", "b", "c"])]
+
+    def test_not_due_until_deadline_minus_margin(self):
+        sched = DeadlineScheduler()
+        key = ("fp", 8)
+        sched.enqueue("a", key, 1.0)
+        plan, held = sched.select(0.5, force=False, max_batch=8)
+        assert plan == [] and held
+        plan, held = sched.select(0.5, force=False, max_batch=8,
+                                  margin_s=0.6)
+        assert plan == [(key, ["a"])] and not held
+
+    def test_full_bucket_fires_regardless_of_deadline(self):
+        sched = DeadlineScheduler()
+        key = ("fp", 8)
+        sched.enqueue("a", key, 1e9)
+        sched.enqueue("b", key, 1e9)
+        plan, _ = sched.select(0.0, force=False, max_batch=2)
+        assert plan == [(key, ["a", "b"])]
+
+    def test_max_batch_overflow_is_held(self):
+        sched = DeadlineScheduler()
+        key = ("fp", 8)
+        for i in range(5):
+            sched.enqueue(f"s{i}", key, float(i))
+        plan, held = sched.select(100.0, force=False, max_batch=2)
+        assert plan == [(key, ["s0", "s1"])] and held
+        assert len(sched) == 3
+
+    def test_buckets_fire_independently(self):
+        sched = DeadlineScheduler()
+        sched.enqueue("a", ("fp", 8), 1.0)
+        sched.enqueue("b", ("fp", 16), 50.0)
+        plan, held = sched.select(2.0, force=False, max_batch=8)
+        assert plan == [(("fp", 8), ["a"])] and held
+        assert "b" in sched and "a" not in sched
+
+    def test_double_enqueue_rejected_and_remove(self):
+        sched = DeadlineScheduler()
+        sched.enqueue("a", ("fp", 8), 1.0)
+        with pytest.raises(RuntimeError, match="already scheduled"):
+            sched.enqueue("a", ("fp", 8), 2.0)
+        sched.remove("a")
+        sched.remove("a")  # idempotent
+        assert sched.next_deadline() is None
+        sched.enqueue("a", ("fp", 8), 4.0)  # re-enqueue after removal works
+        assert sched.next_deadline() == 4.0
+
+    def test_observe_sweep_ewma(self):
+        sched = DeadlineScheduler()
+        assert sched.sweep_ewma_s == 0.0
+        sched.observe_sweep(0.010)
+        assert sched.sweep_ewma_s == pytest.approx(0.010)
+        sched.observe_sweep(0.020, alpha=0.5)
+        assert sched.sweep_ewma_s == pytest.approx(0.015)
+
+
+class TestDeadlineEngine:
+    def test_head_deadline_fires_partial_batch_edf_first(self, trained):
+        # s2's chunk arrives later but with the tighter budget; when it
+        # expires the bucket fires as a partial batch, s2 first (EDF)
+        t = [0.0]
+        engine = ServeEngine(max_batch=8, deadline_ms=100.0,
+                             clock=lambda: t[0])
+        engine.deploy(_model(trained))
+        s1 = engine.open_session("m0")
+        s2 = engine.open_session("m0")
+        engine.submit(s1, np.zeros((4, 2)))
+        t[0] = 0.002
+        engine.submit(s2, np.zeros((4, 2)), deadline_ms=10.0)
+        t[0] = 0.005  # nobody due yet
+        assert engine.tick().deferred
+        t[0] = 0.0125  # s2's deadline (2 + 10 ms) passed; s1 has 87 ms left
+        report = engine.tick()
+        assert report.processed == 2 and not report.deferred
+        results = engine.pop_results()
+        assert [r.session_id for r in results] == [s2, s1]
+        assert results[0].deadline == pytest.approx(0.012)
+        assert results[1].deadline == pytest.approx(0.100)
+
+    def test_session_default_and_submit_override(self, trained):
+        t = [0.0]
+        engine = ServeEngine(max_batch=8, deadline_ms=100.0,
+                             clock=lambda: t[0])
+        engine.deploy(_model(trained))
+        sid = engine.open_session("m0", deadline_ms=40.0)
+        engine.submit(sid, np.zeros((4, 2)))  # session default: 40 ms
+        engine.tick(force=True)
+        engine.submit(sid, np.zeros((4, 2)), deadline_ms=7.0)
+        engine.tick(force=True)
+        first, second = engine.pop_results()
+        assert first.deadline == pytest.approx(0.040)
+        assert second.deadline == pytest.approx(0.007)
+
+    def test_violations_and_slack_accounting(self, trained):
+        t = [0.0]
+        engine = ServeEngine(max_batch=8, clock=lambda: t[0])
+        engine.deploy(_model(trained))
+        sid = engine.open_session("m0")
+        engine.submit(sid, np.zeros((4, 2)), deadline_ms=10.0)
+        t[0] = 0.030  # way past the deadline before anything ticks
+        report = engine.tick()
+        assert report.processed == 1 and report.violations == 1
+        assert report.min_slack_ms == pytest.approx(-20.0)
+        (res,) = engine.pop_results()
+        assert res.violated and res.slack_ms == pytest.approx(-20.0)
+        stats = engine.stats()
+        assert stats["violations"] == 1 and stats["deadline_chunks"] == 1
+        assert stats["min_slack_ms"] == pytest.approx(-20.0)
+
+    def test_zero_budget_chunks_are_exempt(self, trained):
+        t = [0.0]
+        engine = ServeEngine(max_batch=8, clock=lambda: t[0])
+        engine.deploy(_model(trained))
+        sid = engine.open_session("m0")
+        engine.submit(sid, np.zeros((4, 2)))  # default budget 0
+        t[0] = 123.0
+        engine.tick()
+        (res,) = engine.pop_results()
+        assert res.deadline is None and res.slack_ms is None
+        assert not res.violated
+        stats = engine.stats()
+        assert stats["violations"] == 0 and stats["deadline_chunks"] == 0
+
+    def test_deadline_env_and_legacy_alias(self, trained, monkeypatch):
+        monkeypatch.setenv(SERVE_DEADLINE_ENV, "25")
+        engine = ServeEngine()
+        assert engine.deadline_ms == 25.0
+        assert engine.max_wait_ms == 25.0  # compatibility alias
+        # explicit deadline beats the env; deadline beats legacy max_wait
+        assert ServeEngine(deadline_ms=5.0, max_wait_ms=99.0).deadline_ms == 5.0
+        monkeypatch.delenv(SERVE_DEADLINE_ENV)
+        assert ServeEngine(max_wait_ms=12.0).deadline_ms == 12.0
+        with pytest.raises(ValueError, match="deadline_ms"):
+            resolve_deadline_ms(-1.0)
+        monkeypatch.setenv(SERVE_DEADLINE_ENV, "never")
+        with pytest.raises(ValueError, match=SERVE_DEADLINE_ENV):
+            resolve_deadline_ms()
+
+    def test_slack_margin_validation(self, trained):
+        engine = ServeEngine(slack_margin_ms="auto")
+        assert engine.margin_s == 0.0  # EWMA starts cold
+        assert ServeEngine(slack_margin_ms=4.0).margin_s == pytest.approx(
+            0.004)
+        with pytest.raises(ValueError, match="slack_margin_ms"):
+            ServeEngine(slack_margin_ms=-1.0)
+
+    def test_fixed_margin_fires_early(self, trained):
+        t = [0.0]
+        engine = ServeEngine(max_batch=8, deadline_ms=50.0,
+                             slack_margin_ms=20.0, clock=lambda: t[0])
+        engine.deploy(_model(trained))
+        sid = engine.open_session("m0")
+        engine.submit(sid, np.zeros((4, 2)))
+        t[0] = 0.029  # before deadline - margin
+        assert engine.tick().deferred
+        t[0] = 0.031  # inside the margin window: fire early, meet deadline
+        report = engine.tick()
+        assert report.processed == 1 and report.violations == 0
+        assert engine.pop_results()[0].slack_ms > 0
+
+
+# --------------------------------------------------------------------- #
+# eviction + checkpoint/restore (PR 9)
+# --------------------------------------------------------------------- #
+
+
+class TestCheckpointRestore:
+    def _submit_drain(self, engine, sid, chunk):
+        engine.submit(sid, chunk)
+        engine.drain()
+
+    def test_round_trip_is_bit_exact_through_json(self, trained):
+        rng = np.random.default_rng(11)
+        c1, c2 = rng.standard_normal((2, 8, 2))
+        engine = ServeEngine(max_batch=4)
+        engine.deploy(_model(trained))
+        sid = engine.open_session("m0")
+        self._submit_drain(engine, sid, c1)
+        engine.pop_results()
+        doc = json.loads(json.dumps(engine.checkpoint_session(sid)))
+        engine.close_session(sid)
+        assert engine.restore_session(doc) == sid
+        self._submit_drain(engine, sid, c2)
+        (resumed,) = engine.pop_results()
+
+        control = ServeEngine(max_batch=4)
+        control.deploy(_model(trained))
+        cid = control.open_session("m0")
+        self._submit_drain(control, cid, c1)
+        self._submit_drain(control, cid, c2)
+        straight = control.pop_results()[-1]
+        assert resumed.features.tobytes() == straight.features.tobytes()
+        assert resumed.scores.tobytes() == straight.scores.tobytes()
+        assert resumed.n_steps == straight.n_steps
+        assert resumed.seq == straight.seq
+
+    def test_checkpoint_refuses_pending(self, trained):
+        engine = ServeEngine()
+        engine.deploy(_model(trained))
+        sid = engine.open_session("m0")
+        engine.submit(sid, np.zeros((4, 2)))
+        with pytest.raises(RuntimeError, match="pending"):
+            engine.checkpoint_session(sid)
+
+    def test_restore_envelope_is_strict(self, trained):
+        engine = ServeEngine()
+        engine.deploy(_model(trained))
+        sid = engine.open_session("m0")
+        self._submit_drain(engine, sid, np.zeros((4, 2)))
+        doc = engine.checkpoint_session(sid)
+        engine.close_session(sid)
+        with pytest.raises(ValueError, match="unknown keys"):
+            engine.restore_session({**doc, "extra": 1})
+        with pytest.raises(ValueError, match="missing keys"):
+            engine.restore_session(
+                {k: v for k, v in doc.items() if k != "n_steps"})
+        with pytest.raises(ValueError, match="format"):
+            engine.restore_session({**doc, "format": "other"})
+        with pytest.raises(ValueError, match="format_version"):
+            engine.restore_session({**doc, "format_version": 99})
+        with pytest.raises(ValueError, match="fingerprint"):
+            engine.restore_session({**doc, "fingerprint": "deadbeef"})
+        with pytest.raises(ValueError, match="window"):
+            engine.restore_session({**doc, "window": 3})
+        with pytest.raises(KeyError, match="ghost"):
+            engine.restore_session({**doc, "model_name": "ghost"})
+        engine.restore_session(doc)
+        with pytest.raises(ValueError, match="already open"):
+            engine.restore_session(doc)
+
+    def test_idle_ttl_evicts_and_submit_restores(self, trained):
+        rng = np.random.default_rng(3)
+        c1, c2 = rng.standard_normal((2, 8, 2))
+        t = [0.0]
+        engine = ServeEngine(max_batch=4, idle_ttl_ms=100.0,
+                             clock=lambda: t[0])
+        engine.deploy(_model(trained))
+        sid = engine.open_session("m0")
+        self._submit_drain(engine, sid, c1)
+        engine.pop_results()
+        t[0] = 0.05
+        assert engine.tick().evicted == 0  # still inside the TTL
+        t[0] = 0.25
+        report = engine.tick()
+        assert report.evicted == 1
+        assert engine.evicted_sessions() == [sid]
+        assert sid not in engine.sessions()
+        # a submit to the evicted id transparently restores the session
+        self._submit_drain(engine, sid, c2)
+        (resumed,) = engine.pop_results()
+        stats = engine.stats()
+        assert stats["evictions"] == 1 and stats["restores"] == 1
+
+        control = ServeEngine(max_batch=4)
+        control.deploy(_model(trained))
+        cid = control.open_session("m0")
+        self._submit_drain(control, cid, c1)
+        self._submit_drain(control, cid, c2)
+        straight = control.pop_results()[-1]
+        assert resumed.features.tobytes() == straight.features.tobytes()
+        assert resumed.seq == straight.seq == 1
+
+    def test_idle_ttl_env_knob(self, monkeypatch):
+        monkeypatch.setenv(SERVE_IDLE_TTL_ENV, "250")
+        assert ServeEngine().idle_ttl_ms == 250.0
+        monkeypatch.setenv(SERVE_IDLE_TTL_ENV, "forever")
+        with pytest.raises(ValueError, match=SERVE_IDLE_TTL_ENV):
+            ServeEngine()
+
+    def test_close_discards_eviction_checkpoint(self, trained):
+        t = [0.0]
+        engine = ServeEngine(idle_ttl_ms=10.0, clock=lambda: t[0])
+        engine.deploy(_model(trained))
+        sid = engine.open_session("m0")
+        engine.submit(sid, np.zeros((4, 2)))
+        engine.drain()
+        t[0] = 1.0
+        engine.tick()
+        assert engine.evicted_sessions() == [sid]
+        engine.close_session(sid)
+        assert engine.evicted_sessions() == []
+
+
+# --------------------------------------------------------------------- #
+# virtual-clock replay (PR 9)
+# --------------------------------------------------------------------- #
+
+
+class TestVirtualReplay:
+    def test_virtual_replay_takes_no_real_time(self, trained):
+        engine = ServeEngine(max_batch=8, deadline_ms=100.0)
+        engine.deploy(_model(trained))
+        # ~8 virtual seconds of traffic (rate 0.5 Hz per stream)
+        trace = poisson_trace(["m0"], n_sessions=2, chunks_per_session=2,
+                              chunk_len=8, n_channels=2, rate_hz=0.5,
+                              seed=9)
+        start = time.perf_counter()
+        report = replay(engine, trace, time_scale=1.0, clock="virtual")
+        elapsed = time.perf_counter() - start
+        assert report.clock == "virtual"
+        assert report.n_chunks == 4
+        assert report.wall_s > 1.0       # virtual seconds elapsed...
+        assert elapsed < report.wall_s   # ...but not real ones
+
+    def test_virtual_replay_is_deterministic(self, trained):
+        trace = poisson_trace(["m0"], n_sessions=4, chunks_per_session=3,
+                              chunk_len=8, n_channels=2, seed=5)
+
+        def run():
+            engine = ServeEngine(max_batch=4, deadline_ms=20.0)
+            engine.deploy(_model(trained))
+            return replay(engine, trace, time_scale=1.0, clock="virtual")
+
+        a, b = run(), run()
+        stamps = lambda rep: [(r.session_id, r.seq, r.arrival, r.completed,
+                               r.deadline) for r in rep.results]
+        assert stamps(a) == stamps(b)
+        assert a.p99_ms == b.p99_ms and a.violations == b.violations
+
+    def test_virtual_outputs_match_wall_replay_bitwise(self, trained):
+        trace = poisson_trace(["m0"], n_sessions=4, chunks_per_session=3,
+                              chunk_len=8, n_channels=2, seed=6)
+        virt = ServeEngine(max_batch=4, deadline_ms=15.0)
+        virt.deploy(_model(trained))
+        vrep = replay(virt, trace, time_scale=1.0, clock="virtual")
+        wall = ServeEngine(max_batch=4)
+        wall.deploy(_model(trained))
+        wrep = replay(wall, trace)
+        bits = lambda rep: {
+            (r.session_id, r.seq): (r.features.tobytes(),
+                                    r.scores.tobytes(), r.label)
+            for r in rep.results
+        }
+        assert bits(vrep) == bits(wrep)
+
+    def test_virtual_deadline_mechanics(self, trained):
+        # with budgets wider than the arrival gaps, the deadline holds
+        # batch chunks up: fewer sweeps than chunks, no violations
+        engine = ServeEngine(max_batch=16, deadline_ms=200.0)
+        engine.deploy(_model(trained))
+        trace = poisson_trace(["m0"], n_sessions=8, chunks_per_session=2,
+                              chunk_len=8, n_channels=2, rate_hz=200.0,
+                              seed=7)
+        report = replay(engine, trace, time_scale=1.0, clock="virtual")
+        assert report.deadline_chunks == report.n_chunks == 16
+        assert report.violations == 0
+        assert report.min_slack_ms is not None and report.min_slack_ms >= 0
+        assert report.sweeps < report.n_chunks
