@@ -37,6 +37,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.pipeline import DFRFeatureExtractor
+from repro.faults import FaultPlan, FaultSpec
 from repro.readout.ridge import fit_ridge
 from repro.serve.async_engine import AsyncServeEngine
 from repro.serve.engine import ServeEngine
@@ -139,6 +140,14 @@ def run_serve_bench(
     ``slack_margin_ms`` early (``async_deadline``).  Their outputs join
     the bitwise comparison; their violation counts are the deadline
     headline.
+
+    A final *chaos* leg replays the trace twice on the deterministic
+    virtual clock — once clean, once under a seeded
+    :class:`~repro.faults.FaultPlan` that raises in a fused sweep and
+    delays ticks.  The faulted run must recover through the engine's
+    sweep retry (visible in its ``stats()``) and still produce results
+    **bit-identical** to the clean run; its mismatches join the same
+    hard-fail counter.
     """
     if max_batch is None:
         max_batch = max(int(streams), 1)
@@ -201,6 +210,25 @@ def run_serve_bench(
     async_dl = run_async_deadline()
     mismatches += _mismatches(reference, sync_dl.results)
     mismatches += _mismatches(reference, async_dl.results)
+
+    def run_chaos(plan):
+        engine = ServeEngine(max_batch=max_batch, deadline_ms=deadline_ms,
+                             backend=backend, dtype=dtype)
+        for model in models:
+            engine.deploy(model)
+        report = replay(engine, trace, time_scale=dl_scale,
+                        clock="virtual", fault_plan=plan)
+        return report, engine.stats()
+
+    chaos_clean, _ = run_chaos(None)
+    chaos_plan = FaultPlan(faults=[
+        FaultSpec(kind="raise_sweep", at=1, times=1),
+        FaultSpec(kind="delay_tick", at=2, times=2, delay_ms=deadline_ms),
+    ], seed=seed)
+    chaos_faulted, chaos_stats = run_chaos(chaos_plan)
+    chaos_mismatches = _mismatches(chaos_clean.results,
+                                   chaos_faulted.results)
+    mismatches += chaos_mismatches
     speedup = serial.wall_s / batched.wall_s if batched.wall_s > 0 else 0.0
     return {
         "streams": streams,
@@ -222,6 +250,14 @@ def run_serve_bench(
         "batched": batched.to_dict(),
         "sync_deadline": sync_dl.to_dict(),
         "async_deadline": async_dl.to_dict(),
+        "chaos": {
+            "plan": chaos_plan.to_dict(),
+            "sweep_retries": chaos_stats["sweep_retries"],
+            "serial_fallbacks": chaos_stats["serial_fallbacks"],
+            "failed_chunks": chaos_stats["failed_chunks"],
+            "shed": chaos_stats["shed"],
+            "mismatches": chaos_mismatches,
+        },
         "speedup": speedup,
         "bitwise_mismatches": mismatches,
     }
@@ -266,6 +302,15 @@ def format_serve(result: dict) -> str:
             f"  {label:<22} {rep['p50_ms']:>8.3f} {rep['p99_ms']:>8.3f} "
             f"{met:>6d} {rep['violations']:>7d} "
             f"{'-' if slack is None else format(slack, '>13.3f')}"
+        )
+    chaos = result.get("chaos")
+    if chaos is not None:
+        lines.append(
+            f"  chaos replay (injected sweep fault + tick delays): "
+            f"{chaos['sweep_retries']} retried sweep(s), "
+            f"{chaos['serial_fallbacks']} serial fallback(s), "
+            f"{chaos['failed_chunks']} failed, {chaos['shed']} shed, "
+            f"{chaos['mismatches']} mismatch(es) vs clean"
         )
     verdict = ("bitwise OK" if result["bitwise_mismatches"] == 0
                else f"{result['bitwise_mismatches']} MISMATCHES")

@@ -39,7 +39,12 @@ from repro.exec.context import (
 from repro.exec.executors import (
     BLOCK_SIZE_ENV_VAR,
     DEFAULT_CANDIDATE_BLOCK_SIZE,
+    DEFAULT_MAX_RETRIES,
+    DEFAULT_RETRY_BACKOFF_MS,
     EXECUTOR_ENV_VAR,
+    MAX_RETRIES_ENV_VAR,
+    RETRY_BACKOFF_ENV_VAR,
+    TASK_TIMEOUT_ENV_VAR,
     WORKERS_ENV_VAR,
     BackendExecutor,
     CandidateExecutor,
@@ -49,6 +54,9 @@ from repro.exec.executors import (
     make_executor,
     resolve_candidate_block_size,
     resolve_executor_kind,
+    resolve_max_retries,
+    resolve_retry_backoff_ms,
+    resolve_task_timeout_ms,
     resolve_workers,
 )
 from repro.exec.seeding import derive_candidate_seed, derive_candidate_seeds
@@ -67,10 +75,18 @@ __all__ = [
     "WORKERS_ENV_VAR",
     "EXECUTOR_ENV_VAR",
     "BLOCK_SIZE_ENV_VAR",
+    "MAX_RETRIES_ENV_VAR",
+    "RETRY_BACKOFF_ENV_VAR",
+    "TASK_TIMEOUT_ENV_VAR",
     "DEFAULT_CANDIDATE_BLOCK_SIZE",
+    "DEFAULT_MAX_RETRIES",
+    "DEFAULT_RETRY_BACKOFF_MS",
     "make_executor",
     "resolve_executor_kind",
     "resolve_candidate_block_size",
+    "resolve_max_retries",
+    "resolve_retry_backoff_ms",
+    "resolve_task_timeout_ms",
     "resolve_workers",
     "derive_candidate_seed",
     "derive_candidate_seeds",

@@ -91,6 +91,10 @@ class SubmissionReport:
 
     results: List[CandidateResult] = field(default_factory=list)
     wall_seconds: float = 0.0
+    #: work units re-submitted after a transient in-worker failure
+    retries: int = 0
+    #: work units re-submitted after a lost worker (broken pool / timeout)
+    redispatches: int = 0
 
     @property
     def compute_seconds(self) -> float:

@@ -37,17 +37,29 @@ is serial.  The ``REPRO_EXECUTOR`` variable force-selects an executor
 whole test suite through the multiprocess, vectorized, and two-level
 paths — and ``REPRO_CANDIDATE_BLOCK_SIZE`` tunes the fused block size of
 the vectorized executor (standalone or inside workers).
+
+Supervision: :class:`MultiprocessExecutor` runs every submission under a
+supervision loop — per-dispatch heartbeat, optional per-task timeout
+(``REPRO_TASK_TIMEOUT_MS``), dead-worker detection with pool rebuild, and
+bounded retry with exponential backoff (``REPRO_MAX_RETRIES`` /
+``REPRO_RETRY_BACKOFF_MS``).  Lost or transiently failed work units are
+re-dispatched through the same per-candidate seed derivation, so a
+recovered run is bit-identical to a fault-free one on NumPy; a unit that
+keeps failing resolves to failed :class:`CandidateResult` records (the
+``failed()`` sentinel downstream) instead of sinking the search.
 """
 
 from __future__ import annotations
 
+import atexit
 import math
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+import weakref
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import replace
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.exec.context import (
     Candidate,
@@ -56,6 +68,8 @@ from repro.exec.context import (
     SubmissionReport,
     evaluate_candidate,
 )
+from repro.faults import FaultInjected
+from repro import faults
 
 __all__ = [
     "CandidateExecutor",
@@ -66,10 +80,18 @@ __all__ = [
     "WORKERS_ENV_VAR",
     "EXECUTOR_ENV_VAR",
     "BLOCK_SIZE_ENV_VAR",
+    "MAX_RETRIES_ENV_VAR",
+    "RETRY_BACKOFF_ENV_VAR",
+    "TASK_TIMEOUT_ENV_VAR",
     "DEFAULT_CANDIDATE_BLOCK_SIZE",
+    "DEFAULT_MAX_RETRIES",
+    "DEFAULT_RETRY_BACKOFF_MS",
     "resolve_workers",
     "resolve_executor_kind",
     "resolve_candidate_block_size",
+    "resolve_max_retries",
+    "resolve_retry_backoff_ms",
+    "resolve_task_timeout_ms",
     "make_executor",
 ]
 
@@ -82,6 +104,21 @@ EXECUTOR_ENV_VAR = "REPRO_EXECUTOR"
 
 #: environment variable tuning the vectorized executor's fused block size
 BLOCK_SIZE_ENV_VAR = "REPRO_CANDIDATE_BLOCK_SIZE"
+
+#: environment variable bounding re-dispatch attempts per work unit
+MAX_RETRIES_ENV_VAR = "REPRO_MAX_RETRIES"
+
+#: environment variable tuning the base retry backoff (milliseconds)
+RETRY_BACKOFF_ENV_VAR = "REPRO_RETRY_BACKOFF_MS"
+
+#: environment variable enabling a per-task timeout (milliseconds, 0 = off)
+TASK_TIMEOUT_ENV_VAR = "REPRO_TASK_TIMEOUT_MS"
+
+#: default bounded-retry budget per work unit before the failed() sentinel
+DEFAULT_MAX_RETRIES = 3
+
+#: default base backoff between re-dispatches (doubles per attempt)
+DEFAULT_RETRY_BACKOFF_MS = 10.0
 
 #: default candidates per fused block: large enough to amortize the shared
 #: standardize/mask phase, small enough that a block's stacked trace
@@ -152,6 +189,52 @@ def resolve_candidate_block_size(block_size: Optional[int] = None) -> int:
     return block_size
 
 
+def _resolve_env_number(raw: str, default: float) -> float:
+    try:
+        value = float(raw) if raw.strip() else default
+    except ValueError:
+        return default
+    return value if value >= 0 else default
+
+
+def resolve_max_retries(max_retries: Optional[int] = None) -> int:
+    """Resolve the bounded-retry budget per work unit (>= 0).
+
+    Explicit ``max_retries`` wins; ``None`` consults ``REPRO_MAX_RETRIES``;
+    absent/invalid both, ``DEFAULT_MAX_RETRIES`` applies.  ``0`` disables
+    retries (a lost unit fails immediately).
+    """
+    if max_retries is None:
+        return int(_resolve_env_number(
+            os.environ.get(MAX_RETRIES_ENV_VAR, ""), DEFAULT_MAX_RETRIES))
+    max_retries = int(max_retries)
+    if max_retries < 0:
+        raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+    return max_retries
+
+
+def resolve_retry_backoff_ms(backoff_ms: Optional[float] = None) -> float:
+    """Resolve the base retry backoff in milliseconds (>= 0)."""
+    if backoff_ms is None:
+        return _resolve_env_number(
+            os.environ.get(RETRY_BACKOFF_ENV_VAR, ""), DEFAULT_RETRY_BACKOFF_MS)
+    backoff_ms = float(backoff_ms)
+    if not (backoff_ms >= 0):
+        raise ValueError(f"backoff_ms must be >= 0, got {backoff_ms}")
+    return backoff_ms
+
+
+def resolve_task_timeout_ms(timeout_ms: Optional[float] = None) -> float:
+    """Resolve the per-task timeout in milliseconds (0 disables it)."""
+    if timeout_ms is None:
+        return _resolve_env_number(
+            os.environ.get(TASK_TIMEOUT_ENV_VAR, ""), 0.0)
+    timeout_ms = float(timeout_ms)
+    if not (timeout_ms >= 0):
+        raise ValueError(f"timeout_ms must be >= 0, got {timeout_ms}")
+    return timeout_ms
+
+
 class CandidateExecutor:
     """Protocol: map an :class:`EvaluationContext` over candidates.
 
@@ -194,8 +277,29 @@ class CandidateExecutor:
     def close(self) -> None:
         """Release any held resources (worker processes); idempotent."""
 
+    def __enter__(self) -> "CandidateExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"{type(self).__name__}(workers={self.workers})"
+
+
+# Executors holding worker pools register here so an interrupted search
+# (KeyboardInterrupt, sys.exit mid-run) cannot leak worker processes: the
+# atexit sweep closes whatever is still alive at interpreter shutdown.
+_LIVE_EXECUTORS: "weakref.WeakSet[CandidateExecutor]" = weakref.WeakSet()
+
+
+@atexit.register
+def _close_live_executors() -> None:
+    for executor in list(_LIVE_EXECUTORS):
+        try:
+            executor.close()
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
 
 
 def _run_serially(context: EvaluationContext,
@@ -339,7 +443,12 @@ class VectorizedExecutor(CandidateExecutor):
                 continue
             per_candidate = (time.perf_counter() - t0) / len(chunk)
             for (pos, candidate), evaluation in zip(chunk, evaluations):
-                if evaluation.error is not None:
+                if faults.should_corrupt_row(candidate.index):
+                    # injected corruption: the fused row cannot be trusted,
+                    # so recover it through the same serial re-score path a
+                    # genuinely bad row takes — bit-identical by design
+                    results[pos] = evaluate_candidate(context, candidate)
+                elif evaluation.error is not None:
                     # a row whose scoring raised inside the block is
                     # re-scored through the ordinary serial path: a
                     # deterministic failure reproduces the exact serial
@@ -377,19 +486,36 @@ def _init_worker(context: EvaluationContext,
     )
 
 
-def _worker_evaluate(candidate: Candidate) -> CandidateResult:
-    return evaluate_candidate(_WORKER_CONTEXT, candidate)
+def _worker_evaluate_many(task) -> List[CandidateResult]:
+    """Evaluate one dispatch group of candidates in a worker process.
+
+    ``task`` is ``(candidates, attempt)``: the attempt number travels with
+    the group so the fault seam — consulted per candidate *before*
+    evaluation — stops firing once a re-dispatched group has outlived a
+    fault's ``times`` budget.  Ordinary evaluation failures are captured
+    by :func:`evaluate_candidate` (data, not infrastructure); only
+    injected/transient faults propagate out of this wrapper.
+    """
+    candidates, attempt = task
+    out = []
+    for candidate in candidates:
+        faults.on_worker_candidate(candidate.index, attempt)
+        out.append(evaluate_candidate(_WORKER_CONTEXT, candidate))
+    return out
 
 
-def _worker_evaluate_block(candidates: Sequence[Candidate]
-                           ) -> List[CandidateResult]:
+def _worker_evaluate_block(task) -> List[CandidateResult]:
     """Two-level fusion: one worker dispatch evaluates a fused block.
 
     The in-worker :class:`VectorizedExecutor` runs the block as one stacked
     candidate-axis sweep against the worker-resident context; its row-wise
     fault isolation means a bad candidate fails alone here exactly as it
-    would in-process.
+    would in-process.  ``task`` is ``(candidates, attempt)`` exactly as in
+    :func:`_worker_evaluate_many`.
     """
+    candidates, attempt = task
+    for candidate in candidates:
+        faults.on_worker_candidate(candidate.index, attempt)
     return list(_WORKER_VECTORIZED.run(_WORKER_CONTEXT, candidates).results)
 
 
@@ -401,11 +527,12 @@ class MultiprocessExecutor(CandidateExecutor):
     workers:
         Process count; ``None`` resolves through ``REPRO_WORKERS``.
     chunksize:
-        Work units handed to a worker per dispatch; ``None`` picks
+        Candidates per dispatch *group*; ``None`` picks
         ``ceil(n / (4 * workers))`` — small enough to balance load, large
-        enough to amortize IPC.  The unit is one candidate in the plain
-        mapping and one fused *block* under two-level fusion (where the
-        block is already the IPC granularity).
+        enough to amortize IPC.  The group is both the IPC unit and the
+        retry / re-dispatch unit of the supervision loop.  Under two-level
+        fusion the group is one fused *block* (the block is already the
+        IPC granularity).
     vectorized_block_size:
         Two-level fusion (``executor_kind="multiprocess+vectorized"``):
         when set, each worker evaluates its share as fused
@@ -416,6 +543,23 @@ class MultiprocessExecutor(CandidateExecutor):
         serial execution on NumPy: both levels preserve candidate order
         and the vectorized level is itself bit-identical to serial.
         ``None`` (default) maps plain per-candidate evaluation.
+    max_retries:
+        Bounded retry budget per dispatch group; ``None`` resolves through
+        ``REPRO_MAX_RETRIES`` (default ``DEFAULT_MAX_RETRIES``).  A group
+        still failing after the budget resolves to failed
+        :class:`CandidateResult` records — the ``failed()`` sentinel
+        downstream — instead of sinking (or hanging) the search.
+    backoff_ms:
+        Base pause before a re-dispatch, doubling per attempt (capped at
+        1 s); ``None`` resolves through ``REPRO_RETRY_BACKOFF_MS``.
+    task_timeout_ms:
+        Per-dispatch-group timeout; ``None`` resolves through
+        ``REPRO_TASK_TIMEOUT_MS``, ``0`` (the default) disables it.  An
+        overdue group's worker processes are terminated — wedged-worker
+        recovery — and the group re-dispatches like any other lost unit.
+    heartbeat_ms:
+        Supervision wake interval while dispatches are in flight (only
+        consulted when a task timeout is set).
 
     The context (data arrays + extractor config) is pickled once per worker
     through the pool initializer; each candidate then costs only a few
@@ -424,19 +568,35 @@ class MultiprocessExecutor(CandidateExecutor):
     all levels of one ``search_until``), so repeated submissions pay the
     process spawn and context transfer once.  Submitting a different
     context replaces the pool.  Single-candidate submissions with no live
-    pool are evaluated in-process, and a broken pool (hard worker crash)
-    falls back to serial evaluation of the same candidates — results are
-    identical by construction, only slower.
+    pool are evaluated in-process.
 
-    An unreferenced executor's pool is torn down by the interpreter
-    (``ProcessPoolExecutor`` workers shut down once their executor is
-    garbage collected); call :meth:`close` to release the processes
+    **Supervision.**  Every dispatch group is submitted as a future and
+    watched with a heartbeat.  A hard worker crash breaks the pool: all
+    in-flight groups are marked lost, the pool is rebuilt, and the lost
+    groups re-dispatch (``SubmissionReport.redispatches``).  A transient
+    in-worker failure — :class:`~repro.faults.FaultInjected` from the
+    fault seam, or any unexpected wrapper exception — retries the same
+    way (``SubmissionReport.retries``), with exponential backoff between
+    waves.  Because per-candidate seeds derive from the context and
+    candidate index alone (never from scheduling), a re-dispatched group
+    reproduces exactly what the lost worker would have produced, so a
+    recovered run is bit-identical to a fault-free one on NumPy.
+    Ordinary evaluation errors are *results* (captured by
+    :func:`evaluate_candidate`) and are never retried.
+
+    The executor is a context manager (``with MultiprocessExecutor(...)``)
+    and registers with an atexit sweep, so interrupted searches don't
+    leak worker processes; call :meth:`close` to release them
     deterministically.
     """
 
     def __init__(self, workers: Optional[int] = None,
                  chunksize: Optional[int] = None,
-                 vectorized_block_size: Optional[int] = None):
+                 vectorized_block_size: Optional[int] = None,
+                 max_retries: Optional[int] = None,
+                 backoff_ms: Optional[float] = None,
+                 task_timeout_ms: Optional[float] = None,
+                 heartbeat_ms: float = 200.0):
         self.workers = resolve_workers(workers)
         if chunksize is not None and chunksize < 1:
             raise ValueError(f"chunksize must be >= 1, got {chunksize}")
@@ -446,8 +606,16 @@ class MultiprocessExecutor(CandidateExecutor):
                 f"vectorized_block_size must be >= 1, got {vectorized_block_size}"
             )
         self.vectorized_block_size = vectorized_block_size
+        self.max_retries = resolve_max_retries(max_retries)
+        self.backoff_ms = resolve_retry_backoff_ms(backoff_ms)
+        self.task_timeout_ms = resolve_task_timeout_ms(task_timeout_ms)
+        self.heartbeat_ms = max(float(heartbeat_ms), 1.0)
+        #: lifetime supervision counters, summed across submissions
+        self.total_retries = 0
+        self.total_redispatches = 0
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_context: Optional[EvaluationContext] = None
+        _LIVE_EXECUTORS.add(self)
 
     @property
     def prefers_batch(self) -> bool:
@@ -464,7 +632,7 @@ class MultiprocessExecutor(CandidateExecutor):
 
     def close(self) -> None:
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
             self._pool_context = None
 
@@ -479,6 +647,28 @@ class MultiprocessExecutor(CandidateExecutor):
             self._pool_context = context
         return self._pool
 
+    def _terminate_workers(self) -> bool:
+        """Hard-kill the pool's worker processes (wedged-task recovery).
+
+        Termination surfaces as a broken pool, which the supervision loop
+        already knows how to recover from.  Returns False when no worker
+        processes could be found to kill.
+        """
+        processes = getattr(self._pool, "_processes", None)
+        if not processes:
+            return False
+        for proc in list(processes.values()):
+            try:
+                proc.terminate()
+            except Exception:  # pragma: no cover - already-dead worker
+                pass
+        return True
+
+    def _backoff_s(self, attempt: int) -> float:
+        if self.backoff_ms <= 0:
+            return 0.0
+        return min(self.backoff_ms * (2.0 ** max(attempt - 1, 0)), 1000.0) / 1e3
+
     def run(self, context: EvaluationContext,
             candidates: Sequence[Candidate]) -> SubmissionReport:
         start = time.perf_counter()
@@ -486,37 +676,142 @@ class MultiprocessExecutor(CandidateExecutor):
         reusable = self._pool is not None and self._pool_context is context
         if len(candidates) < 2 and not reusable:
             results = _run_serially(context, candidates)
-        elif self.vectorized_block_size is not None:
-            # two-level fusion: ship fused blocks to workers; the block is
-            # both the IPC unit and the candidate-axis fusion unit, and
-            # flattening in block order preserves candidate order
-            blocks = [
-                list(candidates[lo:lo + self.vectorized_block_size])
-                for lo in range(0, len(candidates), self.vectorized_block_size)
-            ]
-            try:
-                nested = list(self._get_pool(context).map(
-                    _worker_evaluate_block,
-                    blocks,
-                    # chunksize counts blocks here (the dispatch unit)
-                    chunksize=self._chunksize(len(blocks)),
-                ))
-                results = [r for block in nested for r in block]
-            except BrokenProcessPool:
-                self.close()
-                results = _run_serially(context, candidates)
+            return SubmissionReport(
+                results=results, wall_seconds=time.perf_counter() - start,
+            )
+        if self.vectorized_block_size is not None:
+            group_size = self.vectorized_block_size
+            worker_fn = _worker_evaluate_block
         else:
-            try:
-                results = list(self._get_pool(context).map(
-                    _worker_evaluate,
-                    candidates,
-                    chunksize=self._chunksize(len(candidates)),
-                ))
-            except BrokenProcessPool:
+            group_size = self._chunksize(len(candidates))
+            worker_fn = _worker_evaluate_many
+        groups = [(lo, list(candidates[lo:lo + group_size]))
+                  for lo in range(0, len(candidates), group_size)]
+        results: List[Optional[CandidateResult]] = [None] * len(candidates)
+        # attempts charge the bounded retry budget and only grow on
+        # *attributed* failures; requeues drive backoff and travel to the
+        # workers so the fault seam sees every re-dispatch
+        attempts: Dict[int, int] = {gi: 0 for gi in range(len(groups))}
+        requeues: Dict[int, int] = {gi: 0 for gi in range(len(groups))}
+        last_error: Dict[int, str] = {}
+        retries = redispatches = 0
+        pending: Dict[object, tuple] = {}  # future -> (group idx, t0)
+        ready: List[int] = list(range(len(groups)))
+        # after a pool break the culprit is unknowable (every in-flight
+        # future fails at once), so nobody is charged and re-dispatch runs
+        # in probe mode — one group in flight at a time — where a repeat
+        # break is attributable to the single running group.  A poisoned
+        # group therefore exhausts ITS budget without draining anyone
+        # else's, and collateral groups always recover.
+        probe = False
+
+        def record(gi: int, group_results: List[CandidateResult]) -> None:
+            lo = groups[gi][0]
+            for offset, result in enumerate(group_results):
+                results[lo + offset] = result
+
+        def give_up(gi: int) -> None:
+            for offset, candidate in enumerate(groups[gi][1]):
+                results[groups[gi][0] + offset] = CandidateResult(
+                    candidate=candidate, evaluation=None,
+                    error=last_error.get(gi, "worker lost"),
+                )
+
+        timeout_s = (self.task_timeout_ms / 1e3
+                     if self.task_timeout_ms > 0 else None)
+        while ready or pending:
+            while ready and (not probe or not pending):
+                gi = ready.pop(0)
+                if attempts[gi] > self.max_retries:
+                    give_up(gi)
+                    continue
+                if requeues[gi] > 0:
+                    backoff = self._backoff_s(requeues[gi])
+                    if backoff > 0:
+                        time.sleep(backoff)
+                pool = self._get_pool(context)
+                fut = pool.submit(
+                    worker_fn, (groups[gi][1], requeues[gi]))
+                pending[fut] = (gi, time.monotonic())
+                if probe:
+                    break
+            if not pending:
+                continue
+            beat = self.heartbeat_ms / 1e3 if timeout_s is not None else None
+            done, _ = wait(set(pending), timeout=beat,
+                           return_when=FIRST_COMPLETED)
+            if not done and timeout_s is not None:
+                now = time.monotonic()
+                overdue = [(f, gi) for f, (gi, t0) in pending.items()
+                           if now - t0 > timeout_s]
+                if overdue:
+                    # a hung task is attributable by its own stopwatch:
+                    # charge it, then kill the workers — the break is
+                    # handled below as an ordinary lost-worker event
+                    for _f, gi in overdue:
+                        attempts[gi] += 1
+                        last_error[gi] = (
+                            f"task timed out after {self.task_timeout_ms:g} ms"
+                        )
+                    if not self._terminate_workers():
+                        # pathological fallback (no reachable worker
+                        # handles): abandon the overdue futures so the
+                        # loop cannot spin forever
+                        for fut, gi in overdue:
+                            pending.pop(fut)
+                            give_up(gi)
+                continue
+            lost: List[int] = []
+            transient: List[int] = []
+            broken = False
+            for fut in done:
+                gi, _t0 = pending.pop(fut)
+                try:
+                    record(gi, fut.result())
+                except BrokenProcessPool as exc:
+                    broken = True
+                    lost.append(gi)
+                    last_error.setdefault(gi, f"worker lost: {exc!r}")
+                except Exception as exc:
+                    transient.append(gi)
+                    attempts[gi] += 1  # attributed: its own future raised
+                    last_error[gi] = f"{type(exc).__name__}: {exc}"
+            if broken:
+                # the pool is unusable: every other in-flight group is
+                # lost too (harvest any that finished first), rebuild
+                for fut, (gi, _t0) in list(pending.items()):
+                    harvested = False
+                    if fut.done():
+                        try:
+                            record(gi, fut.result())
+                            harvested = True
+                        except Exception as exc:
+                            last_error.setdefault(
+                                gi, f"worker lost: {exc!r}")
+                    else:
+                        last_error.setdefault(
+                            gi, "worker lost: pool broke mid-flight")
+                    if not harvested:
+                        lost.append(gi)
+                pending.clear()
                 self.close()
-                results = _run_serially(context, candidates)
+                if probe and len(lost) == 1:
+                    # single-flight probe: the break IS this group's fault
+                    attempts[lost[0]] += 1
+                probe = True
+            for gi in lost:
+                redispatches += 1
+                requeues[gi] += 1
+                ready.append(gi)
+            for gi in transient:
+                retries += 1
+                requeues[gi] += 1
+                ready.append(gi)
+        self.total_retries += retries
+        self.total_redispatches += redispatches
         return SubmissionReport(
             results=results, wall_seconds=time.perf_counter() - start,
+            retries=retries, redispatches=redispatches,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - trivial

@@ -33,13 +33,17 @@ from repro.serve.engine import (
     DEFAULT_MAX_BATCH,
     DEFAULT_MAX_WAIT_MS,
     SERVE_MAX_BATCH_ENV,
+    SERVE_MAX_PENDING_ENV,
     SERVE_MAX_WAIT_ENV,
     SESSION_FORMAT,
     SESSION_FORMAT_VERSION,
+    Backpressure,
     ChunkResult,
+    Overloaded,
     ServeEngine,
     TickReport,
     resolve_max_batch,
+    resolve_max_pending,
     resolve_max_wait_ms,
 )
 from repro.serve.model_store import (
@@ -88,14 +92,18 @@ __all__ = [
     "AsyncServeSession",
     "ChunkResult",
     "TickReport",
+    "Backpressure",
+    "Overloaded",
     "SERVE_MAX_BATCH_ENV",
     "SERVE_MAX_WAIT_ENV",
+    "SERVE_MAX_PENDING_ENV",
     "SERVE_DEADLINE_ENV",
     "SERVE_IDLE_TTL_ENV",
     "DEFAULT_MAX_BATCH",
     "DEFAULT_MAX_WAIT_MS",
     "DEFAULT_DEADLINE_MS",
     "resolve_max_batch",
+    "resolve_max_pending",
     "resolve_max_wait_ms",
     "resolve_deadline_ms",
     "resolve_idle_ttl_ms",

@@ -19,6 +19,18 @@ fire fused sweeps.  :class:`AsyncServeEngine` is that somebody:
   exit drains every in-flight and queued chunk (resolving their futures),
   stops the loop, and releases the executor.
 
+Robustness semantics layered on the inner engine's fault handling:
+
+* a submit that hits a pending-queue bound (``max_pending`` /
+  ``max_pending_total``) does not raise
+  :class:`~repro.serve.engine.Backpressure` at the caller — it *awaits*
+  queue space (counted in ``stats()["backpressure_waits"]``) and retries,
+  so async producers are flow-controlled instead of crashed;
+* a chunk the engine sheds under overload resolves its future with
+  :class:`~repro.serve.engine.Overloaded`; a chunk failed after sweep
+  retries and the serial fallback resolves with ``RuntimeError`` — every
+  future resolves exactly once, no injected fault can leak one.
+
 Because the inner engine's lock only guards bookkeeping (sweeps run
 off-lock), submits from the event loop — or from plain threads via
 ``asyncio.run_coroutine_threadsafe`` — enqueue in microseconds even while
@@ -37,7 +49,13 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.serve.engine import ChunkResult, ServeEngine, TickReport
+from repro.serve.engine import (
+    Backpressure,
+    ChunkResult,
+    Overloaded,
+    ServeEngine,
+    TickReport,
+)
 from repro.serve.model_store import ServableModel
 
 __all__ = ["AsyncServeEngine", "AsyncServeSession"]
@@ -122,8 +140,11 @@ class AsyncServeEngine:
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._loop_task: Optional[asyncio.Task] = None
         self._wake: Optional[asyncio.Event] = None
+        self._space: Optional[asyncio.Event] = None
         self._stopping = False
         self._started = False
+        #: how many submits stalled awaiting queue space (backpressure)
+        self.backpressure_waits = 0
 
     # -------------------------------------------------------------- #
     # lifecycle
@@ -135,6 +156,8 @@ class AsyncServeEngine:
             return self
         self._loop = asyncio.get_running_loop()
         self._wake = asyncio.Event()
+        self._space = asyncio.Event()
+        self._space.set()
         # one worker: ticks are serialized, sweeps never block the loop
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-serve-tick")
@@ -150,6 +173,7 @@ class AsyncServeEngine:
         await self.drain()
         self._stopping = True
         self._wake.set()
+        self._space.set()  # backpressure waiters must not outlive the loop
         try:
             await self._loop_task
         except Exception:
@@ -189,14 +213,32 @@ class AsyncServeEngine:
 
         The future is registered before control returns to the event
         loop, so the background dispatcher (which runs on the same loop)
-        can never complete the chunk first.
+        can never complete the chunk first.  A pending-queue bound does
+        not raise here: the coroutine awaits queue space (the background
+        loop frees some by completing, failing, or shedding chunks) and
+        retries the submit — backpressure, not an exception.
         """
         if not self._started:
             raise RuntimeError(
                 "AsyncServeEngine is not running; use 'async with' or "
                 "await start() first"
             )
-        seq = self.engine.submit(session_id, chunk, deadline_ms=deadline_ms)
+        while True:
+            if self._stopping:
+                raise RuntimeError(
+                    "AsyncServeEngine is shutting down; submit rejected"
+                )
+            try:
+                seq = self.engine.submit(session_id, chunk,
+                                         deadline_ms=deadline_ms)
+                break
+            except Backpressure:
+                if self._loop_task is None or self._loop_task.done():
+                    raise  # nobody left to free queue space
+                self.backpressure_waits += 1
+                self._space.clear()
+                self._wake.set()  # nudge the loop: tick now, free space
+                await self._space.wait()
         future = self._loop.create_future()
         self._futures[(session_id, seq)] = future
         self._wake.set()
@@ -233,7 +275,9 @@ class AsyncServeEngine:
         return out
 
     def stats(self) -> dict:
-        return self.engine.stats()
+        out = self.engine.stats()
+        out["backpressure_waits"] = self.backpressure_waits
+        return out
 
     # -------------------------------------------------------------- #
     # background loop
@@ -254,6 +298,8 @@ class AsyncServeEngine:
                 if not future.done():
                     future.set_exception(exc)
             self._futures.clear()
+            if self._space is not None:
+                self._space.set()  # release backpressure waiters to re-raise
             raise
 
     async def _sleep_until_due(self) -> None:
@@ -273,14 +319,30 @@ class AsyncServeEngine:
                 pass
 
     def _dispatch(self) -> None:
-        """Resolve futures for every freshly completed chunk."""
+        """Resolve futures for every freshly completed chunk.
+
+        Shed chunks resolve with :class:`Overloaded`, chunks failed after
+        all sweep recovery with ``RuntimeError`` — never a silent drop, so
+        no fault can leak an unresolved future.  Any completion frees
+        queue space, so backpressure waiters are released here.
+        """
+        freed = False
         for result in self.engine.pop_results():
+            freed = True
             key = (result.session_id, result.seq)
             future = self._futures.pop(key, None)
             if future is None:
                 self._orphans.append(result)
-            elif not future.done():
+            elif future.done():
+                pass
+            elif result.shed:
+                future.set_exception(Overloaded(result.error))
+            elif result.error is not None:
+                future.set_exception(RuntimeError(result.error))
+            else:
                 future.set_result(result)
+        if freed and self._space is not None:
+            self._space.set()
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (

@@ -60,6 +60,18 @@ variables):
 * ``idle_ttl_ms`` / ``REPRO_SERVE_IDLE_TTL_MS`` — checkpoint-and-evict
   sessions idle longer than this (default 0: never); a submit to an
   evicted session restores it transparently.
+* ``max_pending`` / ``REPRO_SERVE_MAX_PENDING`` — bound on queued chunks
+  per session (default 0: unbounded); a submit over the bound raises
+  :class:`Backpressure` (the async engine turns that into an awaitable
+  wait).  ``max_pending_total`` bounds the engine-wide queue the same way.
+* ``sweep_retries`` — fused-sweep attempts per bucket before the engine
+  falls back to serial per-session sweeps (default 1 retry); a session
+  whose *serial* sweep still fails has its head chunk failed (an
+  ``error`` :class:`ChunkResult`), never a hung future.
+* ``shed_after_ms`` — optional overload shedding: a deadline chunk whose
+  due time is already more than this grace past is dropped with an
+  ``Overloaded`` result instead of cascading misses onto the queue behind
+  it (default off).
 """
 
 from __future__ import annotations
@@ -73,6 +85,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro import faults
 from repro.backend import default_backend, resolve_backend
 from repro.reservoir.modular import StreamingResult, _copy_array
 from repro.serve.carry import CarryStore
@@ -87,12 +100,16 @@ from repro.serve.session import PendingChunk, StreamSession
 __all__ = [
     "SERVE_MAX_BATCH_ENV",
     "SERVE_MAX_WAIT_ENV",
+    "SERVE_MAX_PENDING_ENV",
     "DEFAULT_MAX_BATCH",
     "DEFAULT_MAX_WAIT_MS",
     "SESSION_FORMAT",
     "SESSION_FORMAT_VERSION",
     "resolve_max_batch",
     "resolve_max_wait_ms",
+    "resolve_max_pending",
+    "Backpressure",
+    "Overloaded",
     "ChunkResult",
     "TickReport",
     "ServeEngine",
@@ -103,9 +120,30 @@ SERVE_MAX_BATCH_ENV = "REPRO_SERVE_MAX_BATCH"
 #: environment variable bounding how long a partial batch may wait (ms);
 #: the legacy alias of REPRO_SERVE_DEADLINE_MS
 SERVE_MAX_WAIT_ENV = "REPRO_SERVE_MAX_WAIT_MS"
+#: environment variable bounding queued chunks per session (0 = unbounded)
+SERVE_MAX_PENDING_ENV = "REPRO_SERVE_MAX_PENDING"
 
 DEFAULT_MAX_BATCH = 32
 DEFAULT_MAX_WAIT_MS = 0.0
+
+
+class Backpressure(RuntimeError):
+    """A submit would exceed a pending-queue bound.
+
+    The synchronous engine raises this immediately;
+    :class:`~repro.serve.async_engine.AsyncServeEngine` catches it and
+    awaits queue space instead, so async callers see an awaitable stall,
+    never an exception.
+    """
+
+
+class Overloaded(RuntimeError):
+    """A chunk was shed because its deadline was hopelessly past.
+
+    Raised from the futures of shed chunks on the async engine; carried
+    as the ``error`` of the shed chunk's :class:`ChunkResult` on the
+    synchronous one.
+    """
 
 #: magic string identifying a serialized session checkpoint
 SESSION_FORMAT = "repro-serve-session"
@@ -153,6 +191,24 @@ def resolve_max_wait_ms(value: Optional[float] = None) -> float:
     return value
 
 
+def resolve_max_pending(value: Optional[int] = None) -> int:
+    """``value`` if given, else ``REPRO_SERVE_MAX_PENDING``, else 0 (off)."""
+    if value is None:
+        raw = os.environ.get(SERVE_MAX_PENDING_ENV, "").strip()
+        if not raw:
+            return 0
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{SERVE_MAX_PENDING_ENV} must be an integer, got {raw!r}"
+            ) from None
+    value = int(value)
+    if value < 0:
+        raise ValueError(f"max_pending must be >= 0, got {value}")
+    return value
+
+
 @dataclass
 class ChunkResult:
     """One scored chunk, handed back in completion order."""
@@ -170,6 +226,12 @@ class ChunkResult:
     batch_sessions: int           # sessions in the fused sweep that scored it
     batch_models: int             # distinct models on that sweep's candidate axis
     deadline: Optional[float] = None  # absolute due time; None w/o a budget
+    error: Optional[str] = None   # failure description; None for a scored chunk
+    shed: bool = False            # True: dropped by overload shedding
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
     @property
     def latency_ms(self) -> float:
@@ -201,6 +263,10 @@ class TickReport:
     violations: int = 0           # deadline chunks completed past their due
     min_slack_ms: Optional[float] = None  # tightest slack seen this tick
     evicted: int = 0              # idle sessions checkpointed out
+    sweep_retries: int = 0        # fused sweeps re-attempted after a failure
+    serial_fallbacks: int = 0     # buckets that fell back to serial sweeps
+    failed_chunks: int = 0        # head chunks failed after all recovery
+    shed: int = 0                 # chunks dropped by overload shedding
 
 
 class _Deployment:
@@ -298,6 +364,10 @@ class ServeEngine:
                  deadline_ms: Optional[float] = None,
                  slack_margin_ms=0.0,
                  idle_ttl_ms: Optional[float] = None,
+                 max_pending: Optional[int] = None,
+                 max_pending_total: int = 0,
+                 sweep_retries: int = 1,
+                 shed_after_ms: Optional[float] = None,
                  window: int = 1,
                  backend: Optional[str] = None, dtype: Optional[str] = None,
                  clock: Optional[Callable[[], float]] = None):
@@ -319,6 +389,26 @@ class ServeEngine:
                 )
             self._fixed_margin_s = margin / 1e3
         self.idle_ttl_ms = resolve_idle_ttl_ms(idle_ttl_ms)
+        self.max_pending = resolve_max_pending(max_pending)
+        self.max_pending_total = int(max_pending_total)
+        if self.max_pending_total < 0:
+            raise ValueError(
+                f"max_pending_total must be >= 0, got {max_pending_total}"
+            )
+        self.sweep_retries = int(sweep_retries)
+        if self.sweep_retries < 0:
+            raise ValueError(
+                f"sweep_retries must be >= 0, got {sweep_retries}"
+            )
+        if shed_after_ms is None:
+            self.shed_after_ms = 0.0
+        else:
+            self.shed_after_ms = float(shed_after_ms)
+            if not np.isfinite(self.shed_after_ms) or self.shed_after_ms < 0:
+                raise ValueError(
+                    f"shed_after_ms must be finite and >= 0, got "
+                    f"{shed_after_ms}"
+                )
         self.window = int(window)
         if self.window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
@@ -333,17 +423,26 @@ class ServeEngine:
         self._scheduler = DeadlineScheduler()
         self._carries = CarryStore(self.backend)
         self._evicted: Dict[str, dict] = {}
+        #: why a session id is no longer open ("closed" / "evicted") —
+        #: what turns the bare KeyError into an actionable error
+        self._retired: Dict[str, str] = {}
         self._results: deque = deque()
         self._session_counter = 0
         # lifetime stats
         self.total_ticks = 0
         self.total_sweeps = 0
+        self.total_sweep_attempts = 0
+        self.total_sweep_retries = 0
+        self.total_serial_fallbacks = 0
         self.total_chunks = 0
         self.total_rows_computed = 0
         self.total_deadline_chunks = 0
         self.total_violations = 0
         self.total_evictions = 0
         self.total_restores = 0
+        self.total_failed_chunks = 0
+        self.total_shed = 0
+        self.total_backpressure = 0
         self.min_slack_ms: Optional[float] = None
 
     @property
@@ -425,6 +524,7 @@ class ServeEngine:
             sess.closed = True
             self._carries.pop(session_id)
             del self._sessions[session_id]
+            self._retire(session_id, "closed")
 
     def submit(self, session_id: str, chunk: np.ndarray, *,
                deadline_ms: Optional[float] = None) -> int:
@@ -457,6 +557,23 @@ class ServeEngine:
                     f"chunk has {chunk.shape[0]} steps, need >= window="
                     f"{self.window} (streaming ring invariant)"
                 )
+            if self.max_pending > 0 and len(sess.pending) >= self.max_pending:
+                self.total_backpressure += 1
+                raise Backpressure(
+                    f"session {session_id!r} already queues "
+                    f"{len(sess.pending)} chunk(s) (max_pending="
+                    f"{self.max_pending}); tick/drain the engine or raise "
+                    f"max_pending / {SERVE_MAX_PENDING_ENV}"
+                )
+            if self.max_pending_total > 0:
+                queued = sum(len(s.pending) for s in self._sessions.values())
+                if queued >= self.max_pending_total:
+                    self.total_backpressure += 1
+                    raise Backpressure(
+                        f"engine already queues {queued} chunk(s) across "
+                        f"sessions (max_pending_total="
+                        f"{self.max_pending_total})"
+                    )
             budget = (sess.deadline_ms if deadline_ms is None
                       else resolve_deadline_ms(deadline_ms))
             pending = sess.enqueue(chunk, self._clock(), budget)
@@ -565,6 +682,7 @@ class ServeEngine:
             self._sessions[session_id] = sess
             self._carries.from_host_doc(session_id, doc["carry"])
             self._evicted.pop(session_id, None)
+            self._retired.pop(session_id, None)
             self.total_restores += 1
             # keep the id space collision-free after restores
             try:
@@ -594,6 +712,7 @@ class ServeEngine:
             self._scheduler.remove(sid)
             self._carries.pop(sid)
             del self._sessions[sid]
+            self._retire(sid, "evicted")
             report.evicted += 1
             self.total_evictions += 1
 
@@ -611,12 +730,24 @@ class ServeEngine:
         and each bucket becomes one fused ``run_streaming`` sweep.  The
         sweeps run *outside* the engine lock (prepare/commit bracket them
         under it), so concurrent submits never wait on compute.
+
+        A failed fused sweep is retried up to ``sweep_retries`` times
+        (re-preparing from the untouched carries each time), then the
+        bucket falls back to serial per-session sweeps; a session whose
+        serial sweep still fails has its head chunk failed as an
+        ``error`` :class:`ChunkResult` — one poisoned stream never sinks
+        its batch, and no failure mode leaves a chunk in limbo.
         """
         report = TickReport()
-        prepared: List[_PlannedBucket] = []
         with self._lock:
+            tick_ordinal = self.total_ticks
             self.total_ticks += 1
+        delay = faults.tick_delay_s(tick_ordinal)
+        if delay > 0.0:
+            self._apply_delay(delay)
+        with self._lock:
             self._evict_idle(report)
+            self._shed_overdue(report)
             report.queue_depth = len(self._scheduler)
             if not self._scheduler:
                 return report
@@ -628,21 +759,8 @@ class ServeEngine:
             if not plan:
                 report.deferred = held
                 return report
-            for _, sids in plan:
-                prepared.append(self._prepare_bucket(sids))
-        for prep in prepared:
-            t0 = self._clock()
-            try:
-                result = self._sweep(prep)
-            except BaseException:
-                with self._lock:
-                    self._abort_bucket(prep)
-                raise
-            elapsed = self._clock() - t0
-            with self._lock:
-                if self._auto_margin:
-                    self._scheduler.observe_sweep(elapsed)
-                self._commit_bucket(prep, result, report)
+        for _, sids in plan:
+            self._run_bucket(sids, report)
         with self._lock:
             report.queue_depth = len(self._scheduler)
             if report.sweeps:
@@ -702,6 +820,12 @@ class ServeEngine:
                 "min_slack_ms": self.min_slack_ms,
                 "evictions": self.total_evictions,
                 "restores": self.total_restores,
+                "sweep_attempts": self.total_sweep_attempts,
+                "sweep_retries": self.total_sweep_retries,
+                "serial_fallbacks": self.total_serial_fallbacks,
+                "failed_chunks": self.total_failed_chunks,
+                "shed": self.total_shed,
+                "backpressure": self.total_backpressure,
                 "carry_domain": self._carries.key,
                 "transfers": self.backend.transfers.as_dict(),
             }
@@ -710,11 +834,40 @@ class ServeEngine:
     # internals
     # -------------------------------------------------------------- #
 
+    def _retire(self, session_id: str, reason: str) -> None:
+        """Remember why an id is gone (bounded: oldest entries roll off)."""
+        self._retired[session_id] = reason
+        while len(self._retired) > 4096:
+            self._retired.pop(next(iter(self._retired)))
+
     def _session(self, session_id: str) -> StreamSession:
         try:
             return self._sessions[session_id]
         except KeyError:
-            raise KeyError(f"no open session {session_id!r}") from None
+            pass
+        if session_id in self._evicted:
+            raise KeyError(
+                f"session {session_id!r} was evicted by the idle TTL "
+                f"(idle_ttl_ms={self.idle_ttl_ms:g}) but its checkpoint is "
+                f"still held: submit() restores it transparently, or call "
+                f"restore_session() explicitly"
+            )
+        reason = self._retired.get(session_id)
+        if reason == "evicted":
+            raise KeyError(
+                f"session {session_id!r} was evicted by the idle TTL "
+                f"(idle_ttl_ms={self.idle_ttl_ms:g}) and the engine no "
+                f"longer holds its checkpoint; re-open it with "
+                f"restore_session(checkpoint) from a saved checkpoint, or "
+                f"raise idle_ttl_ms to keep idle sessions resident longer"
+            )
+        if reason == "closed":
+            raise KeyError(
+                f"session {session_id!r} was closed; open_session() starts "
+                f"a new stream, restore_session(checkpoint) resumes a "
+                f"checkpointed one"
+            )
+        raise KeyError(f"no open session {session_id!r}")
 
     def _schedule_head(self, sess: StreamSession) -> None:
         """Make a session's (new) head chunk schedulable."""
@@ -756,8 +909,193 @@ class ServeEngine:
         return _PlannedBucket(sids, t_len, dep, model_names, model_row, k,
                               u_std, a_par, b_par, resume, heads)
 
+    def _apply_delay(self, seconds: float) -> None:
+        """Serve an injected ``delay_tick`` fault.
+
+        A virtual clock (replay mode) advances logically so no real time
+        passes; a wall clock sleeps.  Either way the delay is visible to
+        deadline accounting, which is the point of the fault.
+        """
+        advance = getattr(self._clock, "advance", None)
+        if callable(advance):
+            advance(seconds)
+        else:
+            time.sleep(seconds)
+
+    def _shed_overdue(self, report: TickReport) -> None:
+        """Drop hopelessly-late deadline chunks as ``Overloaded`` (lock held).
+
+        A head whose deadline is already more than ``shed_after_ms`` past
+        cannot be served on time, and sweeping it anyway cascades misses
+        onto every chunk queued behind it.  Shedding emits an ``error``
+        result (``shed=True``) without touching the carry — the stream
+        just has a gap.  Chunks without a deadline budget are never shed.
+        """
+        if self.shed_after_ms <= 0.0:
+            return
+        while True:
+            now = self._clock()
+            cutoff = now - self.shed_after_ms / 1e3
+            shed_any = False
+            for sid in self._scheduler.overdue(cutoff):
+                sess = self._sessions.get(sid)
+                if (sess is None or sess.in_flight or not sess.pending
+                        or not sess.head.has_deadline):
+                    continue
+                self._scheduler.remove(sid)
+                chunk = sess.drop_head(now)
+                self._results.append(ChunkResult(
+                    session_id=sid,
+                    model_name=sess.model_name,
+                    seq=chunk.seq,
+                    n_steps=sess.n_steps,
+                    features=np.zeros(0),
+                    scores=None,
+                    label=None,
+                    diverged=False,
+                    arrival=chunk.arrival,
+                    completed=now,
+                    batch_sessions=0,
+                    batch_models=0,
+                    deadline=chunk.deadline,
+                    error=(
+                        f"Overloaded: chunk seq={chunk.seq} missed its "
+                        f"deadline by more than shed_after_ms="
+                        f"{self.shed_after_ms:g}; shed without compute"
+                    ),
+                    shed=True,
+                ))
+                report.shed += 1
+                self.total_shed += 1
+                if sess.pending:
+                    self._schedule_head(sess)
+                shed_any = True
+            if not shed_any:
+                return
+
+    def _take_bucket(self, sids: List[str]) -> Optional[_PlannedBucket]:
+        """(Re-)claim a bucket's sessions for a sweep attempt (lock held).
+
+        Sessions that vanished between attempts (closed, evicted, or shed
+        down to an empty queue) are silently dropped; returns ``None``
+        when nothing is left to sweep.  Retries re-prepare from the
+        untouched :class:`~repro.serve.carry.CarryStore`, so a failed
+        attempt can never leak partial state into the next one.
+        """
+        live: List[str] = []
+        for sid in sids:
+            sess = self._sessions.get(sid)
+            if sess is None or sess.in_flight or not sess.pending:
+                continue
+            self._scheduler.remove(sid)
+            live.append(sid)
+        if not live:
+            return None
+        return self._prepare_bucket(live)
+
+    def _run_bucket(self, sids: List[str], report: TickReport) -> None:
+        """Sweep one due bucket with bounded retry and serial fallback.
+
+        Up to ``1 + sweep_retries`` fused attempts; then each session is
+        swept serially so one poisoned stream cannot sink its batchmates;
+        a session whose serial sweep still fails has its head chunk
+        resolved as an ``error`` result via :meth:`_fail_head`.  Every
+        path either commits or resolves each taken chunk — nothing is
+        left in flight.
+        """
+        for attempt in range(1 + self.sweep_retries):
+            with self._lock:
+                prep = self._take_bucket(sids)
+            if prep is None:
+                return
+            t0 = self._clock()
+            try:
+                result = self._sweep(prep)
+            except Exception:
+                with self._lock:
+                    self._abort_bucket(prep)
+                    if attempt < self.sweep_retries:
+                        report.sweep_retries += 1
+                        self.total_sweep_retries += 1
+                continue
+            except BaseException:
+                with self._lock:
+                    self._abort_bucket(prep)
+                raise
+            elapsed = self._clock() - t0
+            with self._lock:
+                if self._auto_margin:
+                    self._scheduler.observe_sweep(elapsed)
+                self._commit_bucket(prep, result, report)
+            return
+        with self._lock:
+            report.serial_fallbacks += 1
+            self.total_serial_fallbacks += 1
+        for sid in sids:
+            with self._lock:
+                prep = self._take_bucket([sid])
+            if prep is None:
+                continue
+            try:
+                result = self._sweep(prep)
+            except Exception as exc:
+                with self._lock:
+                    self._abort_bucket(prep)
+                    self._fail_head(sid, exc, report)
+                continue
+            except BaseException:
+                with self._lock:
+                    self._abort_bucket(prep)
+                raise
+            with self._lock:
+                self._commit_bucket(prep, result, report)
+
+    def _fail_head(self, session_id: str, error: BaseException,
+                   report: TickReport) -> None:
+        """Resolve a session's head chunk as failed (lock held).
+
+        The carry is untouched (the reservoir never consumed the chunk),
+        so the stream continues from the state the failed chunk found —
+        the same gap semantics as shedding, but attributed to the sweep
+        error instead of overload.
+        """
+        sess = self._sessions.get(session_id)
+        if sess is None or not sess.pending:
+            return
+        self._scheduler.remove(session_id)
+        now = self._clock()
+        chunk = sess.drop_head(now)
+        self._results.append(ChunkResult(
+            session_id=session_id,
+            model_name=sess.model_name,
+            seq=chunk.seq,
+            n_steps=sess.n_steps,
+            features=np.zeros(0),
+            scores=None,
+            label=None,
+            diverged=False,
+            arrival=chunk.arrival,
+            completed=now,
+            batch_sessions=0,
+            batch_models=0,
+            deadline=chunk.deadline if chunk.has_deadline else None,
+            error=(
+                f"sweep failed after {1 + self.sweep_retries} fused "
+                f"attempt(s) and a serial retry: "
+                f"{type(error).__name__}: {error}"
+            ),
+        ))
+        report.failed_chunks += 1
+        self.total_failed_chunks += 1
+        if sess.pending:
+            self._schedule_head(sess)
+
     def _sweep(self, prep: _PlannedBucket) -> StreamingResult:
         """The fused array program of one bucket (no lock held)."""
+        with self._lock:
+            ordinal = self.total_sweep_attempts
+            self.total_sweep_attempts += 1
+        faults.maybe_raise_sweep(ordinal)
         return prep.dep.extractor.reservoir.run_streaming(
             prep.u_std, prep.a_par, prep.b_par, window=self.window,
             backend=self.backend, resume=prep.resume,

@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import faults
 from repro.serve.engine import ChunkResult, ServeEngine
 from repro.utils.rng import SeedLike, ensure_rng
 
@@ -309,8 +310,15 @@ def replay(
     clock=None,
     deadline_ms: Optional[float] = None,
     tick_on: str = "poll",
+    fault_plan=None,
 ) -> ReplayReport:
     """Replay ``trace`` through ``engine`` and measure latency/throughput.
+
+    ``fault_plan``, when given, is a :class:`~repro.faults.FaultPlan`
+    installed for exactly the duration of the replay (and cleared after,
+    even on error) — the chaos-replay entry point: the same trace replays
+    once faulted and once clean, and on NumPy the per-session result
+    streams must match bit-for-bit wherever the faulted run recovered.
 
     ``time_scale`` compresses the trace's arrival schedule: 1.0 replays at
     the recorded rate, 0.0 (the default) releases arrivals as fast as the
@@ -342,6 +350,13 @@ def replay(
         raise ValueError(
             f"tick_on must be 'poll' or 'submit', got {tick_on!r}"
         )
+    if fault_plan is not None:
+        faults.install_fault_plan(fault_plan)
+        try:
+            return replay(engine, trace, time_scale=time_scale, clock=clock,
+                          deadline_ms=deadline_ms, tick_on=tick_on)
+        finally:
+            faults.clear_fault_plan()
     if clock == "virtual":
         return _replay_virtual(engine, trace, time_scale=time_scale,
                                deadline_ms=deadline_ms)

@@ -160,6 +160,17 @@ class DeadlineScheduler:
             return None
         return heap[0]
 
+    def overdue(self, cutoff: float) -> List[str]:
+        """Session ids whose scheduled deadline lies before ``cutoff``.
+
+        The engine's overload shedding asks this with ``now - grace``:
+        any head already overdue by more than the grace window is a lost
+        cause, and serving it would only cascade misses onto the chunks
+        behind it.
+        """
+        return [sid for sid, entry in self._entries.items()
+                if entry.valid and entry.deadline < cutoff]
+
     def next_deadline(self) -> Optional[float]:
         """Earliest live deadline across all buckets, or ``None``."""
         best = None

@@ -112,6 +112,17 @@ class StreamSession:
         self.last_active = completed
         return chunk
 
+    def drop_head(self, now: float) -> PendingChunk:
+        """Discard the head chunk *without* consuming it (shed / failed).
+
+        The reservoir never saw the chunk, so ``n_steps`` and the carry
+        stay untouched — the stream simply has a gap, and the next chunk
+        resumes from the state the dropped one found.
+        """
+        chunk = self.pending.popleft()
+        self.last_active = now
+        return chunk
+
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (
             f"StreamSession({self.session_id!r}, model={self.model_name!r}, "
